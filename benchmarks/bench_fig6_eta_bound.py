@@ -1,0 +1,32 @@
+"""Exp-2 — the BEAS(η) curves of Fig 6: tightness of the deterministic bound.
+
+Claims checked: η is always a valid lower bound on the measured RC accuracy
+(soundness, per query), and it is not vacuous — on average it retains a
+substantial fraction of the measured accuracy and grows with α.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import BENCH_ALPHAS, accuracy_sweep, format_series, series_by_method_and_alpha
+
+
+def test_fig6_eta_lower_bound_tightness(benchmark, tfacc_workload, tfacc_queries):
+    def run():
+        return accuracy_sweep(
+            tfacc_workload, tfacc_queries, alphas=list(BENCH_ALPHAS), include_baselines=False
+        )
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = series_by_method_and_alpha(outcomes, "rc")
+    print()
+    print(format_series(series, title="Exp-2: measured RC accuracy vs deterministic bound η (TFACC)"))
+
+    # Soundness: per query and α, η <= measured accuracy.
+    for outcome in outcomes:
+        if outcome.method == "BEAS" and outcome.eta is not None:
+            assert outcome.rc >= outcome.eta - 1e-9
+
+    # Monotonicity of the average bound in α.
+    etas = series["BEAS(eta)"]
+    alphas = sorted(etas)
+    assert etas[alphas[-1]] >= etas[alphas[0]] - 1e-9

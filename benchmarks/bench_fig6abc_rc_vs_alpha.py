@@ -1,0 +1,40 @@
+"""Exp-1A — Fig 6(a,b,c): RC accuracy vs resource ratio α on TPCH / TFACC / AIRCA.
+
+Paper claims reproduced in *shape*: BEAS dominates Sampl, Histo and
+BlinkDB at every α; BEAS's accuracy rises with α while the one-size-fits-all
+synopses barely move; the η series (BEAS(eta)) tracks below the measured
+accuracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    BENCH_ALPHAS,
+    accuracy_sweep,
+    format_series,
+    series_by_method_and_alpha,
+)
+
+
+def _run(workload, queries, title):
+    outcomes = accuracy_sweep(workload, queries, alphas=list(BENCH_ALPHAS), include_baselines=True)
+    series = series_by_method_and_alpha(outcomes, "rc")
+    print()
+    print(format_series(series, title=f"Fig 6 ({title}): RC accuracy vs alpha"))
+    return series
+
+
+@pytest.mark.parametrize("dataset", ["tpch", "tfacc", "airca"])
+def test_fig6abc_rc_accuracy_vs_alpha(benchmark, dataset, request):
+    workload = request.getfixturevalue(f"{dataset}_workload")
+    queries = request.getfixturevalue(f"{dataset}_queries")
+    series = benchmark.pedantic(_run, args=(workload, queries, dataset), rounds=1, iterations=1)
+    beas = series["BEAS"]
+    # Shape checks: BEAS beats the synopsis baselines on average, and more
+    # budget never hurts (comparing the sweep's extremes).
+    alphas = sorted(beas)
+    assert beas[alphas[-1]] >= beas[alphas[0]] - 0.05
+    for baseline in ("Sampl", "Histo"):
+        assert sum(beas.values()) >= sum(series[baseline].values())

@@ -1,0 +1,29 @@
+"""Exp-1B — Fig 6(d): MAC accuracy vs α on TPCH.
+
+Shape claims: the ordering of methods under MAC matches the RC ordering
+(BEAS first), and Histo closes part of its gap because MAC is the measure it
+was designed for.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    BENCH_ALPHAS,
+    accuracy_sweep,
+    format_series,
+    series_by_method_and_alpha,
+)
+
+
+def test_fig6d_mac_accuracy_vs_alpha(benchmark, tpch_workload, tpch_queries):
+    def run():
+        outcomes = accuracy_sweep(
+            tpch_workload, tpch_queries, alphas=list(BENCH_ALPHAS), include_baselines=True
+        )
+        return series_by_method_and_alpha(outcomes, "mac")
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_series(series, title="Fig 6(d): MAC accuracy vs alpha (TPCH)"))
+    assert sum(series["BEAS"].values()) >= sum(series["Sampl"].values())
+    assert sum(series["BEAS"].values()) >= sum(series["Histo"].values())

@@ -1,0 +1,53 @@
+"""Exp-1D — Fig 6(g,h): RC accuracy vs #-sel and #-prod on TFACC.
+
+Shape claims: BEAS benefits from more selection predicates (its plans exploit
+them for dynamic data reduction) and degrades with more Cartesian products
+(distances compound across joined attributes); the baselines are largely
+insensitive to #-sel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_beas, format_series, run_beas_query, run_baseline_query, default_baselines
+from repro.workloads import QueryGenerator
+
+ALPHA = 0.03
+
+
+def _sweep(workload, axis):
+    beas = build_beas(workload)
+    generator = QueryGenerator(workload, seed=19)
+    baselines = default_baselines(workload)
+    for baseline in baselines:
+        baseline.build(ALPHA)
+
+    series = {"BEAS": {}, "Sampl": {}, "Histo": {}}
+    values = (3, 4, 5, 6, 7) if axis == "sel" else (0, 1, 2)
+    for value in values:
+        if axis == "sel":
+            queries = [generator._nonempty(lambda: generator.spc(1, value)) for _ in range(3)]
+        else:
+            queries = [generator._nonempty(lambda: generator.spc(value, 4)) for _ in range(3)]
+        beas_scores, sampl_scores, histo_scores = [], [], []
+        for query in queries:
+            beas_scores.append(run_beas_query(beas, workload, query, ALPHA).rc)
+            sampl_scores.append(run_baseline_query(baselines[0], workload, query, ALPHA).rc)
+            histo_scores.append(run_baseline_query(baselines[1], workload, query, ALPHA).rc)
+        series["BEAS"][value] = sum(beas_scores) / len(beas_scores)
+        series["Sampl"][value] = sum(sampl_scores) / len(sampl_scores)
+        series["Histo"][value] = sum(histo_scores) / len(histo_scores)
+    return series
+
+
+def test_fig6g_accuracy_vs_num_selections(benchmark, tfacc_workload):
+    series = benchmark.pedantic(_sweep, args=(tfacc_workload, "sel"), rounds=1, iterations=1)
+    print()
+    print(format_series(series, x_label="#-sel", title="Fig 6(g): RC accuracy vs #-sel (TFACC)"))
+    assert sum(series["BEAS"].values()) >= sum(series["Sampl"].values())
+
+
+def test_fig6h_accuracy_vs_num_products(benchmark, tfacc_workload):
+    series = benchmark.pedantic(_sweep, args=(tfacc_workload, "prod"), rounds=1, iterations=1)
+    print()
+    print(format_series(series, x_label="#-prod", title="Fig 6(h): RC accuracy vs #-prod (TFACC)"))
+    assert sum(series["BEAS"].values()) >= sum(series["Histo"].values())

@@ -1,0 +1,41 @@
+"""Exp-1E — Fig 6(i): RC accuracy per query class (SPC / RA / agg(SPC)) on TFACC.
+
+Shape claims: BEAS does best on SPC, slightly lower on RA (set difference) and
+aggregates; Histo scores 0 on RA (unsupported) and BlinkDB scores 0 on
+non-aggregate queries, as in the paper's treatment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import accuracy_sweep, format_table, mean_by
+from repro.workloads import QueryGenerator
+
+ALPHA = 0.03
+
+
+def _per_class(workload):
+    generator = QueryGenerator(workload, seed=23)
+    queries = (
+        [generator._nonempty(lambda: generator.spc(1, 4)) for _ in range(2)]
+        + [generator._nonempty(lambda: generator.ra(1, 4, 1)) for _ in range(2)]
+        + [generator._nonempty(lambda: generator.aggregate(1, 3)) for _ in range(2)]
+    )
+    outcomes = accuracy_sweep(workload, queries, alphas=[ALPHA], include_baselines=True)
+    table = {}
+    for method in sorted({o.method for o in outcomes}):
+        method_outcomes = [o for o in outcomes if o.method == method]
+        table[method] = mean_by(method_outcomes, key=lambda o: o.query_class, value=lambda o: o.rc)
+    return table
+
+
+def test_fig6i_accuracy_by_query_type(benchmark, tfacc_workload):
+    table = benchmark.pedantic(_per_class, args=(tfacc_workload,), rounds=1, iterations=1)
+    classes = sorted({c for values in table.values() for c in values})
+    rows = [[method] + [table[method].get(c, 0.0) for c in classes] for method in sorted(table)]
+    print()
+    print(format_table(["method"] + classes, rows, title="Fig 6(i): RC accuracy by query type (TFACC)"))
+    beas = table["BEAS"]
+    for method, values in table.items():
+        if method in ("BEAS", "BEAS(eta)"):
+            continue
+        assert sum(beas.values()) >= sum(values.get(c, 0.0) for c in classes) - 1e-9

@@ -1,0 +1,44 @@
+"""Exp-3 — Fig 6(j): the resource ratio α_exact needed for exact answers vs |D|.
+
+Shape claim: α_exact shrinks as the dataset grows — the cost of an exact plan
+is governed by the access schema and the query, not by |D|, so its *ratio* to
+|D| falls (log-scale decreasing lines in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.bounded import alpha_exact
+from repro.experiments import build_beas, format_series
+from repro.workloads import QueryGenerator, tpch
+
+SCALES = (1, 2, 4)
+
+
+def _sweep():
+    series = {"SPC": {}, "RA": {}}
+    for scale in SCALES:
+        workload = tpch.generate(scale=scale, seed=13)
+        beas = build_beas(workload)
+        generator = QueryGenerator(workload, seed=31)
+        spc_queries = [generator.spc(1, 3) for _ in range(3)]
+        ra_queries = [generator.ra(1, 3, 1) for _ in range(3)]
+        spc_ratios = [
+            alpha_exact(q.ast, workload.database, beas.access_schema) for q in spc_queries
+        ]
+        ra_ratios = [
+            alpha_exact(q.ast, workload.database, beas.access_schema) for q in ra_queries
+        ]
+        series["SPC"][scale] = sum(spc_ratios) / len(spc_ratios)
+        series["RA"][scale] = sum(ra_ratios) / len(ra_ratios)
+    return series
+
+
+def test_fig6j_alpha_exact_vs_scale(benchmark):
+    series = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(format_series(series, x_label="scale", title="Fig 6(j): alpha_exact vs |D| (TPCH)"))
+    for method in ("SPC", "RA"):
+        values = series[method]
+        # The ratio for exact answers shrinks (or at worst stays flat) as |D| grows.
+        assert values[SCALES[-1]] <= values[SCALES[0]] * 1.5
+        assert 0.0 < values[SCALES[-1]] <= 1.0

@@ -1,0 +1,53 @@
+"""Exp-4 — Fig 6(k): access-schema index sizes relative to |D|.
+
+Shape claims from the paper: the constraint indexes are a small fraction of
+|D|; the full template indexes are a small constant multiple of |D| (the
+paper reports 5.7–8.8×; a K-D tree stores at most 2|D_R| − 1 nodes per
+relation, so each whole-relation family contributes at most ~2×).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_beas, format_table
+
+
+def test_fig6k_index_sizes(benchmark, tpch_workload, tfacc_workload, airca_workload):
+    workloads = {
+        "tpch": tpch_workload,
+        "tfacc": tfacc_workload,
+        "airca": airca_workload,
+    }
+
+    def run():
+        rows = []
+        for name, workload in workloads.items():
+            beas = build_beas(workload)
+            counts = beas.access_schema.index_entry_counts()
+            total_tuples = workload.database.total_tuples
+            rows.append(
+                [
+                    name,
+                    total_tuples,
+                    round(counts["constraints"] / total_tuples, 3),
+                    round(counts["templates"] / total_tuples, 3),
+                    round(beas.access_schema.total_index_entries() / total_tuples, 3),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "|D|", "constraints/|D|", "templates/|D|", "total/|D|"],
+            rows,
+            title="Fig 6(k): index size as a multiple of |D|",
+        )
+    )
+    for _, _, constraint_ratio, template_ratio, total_ratio in rows:
+        # Constraint indexes are a bounded multiple of |D| (they store one
+        # entry per distinct (X, Y) pair per declared constraint).
+        assert constraint_ratio <= 3.0
+        # Template (K-D tree) indexes stay within a small constant multiple.
+        assert template_ratio <= 10.0
+        assert total_ratio <= 12.0

@@ -1,0 +1,124 @@
+"""repro — a reproduction of "Data Driven Approximation with Bounded Resources".
+
+BEAS (Boundedly EvAluable Sql, Cao & Fan, VLDB 2017) answers relational
+queries over a dataset ``D`` while accessing at most ``α·|D|`` tuples, for a
+user-chosen resource ratio ``α``, and returns a deterministic accuracy lower
+bound under the RC (relevance/coverage) measure.
+
+Quickstart::
+
+    from repro import Beas, Database, Relation, build_schema, NUMERIC
+
+    db = Database.from_relations([...])
+    beas = Beas(db)                              # offline: builds A_t indexes
+    result = beas.answer("select ... from ...", alpha=5e-4)
+    result.rows, result.eta, result.tuples_accessed
+"""
+
+from .access import (
+    AccessSchema,
+    AccessSchemaBuilder,
+    ConstraintSpec,
+    FamilySpec,
+    TemplateSpec,
+)
+from .accuracy import f_measure, mac_accuracy, rc_accuracy
+from .algebra import (
+    AggregateFunction,
+    AttrRef,
+    CompareOp,
+    Comparison,
+    Conjunction,
+    Const,
+    Difference,
+    GroupBy,
+    Product,
+    Project,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+    evaluate_exact,
+    parse_query,
+)
+from .core import Beas, BoundedPlan, QueryResult
+from .errors import (
+    AccessSchemaError,
+    BudgetExceededError,
+    ParseError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from .relational import (
+    CATEGORICAL,
+    NUMERIC,
+    STRING_PREFIX,
+    TRIVIAL,
+    AccessMeter,
+    Attribute,
+    Database,
+    DatabaseSchema,
+    DistanceFunction,
+    Relation,
+    RelationSchema,
+    build_schema,
+    key_attribute,
+    numeric_attribute,
+    numeric_scaled,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AccessMeter",
+    "AccessSchema",
+    "AccessSchemaBuilder",
+    "AccessSchemaError",
+    "AggregateFunction",
+    "AttrRef",
+    "Attribute",
+    "Beas",
+    "BoundedPlan",
+    "BudgetExceededError",
+    "CATEGORICAL",
+    "CompareOp",
+    "Comparison",
+    "Conjunction",
+    "Const",
+    "ConstraintSpec",
+    "Database",
+    "DatabaseSchema",
+    "Difference",
+    "DistanceFunction",
+    "FamilySpec",
+    "GroupBy",
+    "NUMERIC",
+    "ParseError",
+    "PlanError",
+    "Product",
+    "Project",
+    "QueryError",
+    "QueryNode",
+    "QueryResult",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "STRING_PREFIX",
+    "Scan",
+    "SchemaError",
+    "Select",
+    "TRIVIAL",
+    "TemplateSpec",
+    "Union",
+    "build_schema",
+    "evaluate_exact",
+    "f_measure",
+    "key_attribute",
+    "mac_accuracy",
+    "numeric_attribute",
+    "numeric_scaled",
+    "parse_query",
+    "rc_accuracy",
+]

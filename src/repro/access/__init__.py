@@ -1,0 +1,24 @@
+"""Access schemas: templates, constraints, physical indexes, builders, discovery."""
+
+from .builder import AccessSchemaBuilder, ConstraintSpec, FamilySpec
+from .discovery import DiscoveryReport, discover, discover_constraints, discover_families
+from .index import ConstraintIndex, TemplateIndex
+from .schema import AccessConstraint, AccessSchema, TemplateFamily
+from .template import TemplateSpec, conforms
+
+__all__ = [
+    "AccessConstraint",
+    "AccessSchema",
+    "AccessSchemaBuilder",
+    "ConstraintIndex",
+    "ConstraintSpec",
+    "DiscoveryReport",
+    "FamilySpec",
+    "TemplateFamily",
+    "TemplateIndex",
+    "TemplateSpec",
+    "conforms",
+    "discover",
+    "discover_constraints",
+    "discover_families",
+]

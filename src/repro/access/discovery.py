@@ -1,0 +1,159 @@
+"""Discovery (mining) of access constraints and templates from data.
+
+Section 4.1 suggests that algorithms for discovering functional dependencies
+can be extended to mine access constraints, and further extended — "with
+aggregates to compute cardinality bounds and sampling to pick representative
+tuples" — to discover access templates.  This module implements a practical
+version of that idea:
+
+* :func:`discover_constraints` scans candidate ``X → Y`` pairs of a relation
+  and keeps those whose maximum group size ``max_ā |D_Y(X = ā)|`` is at most
+  a threshold ``max_n`` — these become access constraints the indexes can
+  afford to answer exactly.
+* :func:`discover_families` proposes levelled template families for candidate
+  ``X`` sets whose group sizes are too large for a constraint but whose
+  ``Y``-values can be represented at useful resolutions.
+
+Both functions cap the number of candidates examined so discovery stays
+cheap relative to index construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..relational.database import Database
+from ..relational.relation import Relation
+from .builder import ConstraintSpec, FamilySpec
+
+
+@dataclass(frozen=True)
+class DiscoveryReport:
+    """Outcome of mining one relation."""
+
+    relation: str
+    constraints: Tuple[ConstraintSpec, ...]
+    families: Tuple[FamilySpec, ...]
+
+
+def _max_group_size(relation: Relation, x: Sequence[str]) -> int:
+    positions = relation.schema.positions(x)
+    counts: Dict[Tuple[object, ...], int] = {}
+    for row in relation:
+        key = tuple(row[p] for p in positions)
+        counts[key] = counts.get(key, 0) + 1
+    return max(counts.values(), default=0)
+
+
+def _distinct_count(relation: Relation, attribute: str) -> int:
+    position = relation.schema.position(attribute)
+    return len({row[position] for row in relation})
+
+
+def discover_constraints(
+    relation: Relation,
+    max_n: int = 1000,
+    max_x_size: int = 2,
+    max_candidates: int = 200,
+) -> List[ConstraintSpec]:
+    """Mine access constraints ``R(X → Y, N, 0)`` with ``N <= max_n``.
+
+    Candidates are X-sets of up to ``max_x_size`` attributes, preferring
+    attributes with many distinct values (more selective groupings).  For a
+    qualifying ``X`` the constraint outputs all remaining attributes.
+    """
+    attributes = list(relation.schema.attribute_names)
+    if not attributes or len(relation) == 0:
+        return []
+
+    # Rank attributes by selectivity so the most promising X-sets come first.
+    selectivity = {a: _distinct_count(relation, a) for a in attributes}
+    ranked = sorted(attributes, key=lambda a: -selectivity[a])
+
+    candidates: List[Tuple[str, ...]] = []
+    for size in range(1, max_x_size + 1):
+        for combo in itertools.combinations(ranked, size):
+            candidates.append(combo)
+            if len(candidates) >= max_candidates:
+                break
+        if len(candidates) >= max_candidates:
+            break
+
+    discovered: List[ConstraintSpec] = []
+    for x in candidates:
+        y = tuple(a for a in attributes if a not in x)
+        if not y:
+            continue
+        group_size = _max_group_size(relation, x)
+        if 0 < group_size <= max_n:
+            discovered.append(
+                ConstraintSpec(relation=relation.schema.name, x=x, y=y, n=group_size)
+            )
+    return discovered
+
+
+def discover_families(
+    relation: Relation,
+    constraints: Sequence[ConstraintSpec] = (),
+    max_x_size: int = 1,
+    min_group_size: int = 8,
+    max_candidates: int = 50,
+) -> List[FamilySpec]:
+    """Propose levelled template families for attribute sets not already covered.
+
+    Prefers X-sets whose groups are *large* (a constraint would be too
+    expensive) but non-degenerate — exactly the cases where approximating the
+    associated values with a K-D tree pays off.
+    """
+    attributes = list(relation.schema.attribute_names)
+    if not attributes or len(relation) == 0:
+        return []
+    constrained_x = {tuple(c.x) for c in constraints}
+
+    candidates: List[Tuple[str, ...]] = []
+    for size in range(1, max_x_size + 1):
+        for combo in itertools.combinations(attributes, size):
+            if combo in constrained_x:
+                continue
+            candidates.append(combo)
+            if len(candidates) >= max_candidates:
+                break
+        if len(candidates) >= max_candidates:
+            break
+
+    families: List[FamilySpec] = []
+    for x in candidates:
+        y = tuple(a for a in attributes if a not in x)
+        if not y:
+            continue
+        group_size = _max_group_size(relation, x)
+        if group_size >= min_group_size:
+            families.append(FamilySpec(relation=relation.schema.name, x=x, y=y))
+    return families
+
+
+def discover(
+    database: Database,
+    max_n: int = 1000,
+    max_constraints_per_relation: int = 4,
+    max_families_per_relation: int = 2,
+) -> List[DiscoveryReport]:
+    """Mine constraints and template families for every relation of a database."""
+    reports: List[DiscoveryReport] = []
+    for relation_name in database.relation_names:
+        relation = database.relation(relation_name)
+        constraints = discover_constraints(relation, max_n=max_n)
+        # Prefer the tightest constraints (smallest N).
+        constraints.sort(key=lambda c: (c.n or 0, len(c.x)))
+        constraints = constraints[:max_constraints_per_relation]
+        families = discover_families(relation, constraints)[:max_families_per_relation]
+        reports.append(
+            DiscoveryReport(
+                relation=relation_name,
+                constraints=tuple(constraints),
+                families=tuple(families),
+            )
+        )
+    return reports

@@ -1,0 +1,32 @@
+"""Accuracy measures: RC (the paper's), MAC, F-measure and Hausdorff."""
+
+from .fmeasure import FMeasureResult, f_measure
+from .hausdorff import directed_distance, hausdorff_accuracy, hausdorff_distance
+from .mac import MACResult, mac_accuracy, mac_distance
+from .rc import (
+    RCResult,
+    RelevanceCandidate,
+    coverage_distance,
+    max_coverage_distance,
+    rc_accuracy,
+    relevance_candidates,
+    relevance_distance,
+)
+
+__all__ = [
+    "FMeasureResult",
+    "MACResult",
+    "RCResult",
+    "RelevanceCandidate",
+    "coverage_distance",
+    "directed_distance",
+    "f_measure",
+    "hausdorff_accuracy",
+    "hausdorff_distance",
+    "mac_accuracy",
+    "mac_distance",
+    "max_coverage_distance",
+    "rc_accuracy",
+    "relevance_candidates",
+    "relevance_distance",
+]

@@ -1,0 +1,45 @@
+"""Counting-based accuracy: precision, recall and the F-measure.
+
+The paper uses the F-measure as the representative counting-based metric
+(Example 2): ``precision = |S ∩ Q(D)| / |S|``, ``recall = |S ∩ Q(D)| / |Q(D)|``
+and their harmonic mean.  Counting-based metrics treat any answer that is not
+*exactly* an exact answer as worthless, which is why resource-bounded
+approximations typically score 0 under them — the motivating observation for
+the RC measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class FMeasureResult:
+    """Precision, recall and F-measure of an approximate answer set."""
+
+    precision: float
+    recall: float
+    f_measure: float
+
+
+def f_measure(approx: Relation, exact: Relation) -> FMeasureResult:
+    """Compute precision / recall / F-measure of ``approx`` against ``exact``.
+
+    Conventions: when both sets are empty, all three values are 1 (the answer
+    is trivially perfect); when exactly one is empty, precision/recall default
+    to 0 where undefined and the F-measure is 0.
+    """
+    approx_set = approx.to_set()
+    exact_set = exact.to_set()
+
+    if not approx_set and not exact_set:
+        return FMeasureResult(1.0, 1.0, 1.0)
+
+    overlap = len(approx_set & exact_set)
+    precision = overlap / len(approx_set) if approx_set else 0.0
+    recall = overlap / len(exact_set) if exact_set else 0.0
+    if precision + recall == 0:
+        return FMeasureResult(precision, recall, 0.0)
+    return FMeasureResult(precision, recall, 2 * precision * recall / (precision + recall))

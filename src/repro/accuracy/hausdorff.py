@@ -1,0 +1,48 @@
+"""Hausdorff distance between answer sets.
+
+A classic distance-based comparison of two point sets [Huttenlocher et al.]:
+the directed distance from ``A`` to ``B`` is ``max_{a∈A} min_{b∈B} d(a, b)``
+and the Hausdorff distance is the maximum of the two directions.  The RC
+measure's coverage component corresponds to the directed distance from the
+exact answers to the approximate answers; Hausdorff symmetrises it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..relational.distance import INFINITY, tuple_distance
+from ..relational.relation import Relation, Row
+from ..relational.schema import RelationSchema
+
+
+def directed_distance(source: Relation, target: Relation, schema: RelationSchema) -> float:
+    """``max_{a ∈ source} min_{b ∈ target} d(a, b)``."""
+    if len(source) == 0:
+        return 0.0
+    if len(target) == 0:
+        return INFINITY
+    distances = [a.distance for a in schema.attributes]
+    worst = 0.0
+    target_rows = list(target.rows)
+    for row in source:
+        best = min(tuple_distance(row, other, distances) for other in target_rows)
+        if best > worst:
+            worst = best
+        if worst == INFINITY:
+            break
+    return worst
+
+
+def hausdorff_distance(approx: Relation, exact: Relation, schema: RelationSchema) -> float:
+    """Symmetric Hausdorff distance between the two answer sets."""
+    return max(
+        directed_distance(approx, exact, schema),
+        directed_distance(exact, approx, schema),
+    )
+
+
+def hausdorff_accuracy(approx: Relation, exact: Relation, schema: RelationSchema) -> float:
+    """Hausdorff distance mapped to an accuracy in ``[0, 1]`` via ``1/(1+d)``."""
+    d = hausdorff_distance(approx, exact, schema)
+    return 0.0 if d == INFINITY else 1.0 / (1.0 + d)

@@ -1,0 +1,63 @@
+"""MAC — the set-valued answer accuracy measure of Ioannidis & Poosala.
+
+The histogram baseline of the paper (Histo, [27]) evaluates approximate
+set-valued answers with MAC ("Match And Compare"): a symmetric, distance-based
+comparison of the approximate and exact answer sets, where each element is
+matched to its closest counterpart in the other set and the per-element
+distances are averaged.  The paper normalises MAC accuracy into ``[0, 1]``;
+we follow the same convention by mapping the averaged distance ``d`` to
+``1 / (1 + d)``.
+
+The exact matching procedure of [27] (a minimum-cost assignment) is replaced
+by the standard closest-counterpart approximation, which is the form used in
+follow-up work and is monotone in the same quantities; this is documented as
+a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.distance import INFINITY, tuple_distance
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class MACResult:
+    """MAC distance and its normalised accuracy."""
+
+    distance: float
+    accuracy: float
+
+
+def mac_distance(approx: Relation, exact: Relation, schema: RelationSchema) -> float:
+    """Average closest-counterpart distance, symmetrised over both directions."""
+    if len(approx) == 0 and len(exact) == 0:
+        return 0.0
+    if len(approx) == 0 or len(exact) == 0:
+        return INFINITY
+    distances = [a.distance for a in schema.attributes]
+
+    def directed_mean(source: Relation, target: Relation) -> float:
+        target_rows = list(target.rows)
+        total = 0.0
+        for row in source:
+            best = min(tuple_distance(row, other, distances) for other in target_rows)
+            if best == INFINITY:
+                return INFINITY
+            total += best
+        return total / len(source)
+
+    forward = directed_mean(exact, approx)
+    backward = directed_mean(approx, exact)
+    if forward == INFINITY or backward == INFINITY:
+        return INFINITY
+    return (forward + backward) / 2.0
+
+
+def mac_accuracy(approx: Relation, exact: Relation, schema: RelationSchema) -> MACResult:
+    """MAC measure normalised to ``[0, 1]`` (1 = identical answer sets)."""
+    d = mac_distance(approx, exact, schema)
+    accuracy = 0.0 if d == INFINITY else 1.0 / (1.0 + d)
+    return MACResult(distance=d, accuracy=accuracy)

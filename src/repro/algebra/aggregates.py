@@ -1,0 +1,74 @@
+"""Aggregate functions for RA_aggr queries.
+
+The paper's ``RA_aggr`` extends RA with a group-by construct
+``gpBy(Q', X, agg(V))`` where ``agg`` is one of ``min``, ``max``, ``avg``,
+``sum`` or ``count``.  This module defines those functions, including
+*weighted* variants used when the aggregate is evaluated over representative
+tuples carrying duplicate counts (Section 7: for ``sum``/``avg``/``count``
+the access-template index returns the number of occurrences each
+representative stands for).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+
+
+class AggregateFunction(enum.Enum):
+    """The five aggregate functions of RA_aggr."""
+
+    MIN = "min"
+    MAX = "max"
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+
+    @classmethod
+    def parse(cls, name: str) -> "AggregateFunction":
+        try:
+            return cls(name.strip().lower())
+        except ValueError:
+            raise QueryError(f"unknown aggregate function {name!r}") from None
+
+    @property
+    def needs_counts(self) -> bool:
+        """Whether bag multiplicities matter (Section 7's index extension)."""
+        return self in (AggregateFunction.SUM, AggregateFunction.COUNT, AggregateFunction.AVG)
+
+    # -- evaluation ----------------------------------------------------------
+    def apply(self, values: Sequence[object]) -> Optional[object]:
+        """Aggregate a plain sequence of values (bag semantics, weight 1)."""
+        return self.apply_weighted([(v, 1.0) for v in values])
+
+    def apply_weighted(self, weighted_values: Sequence[Tuple[object, float]]) -> Optional[object]:
+        """Aggregate ``(value, weight)`` pairs.
+
+        ``weight`` is the number of original tuples a representative stands
+        for.  ``min``/``max`` ignore weights; ``count`` sums them; ``sum`` and
+        ``avg`` scale each value by its weight.
+        Returns ``None`` on an empty input (SQL-style).
+        """
+        pairs = [(v, w) for v, w in weighted_values if v is not None or self is AggregateFunction.COUNT]
+        if not pairs:
+            return None
+        if self is AggregateFunction.MIN:
+            return min(v for v, _ in pairs)
+        if self is AggregateFunction.MAX:
+            return max(v for v, _ in pairs)
+        if self is AggregateFunction.COUNT:
+            return sum(w for _, w in pairs)
+        if self is AggregateFunction.SUM:
+            return sum(float(v) * w for v, w in pairs)
+        if self is AggregateFunction.AVG:
+            total_weight = sum(w for _, w in pairs)
+            if total_weight == 0:
+                return None
+            return sum(float(v) * w for v, w in pairs) / total_weight
+        raise QueryError(f"unsupported aggregate {self}")  # pragma: no cover
+
+    def output_name(self, attribute: str) -> str:
+        """Conventional output column name, e.g. ``count(address)``."""
+        return f"{self.value}({attribute})"

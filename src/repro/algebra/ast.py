@@ -1,0 +1,303 @@
+"""Relational-algebra AST for RA and RA_aggr queries.
+
+Operators: scan (with alias), selection, projection, Cartesian product,
+union, set difference, renaming and group-by aggregation.  Every node can
+compute its output :class:`~repro.relational.schema.RelationSchema` against a
+database schema; output attributes are qualified as ``alias.attribute`` so
+that predicates and downstream operators can refer to them unambiguously, and
+they inherit the distance functions of the base attributes (needed by the RC
+measure and by relaxed evaluation plans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import QueryError
+from ..relational.distance import NUMERIC, TRIVIAL, DistanceFunction
+from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
+from .aggregates import AggregateFunction
+from .predicates import AttrRef, Comparison, Conjunction, Const
+
+
+class QueryNode:
+    """Base class of all RA / RA_aggr operators."""
+
+    def children(self) -> List["QueryNode"]:
+        """Direct child operators."""
+        raise NotImplementedError
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        """The schema of this operator's result."""
+        raise NotImplementedError
+
+    # -- classification helpers ----------------------------------------------
+    def walk(self) -> List["QueryNode"]:
+        """All nodes of the subtree, pre-order."""
+        nodes: List[QueryNode] = [self]
+        for child in self.children():
+            nodes.extend(child.walk())
+        return nodes
+
+    def scans(self) -> List["Scan"]:
+        """All relation scans in the subtree."""
+        return [node for node in self.walk() if isinstance(node, Scan)]
+
+    def has_difference(self) -> bool:
+        return any(isinstance(node, Difference) for node in self.walk())
+
+    def has_union(self) -> bool:
+        return any(isinstance(node, Union) for node in self.walk())
+
+    def has_aggregate(self) -> bool:
+        return any(isinstance(node, GroupBy) for node in self.walk())
+
+    def is_spc(self) -> bool:
+        """True when the subtree uses only σ, π, × and scans (an SPC query)."""
+        return all(
+            isinstance(node, (Scan, Select, Project, Product, Rename))
+            for node in self.walk()
+        )
+
+    def selection_count(self) -> int:
+        """Number of atomic comparisons across all selections (``#-sel``)."""
+        return sum(
+            len(node.condition)
+            for node in self.walk()
+            if isinstance(node, Select)
+        )
+
+    def product_count(self) -> int:
+        """Number of Cartesian products in the query (``#-prod``)."""
+        return sum(1 for node in self.walk() if isinstance(node, Product))
+
+    def relation_count(self) -> int:
+        """``||Q||`` — the number of relation atoms in the query."""
+        return len(self.scans())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class Scan(QueryNode):
+    """A base-relation atom ``R as alias`` (alias defaults to the name)."""
+
+    relation: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.relation
+
+    def children(self) -> List[QueryNode]:
+        return []
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        base = db_schema.relation(self.relation)
+        alias = self.effective_alias
+        attrs = [Attribute(f"{alias}.{a.name}", a.distance) for a in base.attributes]
+        return RelationSchema(alias, attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Scan({self.relation} as {self.effective_alias})"
+
+
+@dataclass(frozen=True, repr=False)
+class Select(QueryNode):
+    """Selection ``σ_condition(child)``."""
+
+    child: QueryNode
+    condition: Conjunction
+
+    def children(self) -> List[QueryNode]:
+        return [self.child]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        return self.child.output_schema(db_schema)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Select({self.condition})"
+
+
+@dataclass(frozen=True, repr=False)
+class Project(QueryNode):
+    """Projection ``π_columns(child)``.
+
+    ``columns`` are attribute references into the child's output; output
+    attribute names keep the qualified form of the reference.
+    """
+
+    child: QueryNode
+    columns: Tuple[AttrRef, ...]
+
+    def children(self) -> List[QueryNode]:
+        return [self.child]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        child_schema = self.child.output_schema(db_schema)
+        attrs = []
+        for ref in self.columns:
+            name = resolve_attribute(child_schema, ref)
+            attrs.append(child_schema.attribute(name))
+        return RelationSchema("π", attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Project({', '.join(c.qualified for c in self.columns)})"
+
+
+@dataclass(frozen=True, repr=False)
+class Product(QueryNode):
+    """Cartesian product ``left × right``."""
+
+    left: QueryNode
+    right: QueryNode
+
+    def children(self) -> List[QueryNode]:
+        return [self.left, self.right]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        left_schema = self.left.output_schema(db_schema)
+        right_schema = self.right.output_schema(db_schema)
+        names = set(left_schema.attribute_names) & set(right_schema.attribute_names)
+        if names:
+            raise QueryError(f"Cartesian product has ambiguous attributes: {sorted(names)}")
+        return RelationSchema("×", left_schema.attributes + right_schema.attributes)
+
+
+@dataclass(frozen=True, repr=False)
+class Union(QueryNode):
+    """Set union ``left ∪ right`` (union-compatible children)."""
+
+    left: QueryNode
+    right: QueryNode
+
+    def children(self) -> List[QueryNode]:
+        return [self.left, self.right]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        left_schema = self.left.output_schema(db_schema)
+        right_schema = self.right.output_schema(db_schema)
+        if len(left_schema) != len(right_schema):
+            raise QueryError("union of queries with different arities")
+        return left_schema
+
+
+@dataclass(frozen=True, repr=False)
+class Difference(QueryNode):
+    """Set difference ``left − right`` (union-compatible children)."""
+
+    left: QueryNode
+    right: QueryNode
+
+    def children(self) -> List[QueryNode]:
+        return [self.left, self.right]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        left_schema = self.left.output_schema(db_schema)
+        right_schema = self.right.output_schema(db_schema)
+        if len(left_schema) != len(right_schema):
+            raise QueryError("difference of queries with different arities")
+        return left_schema
+
+
+@dataclass(frozen=True, repr=False)
+class Rename(QueryNode):
+    """Renaming ``ρ``: give the child's output attributes new names."""
+
+    child: QueryNode
+    mapping: Tuple[Tuple[str, str], ...]  # (old_name, new_name) pairs
+
+    def children(self) -> List[QueryNode]:
+        return [self.child]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        child_schema = self.child.output_schema(db_schema)
+        rename_map = dict(self.mapping)
+        attrs = [
+            Attribute(rename_map.get(a.name, a.name), a.distance)
+            for a in child_schema.attributes
+        ]
+        return RelationSchema(child_schema.name, attrs)
+
+
+@dataclass(frozen=True, repr=False)
+class GroupBy(QueryNode):
+    """Aggregation ``gpBy(child, group_columns, agg(agg_column))``.
+
+    The output schema is the group-by columns followed by one aggregate
+    column named ``agg(attribute)``; the aggregate column always uses the
+    numeric distance (aggregate values are compared by ``|v - v'|``,
+    Section 3.2).
+    """
+
+    child: QueryNode
+    group_columns: Tuple[AttrRef, ...]
+    aggregate: AggregateFunction
+    agg_column: AttrRef
+
+    def children(self) -> List[QueryNode]:
+        return [self.child]
+
+    def output_schema(self, db_schema: DatabaseSchema) -> RelationSchema:
+        child_schema = self.child.output_schema(db_schema)
+        attrs = []
+        for ref in self.group_columns:
+            name = resolve_attribute(child_schema, ref)
+            attrs.append(child_schema.attribute(name))
+        agg_name = self.aggregate.output_name(self.agg_column.qualified)
+        attrs.append(Attribute(agg_name, NUMERIC))
+        return RelationSchema("γ", attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        cols = ", ".join(c.qualified for c in self.group_columns)
+        return f"GroupBy([{cols}], {self.aggregate.value}({self.agg_column.qualified}))"
+
+
+# -- attribute resolution -------------------------------------------------------
+
+def resolve_attribute(schema: RelationSchema, ref: AttrRef) -> str:
+    """Resolve an :class:`AttrRef` against an output schema.
+
+    Accepts an exact qualified match (``alias.attr``), or an unqualified
+    attribute name when it is unambiguous among the schema's attributes.
+    """
+    qualified = ref.qualified
+    if qualified in schema:
+        return qualified
+    # Unqualified (or differently-qualified) lookup by suffix match.
+    candidates = [
+        name
+        for name in schema.attribute_names
+        if name == ref.attribute or name.endswith(f".{ref.attribute}")
+    ]
+    if ref.alias:
+        candidates = [
+            name for name in candidates if name.startswith(f"{ref.alias}.") or name == qualified
+        ]
+    if len(candidates) == 1:
+        return candidates[0]
+    if not candidates:
+        raise QueryError(
+            f"attribute {qualified!r} not found in schema {list(schema.attribute_names)}"
+        )
+    raise QueryError(f"attribute {qualified!r} is ambiguous: matches {candidates}")
+
+
+def condition_on(schema: RelationSchema, condition: Conjunction) -> Conjunction:
+    """Re-resolve every attribute reference in ``condition`` against ``schema``.
+
+    Returns an equivalent condition whose references use the schema's exact
+    qualified names — handy before evaluating or relaxing the condition.
+    """
+    resolved: List[Comparison] = []
+    for comparison in condition:
+        left = comparison.left
+        right = comparison.right
+        if isinstance(left, AttrRef):
+            left = AttrRef.parse(resolve_attribute(schema, left))
+        if isinstance(right, AttrRef):
+            right = AttrRef.parse(resolve_attribute(schema, right))
+        resolved.append(Comparison(left, comparison.op, right))
+    return Conjunction.of(resolved)

@@ -1,0 +1,483 @@
+"""Evaluation of RA / RA_aggr queries over relation instances.
+
+This evaluator serves two callers:
+
+* **Exact evaluation** — computing ground-truth answers ``Q(D)`` for the RC /
+  MAC / F-measure computations and for the exact baseline.  Scans read base
+  relations (optionally charging an access meter).
+* **Plan evaluation** — the BEAS executor evaluates the *evaluation plan*
+  ``ξ_E`` over the data fetched by the fetching plan ``ξ_F``.  It supplies a
+  custom :class:`RelationProvider` mapping each scan alias to its fetched
+  (approximate) tuples, a per-attribute *relaxation* map describing how much
+  selection conditions must be loosened to compensate for access-template
+  resolutions (Section 5, "evaluation plan"), and per-tuple weights so that
+  ``sum``/``count``/``avg`` can account for collapsed duplicates (Section 7).
+
+Joins are evaluated hash-join-style from the SPC canonical form so that exact
+answers over multi-million-row products stay tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError, QueryError
+from ..relational.database import AccessMeter, Database
+from ..relational.distance import INFINITY
+from ..relational.relation import Relation, Row
+from ..relational.schema import DatabaseSchema, RelationSchema
+from .ast import (
+    Difference,
+    GroupBy,
+    Product,
+    Project,
+    QueryNode,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    condition_on,
+    resolve_attribute,
+)
+from .predicates import AttrRef, Comparison, CompareOp, Conjunction, Const
+from .spc import SPCQuery, to_spc
+
+
+@dataclass
+class Frame:
+    """An intermediate result: rows under a schema, with per-row weights."""
+
+    schema: RelationSchema
+    rows: List[Row]
+    weights: List[float]
+
+    @classmethod
+    def from_relation(cls, relation: Relation, weights: Optional[Sequence[float]] = None) -> "Frame":
+        rows = list(relation.rows)
+        if weights is None:
+            weights = [1.0] * len(rows)
+        else:
+            weights = list(weights)
+            if len(weights) != len(rows):
+                raise EvaluationError("weights length does not match relation size")
+        return cls(relation.schema, rows, weights)
+
+    def to_relation(self, distinct: bool = False) -> Relation:
+        relation = Relation(self.schema, self.rows)
+        return relation.distinct() if distinct else relation
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class RelationProvider:
+    """Maps a :class:`Scan` node to the tuples it should read."""
+
+    def frame_for(self, scan: Scan, output_schema: RelationSchema) -> Frame:
+        raise NotImplementedError
+
+
+class DatabaseProvider(RelationProvider):
+    """Reads scans from a :class:`Database`, charging the access meter."""
+
+    def __init__(self, database: Database, meter: Optional[AccessMeter] = None) -> None:
+        self.database = database
+        self.meter = meter
+
+    def frame_for(self, scan: Scan, output_schema: RelationSchema) -> Frame:
+        relation = self.database.scan(scan.relation, self.meter)
+        return Frame(output_schema, list(relation.rows), [1.0] * len(relation))
+
+
+class MappingProvider(RelationProvider):
+    """Reads scans from pre-computed (e.g. fetched) per-alias frames."""
+
+    def __init__(self, frames: Mapping[str, Frame]) -> None:
+        self.frames = dict(frames)
+
+    def frame_for(self, scan: Scan, output_schema: RelationSchema) -> Frame:
+        alias = scan.effective_alias
+        if alias not in self.frames:
+            raise EvaluationError(f"no fetched data available for relation atom {alias!r}")
+        frame = self.frames[alias]
+        # Re-order/select columns to match the expected output schema.
+        positions = []
+        for name in output_schema.attribute_names:
+            if name in frame.schema:
+                positions.append(frame.schema.position(name))
+            else:
+                raise EvaluationError(
+                    f"fetched data for atom {alias!r} is missing attribute {name!r}"
+                )
+        rows = [tuple(row[p] for p in positions) for row in frame.rows]
+        return Frame(output_schema, rows, list(frame.weights))
+
+
+class Evaluator:
+    """Evaluates query ASTs against a relation provider.
+
+    Args:
+        db_schema: the database schema queries are posed against.
+        provider: where scans read their tuples from.
+        relaxation: per-qualified-attribute slack used to relax selection
+            conditions (empty for exact evaluation).
+        needed_attributes: optional restriction — when a
+            :class:`MappingProvider` only has a subset of each atom's
+            attributes (the ones the chase covered), scans are narrowed to
+            these attributes.
+    """
+
+    def __init__(
+        self,
+        db_schema: DatabaseSchema,
+        provider: RelationProvider,
+        relaxation: Optional[Mapping[str, float]] = None,
+        needed_attributes: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> None:
+        self.db_schema = db_schema
+        self.provider = provider
+        self.relaxation = dict(relaxation or {})
+        self.needed_attributes = {k: list(v) for k, v in (needed_attributes or {}).items()}
+
+    # -- public entry point -------------------------------------------------
+    def evaluate(self, node: QueryNode) -> Relation:
+        """Evaluate ``node`` and return its result relation.
+
+        Non-aggregate results are deduplicated (set semantics); aggregate
+        results are already one row per group.
+        """
+        frame = self._eval(node)
+        distinct = not isinstance(node, GroupBy)
+        return frame.to_relation(distinct=distinct)
+
+    def evaluate_frame(self, node: QueryNode) -> Frame:
+        """Evaluate and return the raw frame (bag semantics, with weights)."""
+        return self._eval(node)
+
+    # -- node dispatch --------------------------------------------------------
+    def _eval(self, node: QueryNode) -> Frame:
+        if node.is_spc():
+            return self._eval_spc(to_spc(node))
+        if isinstance(node, Union):
+            return self._eval_union(node)
+        if isinstance(node, Difference):
+            return self._eval_difference(node)
+        if isinstance(node, GroupBy):
+            return self._eval_groupby(node)
+        if isinstance(node, Project):
+            return self._eval_project(node)
+        if isinstance(node, Select):
+            child = self._eval(node.child)
+            return self._filter(child, node.condition)
+        if isinstance(node, Rename):
+            child = self._eval(node.child)
+            schema = node.output_schema(self.db_schema)
+            return Frame(schema, child.rows, child.weights)
+        if isinstance(node, Product):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            return self._product(left, right)
+        raise EvaluationError(f"unsupported query node {type(node).__name__}")
+
+    # -- scans -----------------------------------------------------------------
+    def _scan_frame(self, scan: Scan) -> Frame:
+        schema = scan.output_schema(self.db_schema)
+        alias = scan.effective_alias
+        if alias in self.needed_attributes:
+            keep = [
+                name
+                for name in schema.attribute_names
+                if name.split(".", 1)[1] in self.needed_attributes[alias]
+            ]
+            if keep:
+                schema = schema.project(keep, name=alias)
+        return self.provider.frame_for(scan, schema)
+
+    # -- SPC evaluation (join-aware) ----------------------------------------------
+    def _eval_spc(self, query: SPCQuery) -> Frame:
+        frames: Dict[str, Frame] = {}
+        for alias, relation_name in query.atoms.items():
+            frame = self._scan_frame(Scan(relation_name, alias))
+            local = self._local_condition(query, alias, frame.schema)
+            if local:
+                frame = self._filter(frame, local)
+            frames[alias] = frame
+
+        joined = self._join_all(frames, query)
+
+        # Re-apply every attr/attr predicate as a residual filter.  Equality
+        # predicates that drove hash joins are re-checked (harmless), and this
+        # also covers same-atom comparisons, cycles in the join graph, and
+        # non-equality joins, none of which the greedy join pass enforces.
+        residual = [c for c in query.condition if c.is_attr_attr]
+        if residual:
+            joined = self._filter(joined, Conjunction.of(residual))
+
+        if query.output:
+            joined = self._project_frame(joined, query.output)
+        return joined
+
+    def _local_condition(self, query: SPCQuery, alias: str, schema: RelationSchema) -> Conjunction:
+        """Attr/const predicates of ``query`` touching only atom ``alias``."""
+        local: List[Comparison] = []
+        for comparison in query.condition:
+            comparison = comparison.normalized()
+            if not comparison.is_attr_const:
+                continue
+            ref = comparison.attributes()[0]
+            if ref.alias == alias or (ref.alias is None and f"{alias}.{ref.attribute}" in schema):
+                local.append(comparison)
+        return Conjunction.of(local)
+
+    def _join_all(self, frames: Dict[str, Frame], query: SPCQuery) -> Frame:
+        """Greedy hash-join of all atoms along equality join predicates."""
+        equalities = [c for c in query.join_predicates() if c.op.is_equality]
+        remaining = dict(frames)
+        # Start from the smallest frame for a cheap build side.
+        current_alias = min(remaining, key=lambda a: len(remaining[a]))
+        current = remaining.pop(current_alias)
+        joined_aliases = {current_alias}
+
+        while remaining:
+            # Find an equality predicate connecting the joined part to a new atom.
+            next_alias = None
+            join_pairs: List[Tuple[str, str]] = []
+            for comparison in equalities:
+                left, right = comparison.attributes()
+                if left.alias in joined_aliases and right.alias in remaining:
+                    candidate = right.alias
+                elif right.alias in joined_aliases and left.alias in remaining:
+                    candidate = left.alias
+                else:
+                    continue
+                if next_alias is None or candidate == next_alias:
+                    next_alias = candidate
+            if next_alias is None:
+                # No connecting predicate: Cartesian product with the smallest.
+                next_alias = min(remaining, key=lambda a: len(remaining[a]))
+                current = self._product(current, remaining.pop(next_alias))
+                joined_aliases.add(next_alias)
+                continue
+
+            other = remaining.pop(next_alias)
+            keys_left: List[str] = []
+            keys_right: List[str] = []
+            for comparison in equalities:
+                left, right = comparison.attributes()
+                if left.alias in joined_aliases and right.alias == next_alias:
+                    keys_left.append(resolve_attribute(current.schema, left))
+                    keys_right.append(resolve_attribute(other.schema, right))
+                elif right.alias in joined_aliases and left.alias == next_alias:
+                    keys_left.append(resolve_attribute(current.schema, right))
+                    keys_right.append(resolve_attribute(other.schema, left))
+            current = self._hash_join(current, other, keys_left, keys_right)
+            joined_aliases.add(next_alias)
+        return current
+
+    def _hash_join(
+        self,
+        left: Frame,
+        right: Frame,
+        keys_left: Sequence[str],
+        keys_right: Sequence[str],
+    ) -> Frame:
+        """Equality join of two frames, relaxation-aware on the join keys.
+
+        When any join key carries a positive relaxation slack (because the
+        attribute was fetched via an access template with non-zero
+        resolution), the equality is loosened to "within slack" on that key —
+        falling back to a filtered nested-loop join for those keys.
+        """
+        slack = [
+            self.relaxation.get(kl, 0.0) + self.relaxation.get(kr, 0.0)
+            for kl, kr in zip(keys_left, keys_right)
+        ]
+        # Infinite resolutions cannot be compensated by relaxation (the bound
+        # is 0 already); joining everything with everything would only produce
+        # noise, so such keys keep their strict equality semantics.
+        slack = [0.0 if s == INFINITY else s for s in slack]
+        out_schema = RelationSchema("⋈", left.schema.attributes + right.schema.attributes)
+        rows: List[Row] = []
+        weights: List[float] = []
+
+        if all(s == 0.0 for s in slack):
+            positions_left = left.schema.positions(keys_left)
+            positions_right = right.schema.positions(keys_right)
+            buckets: Dict[Tuple[object, ...], List[int]] = {}
+            for i, row in enumerate(right.rows):
+                key = tuple(row[p] for p in positions_right)
+                buckets.setdefault(key, []).append(i)
+            for i, row in enumerate(left.rows):
+                key = tuple(row[p] for p in positions_left)
+                for j in buckets.get(key, ()):  # type: ignore[arg-type]
+                    rows.append(row + right.rows[j])
+                    weights.append(left.weights[i] * right.weights[j])
+            return Frame(out_schema, rows, weights)
+
+        # Relaxed join: nested loop with per-key distance checks.
+        positions_left = left.schema.positions(keys_left)
+        positions_right = right.schema.positions(keys_right)
+        distances = [left.schema.attribute(k).distance for k in keys_left]
+        for i, lrow in enumerate(left.rows):
+            for j, rrow in enumerate(right.rows):
+                ok = True
+                for pl, pr, dist, s in zip(positions_left, positions_right, distances, slack):
+                    if dist(lrow[pl], rrow[pr]) > s:
+                        ok = False
+                        break
+                if ok:
+                    rows.append(lrow + rrow)
+                    weights.append(left.weights[i] * right.weights[j])
+        return Frame(out_schema, rows, weights)
+
+    # -- generic operators ----------------------------------------------------
+    def _product(self, left: Frame, right: Frame) -> Frame:
+        schema = RelationSchema("×", left.schema.attributes + right.schema.attributes)
+        rows: List[Row] = []
+        weights: List[float] = []
+        for i, lrow in enumerate(left.rows):
+            for j, rrow in enumerate(right.rows):
+                rows.append(lrow + rrow)
+                weights.append(left.weights[i] * right.weights[j])
+        return Frame(schema, rows, weights)
+
+    def _project_frame(self, frame: Frame, columns: Sequence[AttrRef]) -> Frame:
+        names = [resolve_attribute(frame.schema, ref) for ref in columns]
+        positions = frame.schema.positions(names)
+        schema = RelationSchema("π", tuple(frame.schema.attributes[p] for p in positions))
+        rows = [tuple(row[p] for p in positions) for row in frame.rows]
+        return Frame(schema, rows, list(frame.weights))
+
+    def _eval_project(self, node: Project) -> Frame:
+        child = self._eval(node.child)
+        return self._project_frame(child, node.columns)
+
+    def _eval_union(self, node: Union) -> Frame:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        seen: Dict[Row, float] = {}
+        for frame in (left, right):
+            for row, weight in zip(frame.rows, frame.weights):
+                if row not in seen:
+                    seen[row] = weight
+        return Frame(left.schema, list(seen.keys()), list(seen.values()))
+
+    def _eval_difference(self, node: Difference) -> Frame:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        removed = set(right.rows)
+        rows, weights = [], []
+        for row, weight in zip(left.rows, left.weights):
+            if row not in removed:
+                rows.append(row)
+                weights.append(weight)
+        return Frame(left.schema, rows, weights)
+
+    def _eval_groupby(self, node: GroupBy) -> Frame:
+        child = self._eval(node.child)
+        out_schema = node.output_schema(self.db_schema)
+        group_names = [resolve_attribute(child.schema, ref) for ref in node.group_columns]
+        group_positions = child.schema.positions(group_names)
+        agg_name = resolve_attribute(child.schema, node.agg_column)
+        agg_position = child.schema.position(agg_name)
+
+        groups: Dict[Tuple[object, ...], List[Tuple[object, float]]] = {}
+        for row, weight in zip(child.rows, child.weights):
+            key = tuple(row[p] for p in group_positions)
+            groups.setdefault(key, []).append((row[agg_position], weight))
+
+        rows: List[Row] = []
+        for key, pairs in groups.items():
+            value = node.aggregate.apply_weighted(pairs)
+            rows.append(key + (value,))
+        return Frame(out_schema, rows, [1.0] * len(rows))
+
+    # -- selection with relaxation --------------------------------------------
+    def _filter(self, frame: Frame, condition: Conjunction) -> Frame:
+        if not condition:
+            return frame
+        condition = condition_on(frame.schema, condition)
+        checks = [self._compile_comparison(frame.schema, c) for c in condition]
+        rows, weights = [], []
+        for row, weight in zip(frame.rows, frame.weights):
+            if all(check(row) for check in checks):
+                rows.append(row)
+                weights.append(weight)
+        return Frame(frame.schema, rows, weights)
+
+    def _compile_comparison(
+        self, schema: RelationSchema, comparison: Comparison
+    ) -> Callable[[Row], bool]:
+        comparison = comparison.normalized()
+        if comparison.is_attr_const:
+            ref = comparison.attributes()[0]
+            name = resolve_attribute(schema, ref)
+            position = schema.position(name)
+            constant = comparison.constant()
+            slack = self.relaxation.get(name, 0.0)
+            distance = schema.attribute(name).distance
+            op = comparison.op
+            # An infinite resolution gives no usable relaxation: the accuracy
+            # bound is already 0, and relaxing by +inf would admit every
+            # tuple, so fall back to the strict condition instead.
+            if slack <= 0 or slack == INFINITY:
+                return lambda row: op.evaluate(row[position], constant)
+            return lambda row: _relaxed_attr_const(row[position], op, constant, slack, distance)
+        if comparison.is_attr_attr:
+            left, right = comparison.attributes()
+            lname = resolve_attribute(schema, left)
+            rname = resolve_attribute(schema, right)
+            lpos, rpos = schema.position(lname), schema.position(rname)
+            slack = self.relaxation.get(lname, 0.0) + self.relaxation.get(rname, 0.0)
+            distance = schema.attribute(lname).distance
+            op = comparison.op
+            if slack <= 0 or slack == INFINITY:
+                return lambda row: op.evaluate(row[lpos], row[rpos])
+            return lambda row: _relaxed_attr_attr(row[lpos], row[rpos], op, slack, distance)
+        raise EvaluationError(f"cannot compile comparison {comparison}")
+
+
+def _relaxed_attr_const(value, op: CompareOp, constant, slack: float, distance) -> bool:
+    """Relaxed evaluation of ``A op c`` with slack (Section 5, ξ_E).
+
+    Equalities become ``dis_A(A, c) <= slack``.  Order comparisons accept any
+    value that satisfies the strict condition *or* lies within ``slack`` of
+    the constant under the attribute's distance function — the slack and the
+    resolution are both expressed in distance units, so a fetched
+    representative standing (within resolution) for a satisfying base tuple
+    is never rejected, which is what the accuracy bound needs.
+    """
+    if op is CompareOp.EQ:
+        return distance(value, constant) <= slack
+    if op is CompareOp.NE:
+        return True if distance(value, constant) > 0 else value != constant
+    if value is None or constant is None:
+        return False
+    strict = op.evaluate(value, constant)
+    if strict:
+        return True
+    return distance(value, constant) <= slack
+
+
+def _relaxed_attr_attr(left, right, op: CompareOp, slack: float, distance) -> bool:
+    """Relaxed evaluation of ``A op B`` with combined slack of both sides."""
+    if op is CompareOp.EQ:
+        return distance(left, right) <= slack
+    if op is CompareOp.NE:
+        return True if distance(left, right) > 0 else left != right
+    if left is None or right is None:
+        return False
+    if op.evaluate(left, right):
+        return True
+    return distance(left, right) <= slack
+
+
+def evaluate_exact(
+    node: QueryNode,
+    database: Database,
+    meter: Optional[AccessMeter] = None,
+) -> Relation:
+    """Compute the exact answers ``Q(D)`` by full evaluation."""
+    evaluator = Evaluator(database.schema, DatabaseProvider(database, meter))
+    return evaluator.evaluate(node)

@@ -1,0 +1,207 @@
+"""Selection predicates.
+
+Queries use conjunctions of atomic comparisons between attribute references
+and constants (``σ_{A=c}``, ``σ_{A<=c}``) or between two attribute references
+(``σ_{A=B}``, ``σ_{A<=B}``), exactly the forms the paper's accuracy measure
+and relaxation machinery handle.
+
+An :class:`AttrRef` names an attribute of the query's *output* (or of an
+intermediate operator's output) by its qualified name ``alias.attribute``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import QueryError
+
+
+@dataclass(frozen=True)
+class AttrRef:
+    """Reference to an attribute, optionally qualified by a relation alias."""
+
+    alias: Optional[str]
+    attribute: str
+
+    @property
+    def qualified(self) -> str:
+        """``alias.attribute`` when qualified, else just ``attribute``."""
+        return f"{self.alias}.{self.attribute}" if self.alias else self.attribute
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return self.qualified
+
+    @classmethod
+    def parse(cls, text: str) -> "AttrRef":
+        """Parse ``"alias.attr"`` or ``"attr"`` into an :class:`AttrRef`."""
+        if "." in text:
+            alias, attr = text.split(".", 1)
+            return cls(alias, attr)
+        return cls(None, text)
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal constant appearing in a query."""
+
+    value: object
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return repr(self.value)
+
+
+Operand = Union[AttrRef, Const]
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators supported in selection conditions."""
+
+    EQ = "="
+    NE = "!="
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+
+    def evaluate(self, left: object, right: object) -> bool:
+        """Apply the operator to two concrete values."""
+        if self is CompareOp.EQ:
+            return left == right
+        if self is CompareOp.NE:
+            return left != right
+        if left is None or right is None:
+            return False
+        try:
+            if self is CompareOp.LE:
+                return left <= right  # type: ignore[operator]
+            if self is CompareOp.LT:
+                return left < right  # type: ignore[operator]
+            if self is CompareOp.GE:
+                return left >= right  # type: ignore[operator]
+            if self is CompareOp.GT:
+                return left > right  # type: ignore[operator]
+        except TypeError:
+            return False
+        raise QueryError(f"unsupported comparison operator {self}")
+
+    @property
+    def is_equality(self) -> bool:
+        return self is CompareOp.EQ
+
+    @property
+    def is_inequality_range(self) -> bool:
+        """True for the order comparisons (<=, <, >=, >)."""
+        return self in (CompareOp.LE, CompareOp.LT, CompareOp.GE, CompareOp.GT)
+
+    @classmethod
+    def parse(cls, symbol: str) -> "CompareOp":
+        for op in cls:
+            if op.value == symbol:
+                return op
+        if symbol == "<>":
+            return cls.NE
+        if symbol == "==":
+            return cls.EQ
+        raise QueryError(f"unknown comparison operator {symbol!r}")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One atomic comparison ``left op right``."""
+
+    left: Operand
+    op: CompareOp
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if isinstance(self.left, Const) and isinstance(self.right, Const):
+            raise QueryError("comparison between two constants is not a selection")
+
+    # -- structural helpers --------------------------------------------------
+    @property
+    def is_attr_const(self) -> bool:
+        """True for ``A op c`` (in either written order)."""
+        return isinstance(self.left, AttrRef) ^ isinstance(self.right, AttrRef)
+
+    @property
+    def is_attr_attr(self) -> bool:
+        """True for ``A op B``."""
+        return isinstance(self.left, AttrRef) and isinstance(self.right, AttrRef)
+
+    def normalized(self) -> "Comparison":
+        """Rewrite so an attribute is always on the left for attr/const forms."""
+        if isinstance(self.left, Const) and isinstance(self.right, AttrRef):
+            flipped = {
+                CompareOp.LE: CompareOp.GE,
+                CompareOp.LT: CompareOp.GT,
+                CompareOp.GE: CompareOp.LE,
+                CompareOp.GT: CompareOp.LT,
+                CompareOp.EQ: CompareOp.EQ,
+                CompareOp.NE: CompareOp.NE,
+            }[self.op]
+            return Comparison(self.right, flipped, self.left)
+        return self
+
+    def attributes(self) -> List[AttrRef]:
+        """All attribute references used by this comparison."""
+        refs = []
+        for operand in (self.left, self.right):
+            if isinstance(operand, AttrRef):
+                refs.append(operand)
+        return refs
+
+    def constant(self) -> Optional[object]:
+        """The constant operand for attr/const comparisons, else ``None``."""
+        for operand in (self.left, self.right):
+            if isinstance(operand, Const):
+                return operand.value
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of atomic comparisons (the paper's selection condition)."""
+
+    comparisons: Tuple[Comparison, ...]
+
+    @classmethod
+    def of(cls, comparisons: Sequence[Comparison]) -> "Conjunction":
+        return cls(tuple(comparisons))
+
+    @classmethod
+    def true(cls) -> "Conjunction":
+        """The empty (always-true) condition."""
+        return cls(())
+
+    def __iter__(self):
+        return iter(self.comparisons)
+
+    def __len__(self) -> int:
+        return len(self.comparisons)
+
+    def __bool__(self) -> bool:
+        return bool(self.comparisons)
+
+    def and_also(self, other: "Conjunction") -> "Conjunction":
+        """The conjunction of two conditions."""
+        return Conjunction(self.comparisons + other.comparisons)
+
+    def attributes(self) -> List[AttrRef]:
+        """All attribute references mentioned anywhere in the condition."""
+        refs: List[AttrRef] = []
+        for comparison in self.comparisons:
+            refs.extend(comparison.attributes())
+        return refs
+
+    def equality_comparisons(self) -> List[Comparison]:
+        return [c for c in self.comparisons if c.op.is_equality]
+
+    def __str__(self) -> str:  # pragma: no cover - debug helper
+        if not self.comparisons:
+            return "true"
+        return " and ".join(str(c) for c in self.comparisons)

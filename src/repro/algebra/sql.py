@@ -1,0 +1,295 @@
+"""A small SQL-ish parser producing RA / RA_aggr ASTs.
+
+Supported grammar (enough for every query shape used in the paper):
+
+.. code-block:: text
+
+    query      :=  select ( ("union" | "except") select )*
+    select     :=  "select" select_list
+                   "from" table ("," table)*
+                   [ "where" comparison ("and" comparison)* ]
+                   [ "group" "by" column ("," column)* ]
+    select_list:=  item ("," item)*
+    item       :=  column | agg "(" column ")"
+    table      :=  name [ "as" alias ]
+    comparison :=  operand op operand       (op in =, !=, <>, <=, <, >=, >)
+    operand    :=  number | 'string' | "string" | column
+    column     :=  [alias "."] name
+
+``union`` and ``except`` associate left-to-right.  Aggregate selects follow
+the paper's ``gpBy(Q', X, agg(V))`` shape: one aggregate column plus the
+group-by columns.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union as TypingUnion
+
+from ..errors import ParseError
+from .aggregates import AggregateFunction
+from .ast import (
+    Difference,
+    GroupBy,
+    Product,
+    Project,
+    QueryNode,
+    Scan,
+    Select,
+    Union,
+)
+from .predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'[^']*'|"[^"]*")
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<op><=|>=|<>|!=|=|<|>)
+      | (?P<punct>[(),])
+      | (?P<word>[A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "and",
+    "group",
+    "by",
+    "as",
+    "union",
+    "except",
+}
+
+_AGGREGATES = {"min", "max", "sum", "count", "avg"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"cannot tokenize query near {remainder[:30]!r}")
+        pos = match.end()
+        for kind in ("string", "number", "op", "punct", "word"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def _accept_word(self, word: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "word" and token.value.lower() == word:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            token = self._peek()
+            found = token.value if token else "end of query"
+            raise ParseError(f"expected {word!r}, found {found!r}")
+
+    def _expect_punct(self, symbol: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != symbol:
+            raise ParseError(f"expected {symbol!r}, found {token.value!r}")
+
+    # -- grammar ---------------------------------------------------------------
+    def parse_query(self) -> QueryNode:
+        node = self.parse_select()
+        while True:
+            if self._accept_word("union"):
+                node = Union(node, self.parse_select())
+            elif self._accept_word("except"):
+                node = Difference(node, self.parse_select())
+            else:
+                break
+        if self._peek() is not None:
+            raise ParseError(f"unexpected trailing token {self._peek().value!r}")
+        return node
+
+    def parse_select(self) -> QueryNode:
+        self._expect_word("select")
+        select_items = self._parse_select_list()
+        self._expect_word("from")
+        tables = self._parse_from_list()
+        condition = Conjunction.true()
+        if self._accept_word("where"):
+            condition = self._parse_condition()
+        group_columns: List[AttrRef] = []
+        if self._accept_word("group"):
+            self._expect_word("by")
+            group_columns = self._parse_column_list()
+        return self._assemble(select_items, tables, condition, group_columns)
+
+    def _parse_select_list(self) -> List[TypingUnion[AttrRef, Tuple[AggregateFunction, AttrRef]]]:
+        items: List[TypingUnion[AttrRef, Tuple[AggregateFunction, AttrRef]]] = []
+        while True:
+            token = self._next()
+            if token.kind != "word":
+                raise ParseError(f"expected a column or aggregate, found {token.value!r}")
+            word = token.value
+            nxt = self._peek()
+            if word.lower() in _AGGREGATES and nxt is not None and nxt.value == "(":
+                self._expect_punct("(")
+                column_token = self._next()
+                if column_token.kind != "word":
+                    raise ParseError(f"expected column inside aggregate, found {column_token.value!r}")
+                self._expect_punct(")")
+                items.append((AggregateFunction.parse(word), AttrRef.parse(column_token.value)))
+            else:
+                items.append(AttrRef.parse(word))
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.value == ",":
+                self._pos += 1
+                continue
+            break
+        return items
+
+    def _parse_from_list(self) -> List[Scan]:
+        tables: List[Scan] = []
+        while True:
+            token = self._next()
+            if token.kind != "word":
+                raise ParseError(f"expected a relation name, found {token.value!r}")
+            relation = token.value
+            alias: Optional[str] = None
+            if self._accept_word("as"):
+                alias_token = self._next()
+                if alias_token.kind != "word":
+                    raise ParseError(f"expected alias after 'as', found {alias_token.value!r}")
+                alias = alias_token.value
+            else:
+                nxt = self._peek()
+                if (
+                    nxt is not None
+                    and nxt.kind == "word"
+                    and nxt.value.lower() not in _KEYWORDS
+                    and "." not in nxt.value
+                ):
+                    alias = self._next().value
+            tables.append(Scan(relation, alias))
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.value == ",":
+                self._pos += 1
+                continue
+            break
+        return tables
+
+    def _parse_condition(self) -> Conjunction:
+        comparisons = [self._parse_comparison()]
+        while self._accept_word("and"):
+            comparisons.append(self._parse_comparison())
+        return Conjunction.of(comparisons)
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_operand()
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise ParseError(f"expected a comparison operator, found {op_token.value!r}")
+        op = CompareOp.parse(op_token.value)
+        right = self._parse_operand()
+        return Comparison(left, op, right)
+
+    def _parse_operand(self):
+        token = self._next()
+        if token.kind == "number":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Const(value)
+        if token.kind == "string":
+            return Const(token.value[1:-1])
+        if token.kind == "word":
+            return AttrRef.parse(token.value)
+        raise ParseError(f"unexpected operand {token.value!r}")
+
+    def _parse_column_list(self) -> List[AttrRef]:
+        columns: List[AttrRef] = []
+        while True:
+            token = self._next()
+            if token.kind != "word":
+                raise ParseError(f"expected a column, found {token.value!r}")
+            columns.append(AttrRef.parse(token.value))
+            nxt = self._peek()
+            if nxt is not None and nxt.kind == "punct" and nxt.value == ",":
+                self._pos += 1
+                continue
+            break
+        return columns
+
+    # -- assembly -----------------------------------------------------------------
+    @staticmethod
+    def _assemble(
+        select_items: Sequence[TypingUnion[AttrRef, Tuple[AggregateFunction, AttrRef]]],
+        tables: Sequence[Scan],
+        condition: Conjunction,
+        group_columns: Sequence[AttrRef],
+    ) -> QueryNode:
+        node: Optional[QueryNode] = None
+        for scan in tables:
+            node = scan if node is None else Product(node, scan)
+        if node is None:
+            raise ParseError("query has no relations in its from clause")
+        if condition:
+            node = Select(node, condition)
+
+        aggregates = [item for item in select_items if isinstance(item, tuple)]
+        plain = [item for item in select_items if isinstance(item, AttrRef)]
+
+        if aggregates:
+            if len(aggregates) != 1:
+                raise ParseError("only a single aggregate per query is supported (gpBy form)")
+            aggregate, agg_column = aggregates[0]
+            group = tuple(group_columns) if group_columns else tuple(plain)
+            if set(c.qualified for c in plain) - set(c.qualified for c in group):
+                raise ParseError("non-aggregated select columns must appear in group by")
+            return GroupBy(node, group, aggregate, agg_column)
+
+        if group_columns:
+            raise ParseError("group by without an aggregate in the select list")
+        if plain:
+            node = Project(node, tuple(plain))
+        return node
+
+
+def parse_query(text: str) -> QueryNode:
+    """Parse a SQL-ish query string into an RA / RA_aggr AST."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty query")
+    return _Parser(tokens).parse_query()

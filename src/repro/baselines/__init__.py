@@ -1,0 +1,16 @@
+"""Baselines: uniform sampling (Sampl), histograms (Histo), BlinkDB-style, exact."""
+
+from .base import Approximator, SynopsisProvider
+from .blinkdb import StratifiedSampling
+from .exact import ExactEvaluation
+from .histogram import MultiDimHistogram
+from .sampling import UniformSampling
+
+__all__ = [
+    "Approximator",
+    "ExactEvaluation",
+    "MultiDimHistogram",
+    "StratifiedSampling",
+    "SynopsisProvider",
+    "UniformSampling",
+]

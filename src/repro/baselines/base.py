@@ -1,0 +1,106 @@
+"""Common interface for the approximate-query-answering baselines.
+
+The paper compares BEAS against three baselines (Section 8):
+
+* ``Sampl`` — uniform sampling: a one-size-fits-all synopsis of ``α·|D|``
+  uniformly sampled tuples;
+* ``Histo`` — multi-dimensional histograms of total size ``α·|D|``;
+* ``BlinkDB`` — stratified samples keyed by the query column sets (QCS).
+
+Every baseline implements :class:`Approximator`: it is *built* once for a
+resource ratio ``α`` (the synopsis may hold at most ``α·|D|`` tuples, the
+analogue of BEAS's access budget) and then answers arbitrarily many queries
+from the synopsis alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.ast import GroupBy, QueryNode, Scan
+from ..algebra.evaluator import Evaluator, Frame, RelationProvider
+from ..errors import EvaluationError
+from ..relational.database import Database
+from ..relational.relation import Relation, Row
+from ..relational.schema import RelationSchema
+
+
+class SynopsisProvider(RelationProvider):
+    """Serves scans from per-relation synopses (rows + weights).
+
+    The synopsis is keyed by relation name; the provider rebinds it to
+    whatever alias a query uses and restricts/reorders columns to the scan's
+    expected output schema.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        synopses: Mapping[str, Tuple[List[Row], List[float]]],
+    ) -> None:
+        self.database = database
+        self.synopses = dict(synopses)
+
+    def frame_for(self, scan: Scan, output_schema: RelationSchema) -> Frame:
+        if scan.relation not in self.synopses:
+            raise EvaluationError(f"no synopsis for relation {scan.relation!r}")
+        rows, weights = self.synopses[scan.relation]
+        base = self.database.schema.relation(scan.relation)
+        alias = scan.effective_alias
+        positions = []
+        for name in output_schema.attribute_names:
+            attribute = name.split(".", 1)[1] if name.startswith(f"{alias}.") else name
+            positions.append(base.position(attribute))
+        projected = [tuple(row[p] for p in positions) for row in rows]
+        return Frame(output_schema, projected, list(weights))
+
+
+class Approximator:
+    """Base class for synopsis-based approximate query answering."""
+
+    name: str = "baseline"
+
+    def __init__(self, database: Database, seed: int = 0) -> None:
+        self.database = database
+        self.seed = seed
+        self._provider: Optional[SynopsisProvider] = None
+        self.alpha: Optional[float] = None
+
+    # -- construction ------------------------------------------------------------
+    def build(self, alpha: float) -> "Approximator":
+        """Build the synopsis for resource ratio ``alpha``; returns ``self``."""
+        self.alpha = alpha
+        budget = self.database.budget_for(alpha)
+        self._provider = SynopsisProvider(self.database, self._build_synopses(budget))
+        return self
+
+    def _build_synopses(self, budget: int) -> Dict[str, Tuple[List[Row], List[float]]]:
+        raise NotImplementedError
+
+    def synopsis_size(self) -> int:
+        """Total number of tuples stored across all per-relation synopses."""
+        if self._provider is None:
+            return 0
+        return sum(len(rows) for rows, _ in self._provider.synopses.values())
+
+    # -- query answering -----------------------------------------------------------
+    def supports(self, query: QueryNode) -> bool:
+        """Whether the baseline supports this query class (see the paper's Exp setup)."""
+        return True
+
+    def answer(self, query: QueryNode) -> Relation:
+        """Answer a query from the synopsis."""
+        if self._provider is None:
+            raise EvaluationError(f"{self.name}: call build(alpha) before answer()")
+        evaluator = Evaluator(self.database.schema, self._provider)
+        return evaluator.evaluate(query)
+
+    @staticmethod
+    def _relation_budgets(database: Database, budget: int) -> Dict[str, int]:
+        """Split a tuple budget across relations proportionally to their sizes."""
+        total = max(1, database.total_tuples)
+        budgets = {}
+        for name, size in database.relation_sizes().items():
+            budgets[name] = max(1, int(round(budget * size / total))) if size else 0
+        return budgets

@@ -1,0 +1,40 @@
+"""BEAS_agg — resource-bounded approximation for RA_aggr queries (Section 7).
+
+``gpBy(Q', X, agg(V))`` queries reuse the RA pipeline for the inner query
+``Q'``; the group-by and the aggregate are executed over the approximate
+answers to ``Q'`` by the executor.  Two aggregate-specific concerns:
+
+* ``min`` / ``max`` — the bounds of Theorem 6 carry over unchanged
+  (Corollary 7): the plan's ``η`` is the child's ``η``.
+* ``sum`` / ``count`` / ``avg`` — the access-template indexes additionally
+  return, for every representative tuple, the number of base tuples it
+  stands for (see :class:`repro.access.index.TemplateIndex` and the
+  duplicate counts of :class:`repro.access.index.ConstraintIndex`); the
+  executor aggregates these weights so that counts and sums are estimated
+  from the representatives rather than merely counted.
+"""
+
+from __future__ import annotations
+
+from ..access.schema import AccessSchema
+from ..algebra.ast import GroupBy, QueryNode
+from ..errors import QueryError
+from ..relational.schema import DatabaseSchema
+from .plan import BoundedPlan
+from .planner import generate_plan
+
+
+def plan_aggregate(
+    query: QueryNode,
+    db_schema: DatabaseSchema,
+    access_schema: AccessSchema,
+    budget: int,
+) -> BoundedPlan:
+    """Generate an α-bounded plan and accuracy bound for an RA_aggr query."""
+    if not query.has_aggregate():
+        raise QueryError("BEAS_agg expects a query with a group-by / aggregate")
+    if not isinstance(query, GroupBy):
+        raise QueryError(
+            "aggregates must be the outermost operator (the gpBy(Q', X, agg(V)) form)"
+        )
+    return generate_plan(query, db_schema, access_schema, budget)

@@ -1,0 +1,81 @@
+"""Procedure chAT — choosing access templates under a budget (Fig. 3).
+
+Starting from a fetching plan whose template accessors sit at level 0, chAT
+repeatedly upgrades the template whose next level yields the largest
+improvement of the accuracy lower bound ``L`` while keeping the plan's tariff
+within the budget ``B = α·|D|``.  Upgrading a step doubles its own ``N`` and
+therefore also the input bounds of every step downstream of it, so the tariff
+is re-derived from the whole plan after every candidate upgrade rather than
+locally.
+
+The procedure terminates when no template can be upgraded without exceeding
+the budget (or all templates are at their maximum level), and returns the
+lower bound ``η`` of the final plan.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Tuple
+
+from ..algebra.ast import QueryNode
+from ..relational.schema import DatabaseSchema
+from .lower_bound import lower_bound
+from .plan import FetchPlan, FetchStep
+
+
+def _upgraded_tariff(plan: FetchPlan, step: FetchStep) -> int:
+    """Tariff of the plan if ``step`` were upgraded one level (non-mutating)."""
+    step.accessor.level += 1
+    try:
+        return plan.tariff()
+    finally:
+        step.accessor.level -= 1
+
+
+def _upgraded_bound(
+    plan: FetchPlan, step: FetchStep, query: QueryNode, db_schema: DatabaseSchema
+) -> float:
+    """Lower bound of the plan if ``step`` were upgraded one level (non-mutating)."""
+    step.accessor.level += 1
+    try:
+        return lower_bound(query, plan.resolution_map(), db_schema)
+    finally:
+        step.accessor.level -= 1
+
+
+def choose_access_templates(
+    plan: FetchPlan,
+    query: QueryNode,
+    budget: int,
+    db_schema: DatabaseSchema,
+) -> float:
+    """Run chAT on ``plan`` in place and return the resulting bound ``η``.
+
+    Greedy ascent: in each iteration pick the fetch step whose next template
+    level gives the largest increase of ``L`` among those that keep
+    ``tariff(ξ_F) <= budget``; ties are broken by the smaller resulting
+    tariff (cheaper upgrades first) and then by plan order.
+    """
+    eta = lower_bound(query, plan.resolution_map(), db_schema)
+
+    while True:
+        best: Optional[Tuple[float, int, int]] = None  # (-gain, tariff, index)
+        best_step: Optional[FetchStep] = None
+        for index, step in enumerate(plan.steps):
+            if not step.accessor.can_upgrade():
+                continue
+            new_tariff = _upgraded_tariff(plan, step)
+            if new_tariff > budget:
+                continue
+            new_bound = _upgraded_bound(plan, step, query, db_schema)
+            gain = new_bound - eta
+            key = (-gain, new_tariff, index)
+            if best is None or key < best:
+                best = key
+                best_step = step
+        if best_step is None:
+            break
+        best_step.accessor.level += 1
+        eta = lower_bound(query, plan.resolution_map(), db_schema)
+
+    return eta

@@ -1,0 +1,273 @@
+"""Execution of bounded plans against a database (the ``ξ_E`` side of BEAS).
+
+The :class:`PlanExecutor` runs a :class:`~repro.core.plan.BoundedPlan` in two
+stages:
+
+1. **Fetch** — execute the fetching plan step by step.  Each step derives its
+   ``X``-values from constants and from the output columns of earlier steps,
+   then fetches through the step's access-constraint or access-template index,
+   charging every retrieved tuple to the access meter (so α-boundedness is
+   enforced and measurable, not merely promised).
+2. **Evaluate** — run the query's own operators over the fetched per-atom
+   relations with selections *relaxed* by the resolutions of the templates
+   used (Section 5), set difference guarded through the maximal induced query
+   and a distance filter so that no tuple of ``Q2(D)`` can survive
+   (Section 6, Theorem 6(5)), and aggregates computed over representative
+   weights (Section 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.ast import Difference, GroupBy, QueryNode, Scan
+from ..algebra.evaluator import Evaluator, Frame, MappingProvider
+from ..algebra.spc import maximal_induced_query
+from ..errors import EvaluationError, PlanError
+from ..relational.database import AccessMeter, Database
+from ..relational.relation import Relation, Row
+from ..relational.schema import Attribute, RelationSchema
+from .plan import BoundedPlan, FetchPlan, FetchStep
+
+
+class BeasEvaluator(Evaluator):
+    """Evaluator with the BEAS set-difference guard.
+
+    For ``Q = Q1 − Q2`` where ``Q2``'s data was fetched through access
+    templates (non-zero resolution), plain set difference over approximate
+    answers cannot guarantee Theorem 6(5) (``t ∈ Q2(D) ⇒ t ∉ ξ_α(D)``): a
+    tuple of ``Q2(D)`` might not literally appear among the fetched
+    approximations.  The guard therefore removes every ``Q1``-answer within
+    the fetch resolution of *some* answer to the maximal induced query
+    ``Q̂2`` — any real ``Q2`` answer is represented within that distance, so
+    it is guaranteed to be filtered out.
+    """
+
+    def _eval_difference(self, node: Difference) -> Frame:
+        left = self._eval(node.left)
+        right_exact = self._eval(node.right)
+        thresholds_exact = [
+            self.relaxation.get(name, 0.0) for name in right_exact.schema.attribute_names
+        ]
+        if all(t == 0.0 for t in thresholds_exact):
+            removed = set(right_exact.rows)
+            rows, weights = [], []
+            for row, weight in zip(left.rows, left.weights):
+                if row not in removed:
+                    rows.append(row)
+                    weights.append(weight)
+            return Frame(left.schema, rows, weights)
+
+        induced = maximal_induced_query(node.right)
+        right = self._eval(induced)
+        thresholds = [
+            self.relaxation.get(name, 0.0) for name in right.schema.attribute_names
+        ]
+        distances = [attribute.distance for attribute in left.schema.attributes]
+        rows, weights = [], []
+        for row, weight in zip(left.rows, left.weights):
+            excluded = False
+            for other in right.rows:
+                if all(
+                    dist(a, b) <= threshold
+                    for a, b, dist, threshold in zip(row, other, distances, thresholds)
+                ):
+                    excluded = True
+                    break
+            if not excluded:
+                rows.append(row)
+                weights.append(weight)
+        return Frame(left.schema, rows, weights)
+
+
+class PlanExecutor:
+    """Executes a bounded plan: fetches data, then evaluates queries over it."""
+
+    def __init__(
+        self,
+        database: Database,
+        plan: BoundedPlan,
+        meter: Optional[AccessMeter] = None,
+    ) -> None:
+        self.database = database
+        self.plan = plan
+        self.meter = meter
+        self._step_frames: Dict[str, Frame] = {}
+        self._atom_frames: Optional[Dict[str, Frame]] = None
+
+    # -- stage 1: fetching --------------------------------------------------------
+    def fetch(self) -> Dict[str, Frame]:
+        """Run the fetching plan; returns the per-step result frames."""
+        for step in self.plan.fetch_plan:
+            self._step_frames[step.name] = self._run_step(step)
+        self._atom_frames = self._build_atom_frames()
+        return self._step_frames
+
+    def _step_schema(self, step: FetchStep) -> RelationSchema:
+        base = self.database.schema.relation(step.relation)
+        attrs = [
+            Attribute(f"{step.alias}.{name}", base.attribute(name).distance)
+            for name in step.accessor.x + step.accessor.y
+        ]
+        return RelationSchema(step.name, attrs)
+
+    def _input_values(self, step: FetchStep) -> List[Tuple[object, ...]]:
+        """All ``X``-value combinations fed to the step's accessor."""
+        const_values: Dict[str, object] = {}
+        by_step: Dict[str, List[Tuple[str, str]]] = {}
+        for source in step.sources:
+            if source.kind == "const":
+                const_values[source.attribute] = source.value
+            else:
+                by_step.setdefault(source.step, []).append((source.attribute, source.column))
+
+        group_choices: List[List[Dict[str, object]]] = []
+        for step_name, pairs in by_step.items():
+            frame = self._step_frames.get(step_name)
+            if frame is None:
+                raise PlanError(f"fetch step {step.name} reads from {step_name} before it ran")
+            positions = [frame.schema.position(column) for _, column in pairs]
+            seen: Dict[Tuple[object, ...], None] = {}
+            for row in frame.rows:
+                seen.setdefault(tuple(row[p] for p in positions), None)
+            group_choices.append(
+                [dict(zip((attr for attr, _ in pairs), values)) for values in seen]
+            )
+
+        x_order = step.accessor.x
+        combos: List[Tuple[object, ...]] = []
+        seen_combo: Dict[Tuple[object, ...], None] = {}
+        if group_choices:
+            for parts in itertools.product(*group_choices):
+                merged = dict(const_values)
+                for part in parts:
+                    merged.update(part)
+                value = tuple(merged[a] for a in x_order)
+                seen_combo.setdefault(value, None)
+            combos = list(seen_combo)
+        else:
+            combos = [tuple(const_values[a] for a in x_order)]
+        return combos
+
+    def _run_step(self, step: FetchStep) -> Frame:
+        schema = self._step_schema(step)
+        rows: List[Row] = []
+        weights: List[float] = []
+        for x_value in self._input_values(step):
+            for fetched_row, count in step.accessor.fetch(x_value, self.meter):
+                rows.append(tuple(fetched_row))
+                weights.append(float(count))
+        return Frame(schema, rows, weights)
+
+    # -- stage 2: per-atom frames ----------------------------------------------------
+    def _build_atom_frames(self) -> Dict[str, Frame]:
+        frames: Dict[str, Frame] = {}
+        for alias in self.plan.fetch_plan.aliases():
+            frames[alias] = self._atom_frame(alias)
+        return frames
+
+    def _atom_frame(self, alias: str) -> Frame:
+        steps = self.plan.fetch_plan.steps_for(alias)
+        if not steps:
+            raise PlanError(f"no fetch steps for query atom {alias!r}")
+        needed = set(self.plan.needed_attributes.get(alias, ()))
+        constants = self.plan.constants.get(alias, {})
+
+        # Prefer a single step that already spans every needed attribute (the
+        # chase arranges for one); fall back to a natural join of the atom's
+        # steps otherwise.
+        spanning = [
+            step
+            for step in steps
+            if needed - set(constants) <= set(step.accessor.x + step.accessor.y)
+        ]
+        if spanning:
+            frame = self._step_frames[spanning[-1].name]
+        else:
+            frame = self._step_frames[steps[0].name]
+            for step in steps[1:]:
+                frame = self._natural_join(frame, self._step_frames[step.name])
+
+        # Re-materialise constant attributes the fetches did not need to read.
+        missing = [
+            attribute
+            for attribute in needed
+            if f"{alias}.{attribute}" not in frame.schema
+        ]
+        if missing:
+            base = self.database.schema.relation(
+                self.plan.fetch_plan.steps_for(alias)[0].relation
+            )
+            extra_attrs = []
+            extra_values = []
+            for attribute in missing:
+                if attribute not in constants:
+                    raise PlanError(
+                        f"attribute {alias}.{attribute} is needed by the query but was "
+                        f"neither fetched nor fixed to a constant"
+                    )
+                extra_attrs.append(
+                    Attribute(f"{alias}.{attribute}", base.attribute(attribute).distance)
+                )
+                extra_values.append(constants[attribute])
+            schema = RelationSchema(alias, frame.schema.attributes + tuple(extra_attrs))
+            rows = [row + tuple(extra_values) for row in frame.rows]
+            frame = Frame(schema, rows, list(frame.weights))
+        return frame
+
+    @staticmethod
+    def _natural_join(left: Frame, right: Frame) -> Frame:
+        common = [name for name in left.schema.attribute_names if name in right.schema]
+        right_only = [name for name in right.schema.attribute_names if name not in left.schema]
+        out_schema = RelationSchema(
+            left.schema.name,
+            left.schema.attributes
+            + tuple(right.schema.attribute(name) for name in right_only),
+        )
+        if not common:
+            rows = [l + tuple(r[right.schema.position(n)] for n in right_only)
+                    for l in left.rows for r in right.rows]
+            weights = [lw * rw for lw in left.weights for rw in right.weights]
+            return Frame(out_schema, rows, weights)
+        left_positions = left.schema.positions(common)
+        right_positions = right.schema.positions(common)
+        right_extra_positions = right.schema.positions(right_only)
+        buckets: Dict[Tuple[object, ...], List[int]] = {}
+        for index, row in enumerate(right.rows):
+            buckets.setdefault(tuple(row[p] for p in right_positions), []).append(index)
+        rows: List[Row] = []
+        weights: List[float] = []
+        for index, row in enumerate(left.rows):
+            key = tuple(row[p] for p in left_positions)
+            for other_index in buckets.get(key, ()):  # type: ignore[arg-type]
+                other = right.rows[other_index]
+                rows.append(row + tuple(other[p] for p in right_extra_positions))
+                weights.append(left.weights[index] * right.weights[other_index])
+        return Frame(out_schema, rows, weights)
+
+    # -- stage 3: evaluation ------------------------------------------------------------
+    def evaluate(self, query: Optional[QueryNode] = None) -> Relation:
+        """Evaluate ``query`` (default: the plan's query) over the fetched data."""
+        if self._atom_frames is None:
+            self.fetch()
+        query = query if query is not None else self.plan.query
+        evaluator = BeasEvaluator(
+            self.database.schema,
+            MappingProvider(self._atom_frames),
+            relaxation=self.plan.resolution_map(),
+            needed_attributes=self.plan.needed_attributes,
+        )
+        return evaluator.evaluate(query)
+
+    def execute(self) -> Relation:
+        """Fetch (if needed) and evaluate the plan's query."""
+        return self.evaluate(self.plan.query)
+
+
+def execute_plan(
+    database: Database, plan: BoundedPlan, meter: Optional[AccessMeter] = None
+) -> Relation:
+    """Convenience wrapper: execute a bounded plan end to end."""
+    return PlanExecutor(database, plan, meter).execute()

@@ -1,0 +1,173 @@
+"""The BEAS framework (Section 4.2): offline index construction + online answering.
+
+:class:`Beas` is the user-facing facade.  Offline, it builds (or accepts) an
+access schema over the database — the canonical ``A_t`` plus any declared or
+discovered constraints and templates — together with their indexes.  Online,
+``answer(query, alpha)`` runs the appropriate approximation scheme
+(BEAS_SPC / BEAS_RA / BEAS_agg), executes the α-bounded plan under an access
+meter enforcing the budget, and returns the answers with the accuracy bound
+``η`` and the access accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..access.builder import AccessSchemaBuilder, ConstraintSpec, FamilySpec
+from ..access.schema import AccessSchema
+from ..algebra.ast import QueryNode
+from ..algebra.evaluator import evaluate_exact
+from ..algebra.spc import classify
+from ..algebra.sql import parse_query
+from ..errors import QueryError
+from ..relational.database import AccessMeter, Database
+from ..relational.relation import Relation
+from . import bounded
+from .beas_agg import plan_aggregate
+from .beas_ra import plan_ra, refine_bound_with_induced
+from .beas_spc import plan_spc
+from .executor import PlanExecutor
+from .plan import BoundedPlan
+
+QueryLike = Union[str, QueryNode]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of answering one query with bounded resources.
+
+    Attributes:
+        rows: the (approximate or exact) answers ``ξ_α(D)``.
+        eta: the deterministic RC-accuracy lower bound returned with the plan
+            (refined after execution for queries with set difference).
+        alpha: the requested resource ratio.
+        budget: the access budget ``⌊α·|D|⌋``.
+        tuples_accessed: tuples actually read while executing the plan.
+        exact: whether the plan fetches with zero resolution everywhere (the
+            answers are exact answers ``Q(D)``).
+        boundedly_evaluable: whether the plan uses access constraints only.
+        plan: the bounded plan itself (for inspection / explain output).
+        plan_seconds / execution_seconds: wall-clock timings of the two phases.
+        query_class: ``"SPC"``, ``"RA"``, ``"agg(SPC)"`` or ``"agg(RA)"``.
+    """
+
+    rows: Relation
+    eta: float
+    alpha: float
+    budget: int
+    tuples_accessed: int
+    exact: bool
+    boundedly_evaluable: bool
+    plan: BoundedPlan
+    plan_seconds: float
+    execution_seconds: float
+    query_class: str
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"QueryResult({len(self.rows)} rows, eta={self.eta:.3f}, "
+            f"accessed={self.tuples_accessed}/{self.budget}, exact={self.exact})"
+        )
+
+
+class Beas:
+    """Resource-bounded query answering over one database.
+
+    Args:
+        database: the instance ``D`` to query.
+        access_schema: a prebuilt access schema; when omitted the canonical
+            ``A_t`` plus any ``constraints`` / ``families`` passed here is
+            built (offline phase, C1 in Fig. 2).
+        constraints / families: declarative specs forwarded to
+            :class:`~repro.access.builder.AccessSchemaBuilder`.
+        max_level: cap on template levels materialised by the builder (useful
+            to bound index-construction time on large relations).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        access_schema: Optional[AccessSchema] = None,
+        constraints: Sequence[ConstraintSpec] = (),
+        families: Sequence[FamilySpec] = (),
+        max_level: Optional[int] = None,
+    ) -> None:
+        self.database = database
+        if access_schema is None:
+            builder = AccessSchemaBuilder(database, max_level=max_level)
+            access_schema = builder.build(constraints=constraints, families=families)
+        self.access_schema = access_schema
+
+    # -- helpers -----------------------------------------------------------------
+    def _as_ast(self, query: QueryLike) -> QueryNode:
+        if isinstance(query, str):
+            return parse_query(query)
+        if isinstance(query, QueryNode):
+            return query
+        raise QueryError(f"unsupported query object {type(query).__name__}")
+
+    # -- planning -----------------------------------------------------------------
+    def plan(self, query: QueryLike, alpha: float) -> BoundedPlan:
+        """Generate the α-bounded plan for ``query`` without executing it."""
+        ast = self._as_ast(query)
+        budget = self.database.budget_for(alpha)
+        if ast.has_aggregate():
+            return plan_aggregate(ast, self.database.schema, self.access_schema, budget)
+        if ast.is_spc():
+            return plan_spc(ast, self.database.schema, self.access_schema, budget)
+        return plan_ra(ast, self.database.schema, self.access_schema, budget)
+
+    # -- answering -----------------------------------------------------------------
+    def answer(self, query: QueryLike, alpha: float, enforce_budget: bool = True) -> QueryResult:
+        """Answer ``query`` accessing at most ``α·|D|`` tuples (C3 + C4 in Fig. 2)."""
+        ast = self._as_ast(query)
+        budget = self.database.budget_for(alpha)
+
+        start = time.perf_counter()
+        plan = self.plan(ast, alpha)
+        plan_seconds = time.perf_counter() - start
+
+        meter = AccessMeter(budget=budget, enforce=enforce_budget)
+        start = time.perf_counter()
+        executor = PlanExecutor(self.database, plan, meter)
+        rows = executor.execute()
+        eta = plan.eta
+        if ast.has_difference():
+            eta = refine_bound_with_induced(plan, executor, self.database, rows)
+        execution_seconds = time.perf_counter() - start
+
+        return QueryResult(
+            rows=rows,
+            eta=eta,
+            alpha=alpha,
+            budget=budget,
+            tuples_accessed=meter.accessed,
+            exact=plan.exact,
+            boundedly_evaluable=plan.boundedly_evaluable,
+            plan=plan,
+            plan_seconds=plan_seconds,
+            execution_seconds=execution_seconds,
+            query_class=classify(ast),
+        )
+
+    def answer_exact(self, query: QueryLike, meter: Optional[AccessMeter] = None) -> Relation:
+        """Ground-truth answers ``Q(D)`` by full (unbounded) evaluation."""
+        return evaluate_exact(self._as_ast(query), self.database, meter)
+
+    # -- analysis -----------------------------------------------------------------
+    def alpha_exact(self, query: QueryLike) -> float:
+        """Smallest resource ratio at which the plan for ``query`` is exact (Exp-3)."""
+        return bounded.alpha_exact(self._as_ast(query), self.database, self.access_schema)
+
+    def is_boundedly_evaluable(self, query: QueryLike) -> bool:
+        """Whether ``query`` has a constraints-only (bounded-evaluation) plan."""
+        return bounded.is_boundedly_evaluable(
+            self._as_ast(query), self.database.schema, self.access_schema
+        )
+
+    def explain(self, query: QueryLike, alpha: float) -> str:
+        """Human-readable description of the plan BEAS would run."""
+        plan = self.plan(query, alpha)
+        return plan.describe()

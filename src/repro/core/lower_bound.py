@@ -1,0 +1,167 @@
+"""The accuracy lower-bound function ``L`` (Section 5, chAT).
+
+Given a query and the per-attribute resolutions of the accessors its fetching
+plan uses, ``L(ξ) = 1 / (1 + max(d_rel, d_cov))`` where ``d_rel`` and
+``d_cov`` are upper bounds on the relevance and coverage distances of the
+plan's answers, derived inductively over the query structure:
+
+* base relation / scan — no error beyond the resolutions of the fetched
+  attributes;
+* ``σ_{R[A] op c}`` / ``σ_{R[A] op R[B]}`` — the relevance bound absorbs the
+  resolution of the selection attributes (the relaxed condition may admit
+  values off by that much);
+* ``π``, ``×`` — combine children; coverage is bounded by the worst
+  resolution among attributes visible in the output;
+* ``Q1 ∪ Q2`` — worst of the two sides;
+* ``Q1 − Q2`` — bounds of ``Q1`` (the executed guard never *adds* error to
+  the surviving answers; the extra coverage term ``d' + d̂_cov`` of BEAS_RA is
+  applied after execution, Section 6);
+* ``gpBy(Q', X, min/max(V))`` — inherits ``Q'``'s bounds; for
+  ``sum``/``count``/``avg`` the aggregate-value error cannot be bounded by
+  resolutions alone, so the bound covers the group-key attributes (the
+  paper's Corollary 7 likewise only carries the guarantees of Theorem 6 over
+  to ``min``/``max``).
+
+Because every template upgrade lowers some resolution, ``L`` is monotone in
+the chosen levels — exactly the property chAT's greedy ascent relies on — and
+monotone in α (Theorems 5(3) and 6(4)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+from ..algebra.ast import (
+    Difference,
+    GroupBy,
+    Product,
+    Project,
+    QueryNode,
+    Rename,
+    Scan,
+    Select,
+    Union,
+    resolve_attribute,
+)
+from ..algebra.predicates import AttrRef
+from ..relational.schema import DatabaseSchema
+
+
+def _attribute_resolution(qualified: str, resolutions: Mapping[str, float]) -> float:
+    return float(resolutions.get(qualified, 0.0))
+
+
+def _collect_selection_attributes(node: QueryNode, db_schema: DatabaseSchema) -> Set[str]:
+    """Qualified attributes used in selection conditions anywhere in the query."""
+    attributes: Set[str] = set()
+    for current in node.walk():
+        if isinstance(current, Select):
+            schema = current.child.output_schema(db_schema)
+            for ref in current.condition.attributes():
+                try:
+                    attributes.add(resolve_attribute(schema, ref))
+                except Exception:
+                    attributes.add(ref.qualified)
+    return attributes
+
+
+def _collect_output_attributes(node: QueryNode, db_schema: DatabaseSchema) -> Set[str]:
+    """Qualified attributes visible in the query output (before aggregates)."""
+    if isinstance(node, GroupBy):
+        child_schema = node.child.output_schema(db_schema)
+        names = {resolve_attribute(child_schema, ref) for ref in node.group_columns}
+        names.add(resolve_attribute(child_schema, node.agg_column))
+        return names
+    try:
+        return set(node.output_schema(db_schema).attribute_names)
+    except Exception:
+        return set()
+
+
+def distance_bounds(
+    node: QueryNode,
+    resolutions: Mapping[str, float],
+    db_schema: DatabaseSchema,
+) -> Tuple[float, float]:
+    """Upper bounds ``(d_rel, d_cov)`` for a query under given fetch resolutions."""
+    if isinstance(node, Union):
+        left = distance_bounds(node.left, resolutions, db_schema)
+        right = distance_bounds(node.right, resolutions, db_schema)
+        return max(left[0], right[0]), max(left[1], right[1])
+    if isinstance(node, Difference):
+        # The paper inherits the bounds of the positive side and corrects the
+        # coverage after execution (BEAS_RA).  We additionally fold in the
+        # negated side's bounds: the set-difference guard removes answers
+        # within the *negated* side's fetch resolution, so a coarse negated
+        # side hurts coverage — folding it in keeps the bound sound (it only
+        # gets more conservative) and lets chAT spend budget on the negated
+        # side where that pays off.
+        left = distance_bounds(node.left, resolutions, db_schema)
+        right = distance_bounds(node.right, resolutions, db_schema)
+        return max(left[0], right[0]), max(left[1], right[1])
+    if isinstance(node, GroupBy):
+        # Group-by answers expose the group-key attributes plus one aggregate
+        # value.  The bound tracks the resolutions of the group keys, the
+        # child's selection attributes and — except for count, which ignores
+        # the aggregated attribute's values — the aggregate column.
+        child_schema = node.child.output_schema(db_schema)
+        selection_attrs = _collect_selection_attributes(node.child, db_schema)
+        output_attrs = {resolve_attribute(child_schema, ref) for ref in node.group_columns}
+        from ..algebra.aggregates import AggregateFunction
+
+        if node.aggregate is not AggregateFunction.COUNT:
+            output_attrs.add(resolve_attribute(child_schema, node.agg_column))
+        d_rel = 0.0
+        d_cov = 0.0
+        for qualified in selection_attrs | output_attrs:
+            value = _attribute_resolution(qualified, resolutions)
+            d_rel = max(d_rel, value)
+            d_cov = max(d_cov, value)
+        return d_rel, d_cov
+    if isinstance(node, (Project, Rename, Select, Product, Scan)):
+        selection_attrs = _collect_selection_attributes(node, db_schema)
+        output_attrs = _collect_output_attributes(node, db_schema)
+        d_rel = 0.0
+        for qualified in selection_attrs | output_attrs:
+            d_rel = max(d_rel, _attribute_resolution(qualified, resolutions))
+        d_cov = 0.0
+        for qualified in output_attrs | selection_attrs:
+            d_cov = max(d_cov, _attribute_resolution(qualified, resolutions))
+        return d_rel, d_cov
+    # Unknown node: fall back to the worst resolution anywhere.
+    worst = max(resolutions.values(), default=0.0)
+    return worst, worst
+
+
+def lower_bound(
+    node: QueryNode,
+    resolutions: Mapping[str, float],
+    db_schema: DatabaseSchema,
+) -> float:
+    """``L(ξ) = 1 / (1 + max(d_rel, d_cov))``."""
+    d_rel, d_cov = distance_bounds(node, resolutions, db_schema)
+    return 1.0 / (1.0 + max(d_rel, d_cov))
+
+
+def theoretical_floor(
+    node: QueryNode,
+    access_schema,
+    budget: int,
+) -> float:
+    """The query-independent floor of Theorem 5(2): ``1/(1 + max_ψ d̄_{ψ,k*})``.
+
+    ``k* = ⌊log2(B / ||Q||)⌋ - 1`` — the level every whole-relation template
+    could afford if the budget were split evenly across the query's relation
+    atoms.  The bound returned by BEAS is always at least this floor.
+    """
+    import math
+
+    relation_count = max(1, node.relation_count())
+    per_atom = max(1, budget // relation_count)
+    k_star = max(0, int(math.floor(math.log2(per_atom))) - 1)
+    worst = 0.0
+    for family in access_schema.families:
+        level = min(k_star, family.max_level)
+        res = family.resolution(level)
+        worst = max(worst, max(res.values(), default=0.0))
+    return 1.0 / (1.0 + worst)

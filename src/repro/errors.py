@@ -1,0 +1,50 @@
+"""Exception hierarchy for the BEAS reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Each subclass maps to one subsystem of the library.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation/database schema is malformed or used inconsistently."""
+
+
+class QueryError(ReproError):
+    """A query is syntactically or semantically invalid."""
+
+
+class ParseError(QueryError):
+    """The SQL-ish parser could not parse the input string."""
+
+
+class AccessSchemaError(ReproError):
+    """An access template or access schema is malformed or violated."""
+
+
+class ConformanceError(AccessSchemaError):
+    """A database instance does not conform to an access schema."""
+
+
+class PlanError(ReproError):
+    """A bounded query plan is malformed or cannot be generated."""
+
+
+class BudgetExceededError(PlanError):
+    """A plan attempted to access more tuples than its budget ``α·|D|``."""
+
+    def __init__(self, accessed: int, budget: int) -> None:
+        super().__init__(
+            f"plan accessed {accessed} tuples, exceeding budget {budget}"
+        )
+        self.accessed = accessed
+        self.budget = budget
+
+
+class EvaluationError(ReproError):
+    """A query plan or algebra expression failed during evaluation."""

@@ -1,0 +1,46 @@
+"""Experiment harness, configuration and reporting."""
+
+from .config import (
+    BENCH_ALPHAS,
+    BENCH_DATASETS,
+    BENCH_QUERIES,
+    PAPER_ALPHAS,
+    PAPER_SCALES,
+    QUERIES_PER_DATASET,
+    REPRO_ALPHAS,
+    REPRO_SCALES,
+    DatasetConfig,
+)
+from .harness import (
+    QueryOutcome,
+    accuracy_sweep,
+    build_beas,
+    default_baselines,
+    mean_by,
+    run_baseline_query,
+    run_beas_query,
+    series_by_method_and_alpha,
+)
+from .reporting import format_series, format_table
+
+__all__ = [
+    "BENCH_ALPHAS",
+    "BENCH_DATASETS",
+    "BENCH_QUERIES",
+    "DatasetConfig",
+    "PAPER_ALPHAS",
+    "PAPER_SCALES",
+    "QUERIES_PER_DATASET",
+    "QueryOutcome",
+    "REPRO_ALPHAS",
+    "REPRO_SCALES",
+    "accuracy_sweep",
+    "build_beas",
+    "default_baselines",
+    "format_series",
+    "format_table",
+    "mean_by",
+    "run_baseline_query",
+    "run_beas_query",
+    "series_by_method_and_alpha",
+]

@@ -1,0 +1,49 @@
+"""Relational substrate: schemas, relations, databases, indexes, KD-trees."""
+
+from .database import AccessMeter, Database
+from .distance import (
+    CATEGORICAL,
+    INFINITY,
+    NUMERIC,
+    STRING_PREFIX,
+    TRIVIAL,
+    DistanceFunction,
+    numeric_scaled,
+    tuple_distance,
+)
+from .index import HashIndex, SortedIndex
+from .kdtree import KDNode, KDTree
+from .relation import Relation, Row
+from .schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    build_schema,
+    key_attribute,
+    numeric_attribute,
+)
+
+__all__ = [
+    "AccessMeter",
+    "CATEGORICAL",
+    "Attribute",
+    "Database",
+    "DatabaseSchema",
+    "DistanceFunction",
+    "HashIndex",
+    "INFINITY",
+    "KDNode",
+    "KDTree",
+    "NUMERIC",
+    "Relation",
+    "RelationSchema",
+    "Row",
+    "SortedIndex",
+    "STRING_PREFIX",
+    "TRIVIAL",
+    "build_schema",
+    "key_attribute",
+    "numeric_attribute",
+    "numeric_scaled",
+    "tuple_distance",
+]

@@ -1,0 +1,186 @@
+"""Database instances with tuple-access accounting.
+
+The central promise of BEAS is that answering a query touches at most
+``α·|D|`` tuples.  To make that promise *checkable*, every retrieval of
+tuples from a :class:`Database` — whether a full scan, an index lookup, or an
+access-template fetch — goes through :meth:`Database.count_access`, and an
+:class:`AccessMeter` records the running total.  Tests and benchmarks assert
+``meter.accessed <= alpha * database.total_tuples`` after executing a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import BudgetExceededError, SchemaError
+from .index import HashIndex, SortedIndex
+from .relation import Relation, Row
+from .schema import DatabaseSchema, RelationSchema
+
+
+@dataclass
+class AccessMeter:
+    """Counts tuples accessed while answering one query.
+
+    Attributes:
+        accessed: number of tuples retrieved so far.
+        budget: optional hard limit; exceeding it raises
+            :class:`~repro.errors.BudgetExceededError`.
+        enforce: when ``False`` the budget is recorded but not enforced
+            (used by baselines that intentionally over-access, and by exact
+            evaluation for measuring ground truth cost).
+    """
+
+    budget: Optional[int] = None
+    enforce: bool = True
+    accessed: int = 0
+    by_relation: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, count: int, relation_name: str = "") -> None:
+        """Record ``count`` tuple accesses against the meter."""
+        if count < 0:
+            raise ValueError("access count must be non-negative")
+        self.accessed += count
+        if relation_name:
+            self.by_relation[relation_name] = self.by_relation.get(relation_name, 0) + count
+        if self.enforce and self.budget is not None and self.accessed > self.budget:
+            raise BudgetExceededError(self.accessed, self.budget)
+
+    def remaining(self) -> Optional[int]:
+        """Budget still available, or ``None`` when unbounded."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self.accessed)
+
+    def reset(self) -> None:
+        """Zero the counters (budget unchanged)."""
+        self.accessed = 0
+        self.by_relation.clear()
+
+
+class Database:
+    """An instance ``D`` of a database schema, with access accounting."""
+
+    def __init__(self, schema: DatabaseSchema, relations: Optional[Mapping[str, Relation]] = None) -> None:
+        self.schema = schema
+        self._relations: Dict[str, Relation] = {}
+        self._hash_indexes: Dict[Tuple[str, Tuple[str, ...]], HashIndex] = {}
+        self._sorted_indexes: Dict[Tuple[str, str], SortedIndex] = {}
+        for rel_schema in schema:
+            self._relations[rel_schema.name] = Relation(rel_schema)
+        if relations:
+            for name, relation in relations.items():
+                self.set_relation(name, relation)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_relations(cls, relations: Sequence[Relation]) -> "Database":
+        """Build a database directly from relation instances."""
+        schema = DatabaseSchema([rel.schema for rel in relations])
+        db = cls(schema)
+        for rel in relations:
+            db.set_relation(rel.schema.name, rel)
+        return db
+
+    def set_relation(self, name: str, relation: Relation) -> None:
+        """Install (or replace) the instance of relation ``name``."""
+        expected = self.schema.relation(name)
+        if relation.schema.attribute_names != expected.attribute_names:
+            raise SchemaError(
+                f"relation instance for {name!r} has attributes "
+                f"{relation.schema.attribute_names}, expected {expected.attribute_names}"
+            )
+        self._relations[name] = relation
+        # Any cached indexes over the old instance are now stale.
+        self._hash_indexes = {
+            key: idx for key, idx in self._hash_indexes.items() if key[0] != name
+        }
+        self._sorted_indexes = {
+            key: idx for key, idx in self._sorted_indexes.items() if key[0] != name
+        }
+
+    # -- size accounting ------------------------------------------------------
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return self.schema.relation_names
+
+    def relation(self, name: str) -> Relation:
+        """The instance of relation ``name`` (no access charged)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no instance for relation {name!r}") from None
+
+    @property
+    def total_tuples(self) -> int:
+        """``|D|`` — the total number of tuples across all relations."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    def relation_sizes(self) -> Dict[str, int]:
+        """Tuple counts per relation."""
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def budget_for(self, alpha: float) -> int:
+        """The access budget ``⌊α·|D|⌋`` for a resource ratio ``alpha``."""
+        if not 0 < alpha <= 1:
+            raise ValueError(f"resource ratio alpha must be in (0, 1], got {alpha}")
+        return max(1, int(alpha * self.total_tuples))
+
+    def meter(self, alpha: Optional[float] = None, enforce: bool = True) -> AccessMeter:
+        """A fresh :class:`AccessMeter`, budgeted at ``α·|D|`` when given."""
+        budget = self.budget_for(alpha) if alpha is not None else None
+        return AccessMeter(budget=budget, enforce=enforce)
+
+    # -- metered access paths ---------------------------------------------------
+    def scan(self, name: str, meter: Optional[AccessMeter] = None) -> Relation:
+        """Full scan of a relation, charging one access per tuple."""
+        relation = self.relation(name)
+        if meter is not None:
+            meter.charge(len(relation), name)
+        return relation
+
+    def hash_index(self, name: str, key_attributes: Sequence[str]) -> HashIndex:
+        """A (cached) hash index on ``key_attributes`` of relation ``name``."""
+        key = (name, tuple(key_attributes))
+        if key not in self._hash_indexes:
+            self._hash_indexes[key] = HashIndex(self.relation(name), key_attributes)
+        return self._hash_indexes[key]
+
+    def sorted_index(self, name: str, attribute: str) -> SortedIndex:
+        """A (cached) sorted index on one attribute of relation ``name``."""
+        key = (name, attribute)
+        if key not in self._sorted_indexes:
+            self._sorted_indexes[key] = SortedIndex(self.relation(name), attribute)
+        return self._sorted_indexes[key]
+
+    def lookup(
+        self,
+        name: str,
+        key_attributes: Sequence[str],
+        key_value: Sequence[object],
+        meter: Optional[AccessMeter] = None,
+    ) -> List[Row]:
+        """Index lookup charging one access per returned tuple."""
+        rows = self.hash_index(name, key_attributes).lookup(key_value)
+        if meter is not None:
+            meter.charge(len(rows), name)
+        return rows
+
+    # -- misc -----------------------------------------------------------------
+    def copy_subset(self, fractions: Mapping[str, float]) -> "Database":
+        """A new database keeping only a prefix fraction of each relation.
+
+        Used by scale-sweep experiments (Fig 6(e,f,j,l)) to derive smaller
+        instances of the same dataset.
+        """
+        relations = []
+        for name, rel in self._relations.items():
+            frac = fractions.get(name, 1.0)
+            keep = max(1, int(len(rel) * frac)) if len(rel) else 0
+            relations.append(Relation(rel.schema, rel.rows[:keep]))
+        return Database.from_relations(relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        sizes = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"Database({sizes})"

@@ -1,0 +1,115 @@
+"""Secondary indexes over relations.
+
+Two index types are used by the library:
+
+* :class:`HashIndex` — an equality index on a set of attributes, used both by
+  access-constraint indexes (fetch all ``Y`` values for an ``X`` value) and by
+  the naive evaluator to speed up equi-joins.
+* :class:`SortedIndex` — a sorted index on a single numeric attribute, used by
+  range predicates in the naive evaluator.
+
+Both indexes report their size in *entries* so that experiment Exp-4
+(Fig 6(k), index size) can account for the storage footprint.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .relation import Relation, Row
+
+
+class HashIndex:
+    """Equality index mapping key-attribute values to matching rows."""
+
+    def __init__(self, relation: Relation, key_attributes: Sequence[str]) -> None:
+        self.relation = relation
+        self.key_attributes = tuple(key_attributes)
+        positions = relation.schema.positions(key_attributes)
+        self._buckets: Dict[Tuple[object, ...], List[Row]] = {}
+        for row in relation:
+            key = tuple(row[p] for p in positions)
+            self._buckets.setdefault(key, []).append(row)
+
+    def lookup(self, key: Sequence[object]) -> List[Row]:
+        """All rows whose key attributes equal ``key`` (possibly empty)."""
+        return self._buckets.get(tuple(key), [])
+
+    def keys(self) -> List[Tuple[object, ...]]:
+        """All distinct key values present in the relation."""
+        return list(self._buckets)
+
+    def group_sizes(self) -> Dict[Tuple[object, ...], int]:
+        """Number of rows per key value."""
+        return {key: len(rows) for key, rows in self._buckets.items()}
+
+    def max_group_size(self) -> int:
+        """The largest number of rows sharing one key (0 for empty index)."""
+        if not self._buckets:
+            return 0
+        return max(len(rows) for rows in self._buckets.values())
+
+    @property
+    def entry_count(self) -> int:
+        """Total number of (key, row) entries stored."""
+        return sum(len(rows) for rows in self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"HashIndex({self.relation.schema.name}, key={self.key_attributes},"
+            f" {len(self._buckets)} keys)"
+        )
+
+
+class SortedIndex:
+    """Sorted index on one numeric attribute supporting range scans."""
+
+    def __init__(self, relation: Relation, attribute: str) -> None:
+        self.relation = relation
+        self.attribute = attribute
+        position = relation.schema.position(attribute)
+        pairs = sorted(
+            ((row[position], row) for row in relation if row[position] is not None),
+            key=lambda pair: pair[0],
+        )
+        self._values: List[object] = [v for v, _ in pairs]
+        self._rows: List[Row] = [r for _, r in pairs]
+
+    def range(
+        self,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[Row]:
+        """Rows whose attribute value lies in ``[low, high]`` (None = open end)."""
+        lo_idx = 0
+        hi_idx = len(self._values)
+        if low is not None:
+            lo_idx = (
+                bisect.bisect_left(self._values, low)
+                if include_low
+                else bisect.bisect_right(self._values, low)
+            )
+        if high is not None:
+            hi_idx = (
+                bisect.bisect_right(self._values, high)
+                if include_high
+                else bisect.bisect_left(self._values, high)
+            )
+        return self._rows[lo_idx:hi_idx]
+
+    @property
+    def entry_count(self) -> int:
+        """Number of indexed entries."""
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SortedIndex({self.relation.schema.name}.{self.attribute}, {len(self)} rows)"

@@ -1,0 +1,224 @@
+"""KD-tree over relation tuples.
+
+Section 4.1 of the paper builds the indexes of the canonical access schema
+``A_t`` from a K-D tree: tuples of a relation are treated as
+``m``-dimensional points w.r.t. their per-attribute distance functions, and
+the nodes at level ``k`` of the tree provide the (at most) ``2^k``
+representative tuples of access template ``ψ^R_k = R(∅ → attr(R), 2^k, d̄_k)``.
+
+The resolution ``d̄_k[B]`` is the largest distance, over all level-``k``
+nodes, between the node's representative tuple and any tuple in the node's
+subtree on attribute ``B``.  This is exactly the guarantee an access template
+needs: every tuple of the relation is within ``d̄_k[B]`` of some fetched
+representative on every attribute ``B``.
+
+Splitting strategy: at each node we pick the attribute with the largest value
+spread (numeric attributes by range under their distance function,
+non-numeric attributes by number of distinct values) and split the node's
+rows at the median of that attribute.  This mirrors the paper's motivation
+for K-D trees — upgrading from level ``k`` to ``k+1`` should maximise the
+gain in resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .distance import INFINITY
+from .relation import Relation, Row
+from .schema import RelationSchema
+
+
+@dataclass
+class KDNode:
+    """One node of the KD-tree.
+
+    Attributes:
+        rows: all tuples in this subtree.
+        representative: the tuple chosen to stand for the subtree.
+        depth: distance from the root (root has depth 0).
+        left/right: children, or ``None`` for a leaf.
+        split_attribute: name of the attribute this node split on (if any).
+    """
+
+    rows: List[Row]
+    representative: Row
+    depth: int
+    left: Optional["KDNode"] = None
+    right: Optional["KDNode"] = None
+    split_attribute: Optional[str] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    @property
+    def size(self) -> int:
+        return len(self.rows)
+
+
+class KDTree:
+    """KD-tree over the tuples of one relation."""
+
+    def __init__(self, relation: Relation, max_leaf_size: int = 1) -> None:
+        self.relation = relation
+        self.schema: RelationSchema = relation.schema
+        self.max_leaf_size = max(1, max_leaf_size)
+        rows = list(relation.rows)
+        self.root: Optional[KDNode] = self._build(rows, depth=0) if rows else None
+        self._levels: Dict[int, List[KDNode]] = {}
+
+    # -- construction ------------------------------------------------------
+    def _build(self, rows: List[Row], depth: int) -> KDNode:
+        representative = rows[len(rows) // 2]
+        node = KDNode(rows=rows, representative=representative, depth=depth)
+        if len(rows) <= self.max_leaf_size:
+            return node
+        split = self._choose_split(rows)
+        if split is None:
+            return node
+        attr_name, position = split
+        ordered = sorted(rows, key=lambda r: self._sort_key(r[position]))
+        mid = len(ordered) // 2
+        left_rows, right_rows = ordered[:mid], ordered[mid:]
+        if not left_rows or not right_rows:
+            return node
+        node.split_attribute = attr_name
+        node.representative = ordered[mid]
+        node.left = self._build(left_rows, depth + 1)
+        node.right = self._build(right_rows, depth + 1)
+        return node
+
+    @staticmethod
+    def _sort_key(value: object) -> Tuple[int, object]:
+        # Sort None first, then numerics, then everything else by repr so that
+        # heterogeneous columns still order deterministically.
+        if value is None:
+            return (0, 0)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return (1, value)
+        return (2, repr(value))
+
+    def _choose_split(self, rows: List[Row]) -> Optional[Tuple[str, int]]:
+        """Pick the attribute with the widest spread; ``None`` if all constant."""
+        best: Optional[Tuple[float, str, int]] = None
+        for position, attribute in enumerate(self.schema.attributes):
+            values = [row[position] for row in rows]
+            distinct = set(values)
+            if len(distinct) <= 1:
+                continue
+            if attribute.numeric:
+                numeric = [v for v in values if isinstance(v, (int, float))]
+                if not numeric:
+                    spread = float(len(distinct))
+                else:
+                    spread = float(max(numeric) - min(numeric))
+            else:
+                spread = float(len(distinct))
+            if best is None or spread > best[0]:
+                best = (spread, attribute.name, position)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # -- level access --------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Depth of the deepest node (0 for a single-node tree, -1 if empty)."""
+        if self.root is None:
+            return -1
+
+        def _depth(node: KDNode) -> int:
+            if node.is_leaf:
+                return node.depth
+            return max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root)
+
+    def level_nodes(self, level: int) -> List[KDNode]:
+        """The frontier of the tree at ``level``.
+
+        These are all nodes at depth ``level`` plus leaves shallower than
+        ``level``; together they partition the relation's tuples and there
+        are at most ``2^level`` of them.
+        """
+        if self.root is None:
+            return []
+        if level in self._levels:
+            return self._levels[level]
+        frontier: List[KDNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.depth == level or node.is_leaf:
+                frontier.append(node)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        self._levels[level] = frontier
+        return frontier
+
+    def representatives(self, level: int) -> List[Tuple[Row, int]]:
+        """``(representative, subtree_size)`` pairs for the level frontier."""
+        return [(node.representative, node.size) for node in self.level_nodes(level)]
+
+    def resolution(self, level: int) -> Dict[str, float]:
+        """Per-attribute resolution ``d̄_level`` of the level frontier.
+
+        ``d̄_level[B]`` bounds, for every tuple of the relation, the distance
+        on ``B`` to the representative of the frontier node containing it.
+        """
+        resolution: Dict[str, float] = {a.name: 0.0 for a in self.schema.attributes}
+        for node in self.level_nodes(level):
+            rep = node.representative
+            for position, attribute in enumerate(self.schema.attributes):
+                dist = attribute.distance
+                worst = 0.0
+                rep_value = rep[position]
+                for row in node.rows:
+                    d = dist(rep_value, row[position])
+                    if d > worst:
+                        worst = d
+                    if worst == INFINITY:
+                        break
+                if worst > resolution[attribute.name]:
+                    resolution[attribute.name] = worst
+        return resolution
+
+    def exact_level(self) -> int:
+        """The smallest level at which every frontier node is a single tuple.
+
+        Fetching this level returns (a representative for) every distinct
+        tuple, i.e. the access template at this level behaves like an access
+        constraint with resolution 0 on duplicate-free relations.
+        """
+        if self.root is None:
+            return 0
+        level = 0
+        while True:
+            nodes = self.level_nodes(level)
+            if all(node.is_leaf for node in nodes):
+                return level
+            level += 1
+
+    # -- bookkeeping ----------------------------------------------------------
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        if self.root is None:
+            return 0
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.is_leaf:
+                stack.append(node.left)
+                stack.append(node.right)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"KDTree({self.schema.name}, {len(self.relation)} rows, "
+            f"height={self.height})"
+        )

@@ -1,0 +1,143 @@
+"""In-memory relation instances.
+
+A :class:`Relation` is a bag of tuples (plain Python tuples) positionally
+aligned with a :class:`~repro.relational.schema.RelationSchema`.  It supports
+the handful of operations the naive evaluator and the BEAS executor need:
+projection, selection by callable, grouping, and distinct.
+
+Relations track nothing about access costs — that is the job of
+:class:`~repro.relational.database.Database`, which wraps tuple retrieval in
+an access-accounted API.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .schema import RelationSchema
+
+Row = Tuple[object, ...]
+
+
+class Relation:
+    """A named bag of tuples under a fixed schema."""
+
+    def __init__(self, schema: RelationSchema, rows: Optional[Iterable[Row]] = None) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        if rows is not None:
+            self.extend(rows)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_dicts(cls, schema: RelationSchema, records: Iterable[dict]) -> "Relation":
+        """Build a relation from dict records keyed by attribute name."""
+        names = schema.attribute_names
+        rows = [tuple(rec[name] for name in names) for rec in records]
+        return cls(schema, rows)
+
+    def append(self, row: Sequence[object]) -> None:
+        """Add one tuple (validated for arity)."""
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"tuple of arity {len(row)} does not match schema "
+                f"{self.schema.name}({len(self.schema)} attributes)"
+            )
+        self._rows.append(tuple(row))
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Add many tuples."""
+        for row in rows:
+            self.append(row)
+
+    # -- basic accessors ---------------------------------------------------
+    @property
+    def rows(self) -> List[Row]:
+        """The underlying list of tuples (do not mutate)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in set(self._rows)
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def column(self, attribute_name: str) -> List[object]:
+        """All values of one attribute, in row order."""
+        idx = self.schema.position(attribute_name)
+        return [row[idx] for row in self._rows]
+
+    def record(self, row: Row) -> dict:
+        """A dict view of one tuple keyed by attribute name."""
+        return dict(zip(self.schema.attribute_names, row))
+
+    def records(self) -> List[dict]:
+        """Dict views of all tuples."""
+        return [self.record(row) for row in self._rows]
+
+    # -- relational helpers -------------------------------------------------
+    def project(self, attribute_names: Sequence[str], distinct: bool = True) -> "Relation":
+        """Project onto ``attribute_names``, optionally deduplicating."""
+        positions = self.schema.positions(attribute_names)
+        out_schema = self.schema.project(attribute_names)
+        projected = (tuple(row[p] for p in positions) for row in self._rows)
+        if distinct:
+            seen: Dict[Row, None] = {}
+            for row in projected:
+                seen.setdefault(row, None)
+            return Relation(out_schema, seen.keys())
+        return Relation(out_schema, projected)
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Keep only tuples for which ``predicate`` is true."""
+        return Relation(self.schema, (row for row in self._rows if predicate(row)))
+
+    def distinct(self) -> "Relation":
+        """Remove duplicate tuples (preserving first-seen order)."""
+        seen: Dict[Row, None] = {}
+        for row in self._rows:
+            seen.setdefault(row, None)
+        return Relation(self.schema, seen.keys())
+
+    def rename(self, new_name: str) -> "Relation":
+        """Same tuples under a renamed schema."""
+        return Relation(self.schema.rename(new_name), self._rows)
+
+    def group_by(self, attribute_names: Sequence[str]) -> Dict[Row, List[Row]]:
+        """Group full tuples by their values on ``attribute_names``."""
+        positions = self.schema.positions(attribute_names)
+        groups: Dict[Row, List[Row]] = {}
+        for row in self._rows:
+            key = tuple(row[p] for p in positions)
+            groups.setdefault(key, []).append(row)
+        return groups
+
+    def to_set(self) -> frozenset:
+        """Frozenset of the tuples (set semantics view)."""
+        return frozenset(self._rows)
+
+    def sorted(self) -> "Relation":
+        """Rows sorted by their natural (stringified) order — for stable output."""
+        return Relation(self.schema, sorted(self._rows, key=lambda r: tuple(map(repr, r))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Relation({self.schema.name}, {len(self._rows)} rows)"
+
+    # -- equality (by schema name + multiset of rows) -----------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (
+            self.schema.attribute_names == other.schema.attribute_names
+            and sorted(map(repr, self._rows)) == sorted(map(repr, other._rows))
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is not hashable")

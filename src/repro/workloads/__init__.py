@@ -1,0 +1,25 @@
+"""Workload generators: TPC-H-like, AIRCA-like, TFACC-like, social graph, query generator."""
+
+from . import airca, social, tfacc, tpch
+from .base import AttributeInfo, JoinEdge, Workload
+from .querygen import GeneratedQuery, QueryGenerator
+
+WORKLOADS = {
+    "tpch": tpch.generate,
+    "airca": airca.generate,
+    "tfacc": tfacc.generate,
+    "social": social.generate,
+}
+
+__all__ = [
+    "AttributeInfo",
+    "GeneratedQuery",
+    "JoinEdge",
+    "QueryGenerator",
+    "WORKLOADS",
+    "Workload",
+    "airca",
+    "social",
+    "tfacc",
+    "tpch",
+]

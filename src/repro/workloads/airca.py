@@ -1,0 +1,178 @@
+"""A synthetic AIRCA-like workload (US flight on-time performance + carriers).
+
+The paper's AIRCA dataset integrates Flight On-Time Performance and Carrier
+Statistics data (7 tables, 358 attributes, 162 M tuples, ~60 GB).  This
+generator reproduces its *shape* at laptop scale: a wide fact table of
+flights keyed by carrier / origin / destination / year with delay and
+distance measures, plus small dimension tables for carriers and airports and
+a monthly carrier-statistics table.  Delays are skewed (most flights on time,
+a long tail of large delays) as in the real data, which is what makes
+approximating them with levelled templates interesting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..access.builder import ConstraintSpec, FamilySpec
+from ..relational.database import Database
+from ..relational.distance import CATEGORICAL, numeric_scaled
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
+from .base import AttributeInfo, JoinEdge, Workload, sample_values
+
+CARRIERS = ("AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "G4")
+STATES = ("CA", "TX", "NY", "FL", "IL", "GA", "WA", "CO", "AZ", "MA", "NV", "OR")
+YEARS = tuple(range(1995, 2015))
+
+
+def _schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "carriers",
+                [Attribute("carrier"), Attribute("carrier_name"), Attribute("hub_state", CATEGORICAL)],
+            ),
+            RelationSchema(
+                "airports",
+                [
+                    Attribute("airport"),
+                    Attribute("state", CATEGORICAL),
+                    Attribute("lat", numeric_scaled(50.0)),
+                    Attribute("lon", numeric_scaled(120.0)),
+                ],
+            ),
+            RelationSchema(
+                "flights",
+                [
+                    Attribute("flight_id"),
+                    Attribute("carrier"),
+                    Attribute("origin"),
+                    Attribute("dest"),
+                    Attribute("year", numeric_scaled(float(len(YEARS)))),
+                    Attribute("month", numeric_scaled(12.0)),
+                    Attribute("dep_delay", numeric_scaled(360.0)),
+                    Attribute("arr_delay", numeric_scaled(360.0)),
+                    Attribute("distance", numeric_scaled(3000.0)),
+                ],
+            ),
+            RelationSchema(
+                "carrier_stats",
+                [
+                    Attribute("carrier"),
+                    Attribute("year", numeric_scaled(float(len(YEARS)))),
+                    Attribute("passengers", numeric_scaled(1e6)),
+                    Attribute("freight", numeric_scaled(1e5)),
+                ],
+            ),
+        ]
+    )
+
+
+def _skewed_delay(rng: random.Random) -> float:
+    """Mostly-on-time delays with a heavy tail, as in the BTS data."""
+    if rng.random() < 0.7:
+        return round(rng.uniform(-10.0, 15.0), 1)
+    return round(rng.expovariate(1 / 45.0), 1)
+
+
+def generate(flights: int = 6000, airports: int = 60, seed: int = 29) -> Workload:
+    """Generate the AIRCA-like workload with ``flights`` fact rows."""
+    rng = random.Random(seed)
+    schema = _schema()
+
+    airport_codes = [f"AP{i:03d}" for i in range(airports)]
+    carrier_rows = [
+        (code, f"{code} Airlines", rng.choice(STATES)) for code in CARRIERS
+    ]
+    airport_rows = [
+        (
+            code,
+            rng.choice(STATES),
+            round(rng.uniform(25.0, 49.0), 3),
+            round(rng.uniform(-124.0, -70.0), 3),
+        )
+        for code in airport_codes
+    ]
+    flight_rows = []
+    for flight_id in range(flights):
+        origin, dest = rng.sample(airport_codes, 2)
+        flight_rows.append(
+            (
+                flight_id,
+                rng.choice(CARRIERS),
+                origin,
+                dest,
+                rng.choice(YEARS),
+                rng.randint(1, 12),
+                _skewed_delay(rng),
+                _skewed_delay(rng),
+                round(rng.uniform(100.0, 2800.0), 0),
+            )
+        )
+    stats_rows = [
+        (carrier, year, rng.randint(10_000, 900_000), rng.randint(100, 90_000))
+        for carrier in CARRIERS
+        for year in YEARS
+    ]
+
+    database = Database(
+        schema,
+        {
+            "carriers": Relation(schema.relation("carriers"), carrier_rows),
+            "airports": Relation(schema.relation("airports"), airport_rows),
+            "flights": Relation(schema.relation("flights"), flight_rows),
+            "carrier_stats": Relation(schema.relation("carrier_stats"), stats_rows),
+        },
+    )
+
+    constraints = [
+        ConstraintSpec("carriers", ("carrier",), ("carrier_name", "hub_state"), n=1),
+        ConstraintSpec("airports", ("airport",), ("state", "lat", "lon"), n=1),
+        ConstraintSpec(
+            "flights",
+            ("flight_id",),
+            ("carrier", "origin", "dest", "year", "month", "dep_delay", "arr_delay", "distance"),
+            n=1,
+        ),
+        ConstraintSpec("carrier_stats", ("carrier", "year"), ("passengers", "freight"), n=1),
+        ConstraintSpec("carrier_stats", ("carrier",), ("year", "passengers", "freight")),
+    ]
+    families = [
+        FamilySpec("flights", ("carrier",), ("dep_delay", "arr_delay", "distance", "year", "month")),
+        FamilySpec("flights", ("origin",), ("dep_delay", "arr_delay", "distance", "carrier", "year")),
+        FamilySpec("flights", ("carrier", "year"), ("dep_delay", "arr_delay", "distance", "month")),
+        FamilySpec("airports", ("state",), ("lat", "lon")),
+    ]
+    join_edges = [
+        JoinEdge("flights", "carrier", "carriers", "carrier"),
+        JoinEdge("flights", "origin", "airports", "airport"),
+        JoinEdge("flights", "dest", "airports", "airport"),
+        JoinEdge("flights", "carrier", "carrier_stats", "carrier"),
+        JoinEdge("carrier_stats", "carrier", "carriers", "carrier"),
+    ]
+    attributes = [
+        AttributeInfo("flights", "carrier", "categorical", CARRIERS),
+        AttributeInfo("flights", "origin", "categorical", tuple(airport_codes[:12])),
+        AttributeInfo("flights", "dest", "categorical", tuple(airport_codes[:12])),
+        AttributeInfo("flights", "year", "numeric", low=min(YEARS), high=max(YEARS)),
+        AttributeInfo("flights", "month", "numeric", low=1, high=12),
+        AttributeInfo("flights", "dep_delay", "numeric", low=-10.0, high=360.0),
+        AttributeInfo("flights", "arr_delay", "numeric", low=-10.0, high=360.0),
+        AttributeInfo("flights", "distance", "numeric", low=100.0, high=2800.0),
+        AttributeInfo("carriers", "hub_state", "categorical", STATES),
+        AttributeInfo("airports", "state", "categorical", STATES),
+        AttributeInfo("airports", "lat", "numeric", low=25.0, high=49.0),
+        AttributeInfo("carrier_stats", "passengers", "numeric", low=10_000, high=900_000),
+        AttributeInfo("carrier_stats", "year", "numeric", low=min(YEARS), high=max(YEARS)),
+    ]
+
+    return Workload(
+        name="airca",
+        database=database,
+        constraints=constraints,
+        families=families,
+        join_edges=join_edges,
+        attributes=attributes,
+    )

@@ -1,0 +1,144 @@
+"""The social-graph workload of Example 1: ``person``, ``friend``, ``poi``.
+
+This is the paper's motivating scenario (Facebook Graph Search): find hotels
+under a price limit in cities where my friends live.  The generator mimics
+the structural facts the paper relies on: every ``pid`` has at most
+``max_friends`` friends (the Facebook 5000-friend limit behind access
+constraint ``ϕ1``), every person lives in exactly one city (``ϕ2``), and POIs
+are grouped by (type, city) with prices spread within each group (the ``ψ_i``
+template family).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..access.builder import ConstraintSpec, FamilySpec
+from ..relational.database import Database
+from ..relational.distance import CATEGORICAL, STRING_PREFIX, numeric_scaled
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
+from .base import AttributeInfo, JoinEdge, Workload, numeric_bounds, sample_values
+
+POI_TYPES = ("hotel", "bar", "cafe", "museum", "restaurant")
+PRICE_RANGE = (10.0, 400.0)
+
+
+def _schema() -> DatabaseSchema:
+    price_span = PRICE_RANGE[1] - PRICE_RANGE[0]
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "person",
+                [Attribute("pid"), Attribute("city")],
+            ),
+            RelationSchema(
+                "friend",
+                [Attribute("pid"), Attribute("fid")],
+            ),
+            RelationSchema(
+                "poi",
+                [
+                    Attribute("address", STRING_PREFIX),
+                    Attribute("type", CATEGORICAL),
+                    Attribute("city"),
+                    Attribute("price", numeric_scaled(price_span)),
+                ],
+            ),
+        ]
+    )
+
+
+def generate(
+    persons: int = 1000,
+    pois: int = 5000,
+    cities: int = 40,
+    max_friends: int = 8,
+    seed: int = 7,
+) -> Workload:
+    """Generate the social workload.
+
+    Args:
+        persons: number of people (and an equal number of friend-list owners).
+        pois: number of points of interest.
+        cities: number of distinct cities.
+        max_friends: per-person friend cap (the ``ϕ1`` cardinality bound).
+        seed: RNG seed (generation is deterministic given the arguments).
+    """
+    rng = random.Random(seed)
+    schema = _schema()
+
+    city_names = [f"city_{i:03d}" for i in range(cities)]
+    person_rows = [(pid, rng.choice(city_names)) for pid in range(persons)]
+
+    friend_rows = []
+    for pid in range(persons):
+        count = rng.randint(1, max_friends)
+        friends = rng.sample(range(persons), min(count, persons))
+        friend_rows.extend((pid, fid) for fid in friends if fid != pid)
+
+    poi_rows = []
+    for index in range(pois):
+        city = rng.choice(city_names)
+        poi_type = rng.choice(POI_TYPES)
+        price = round(rng.uniform(*PRICE_RANGE), 2)
+        poi_rows.append((f"{city}/street_{index % 97}/{index}", poi_type, city, price))
+
+    database = Database(
+        schema,
+        {
+            "person": Relation(schema.relation("person"), person_rows),
+            "friend": Relation(schema.relation("friend"), friend_rows),
+            "poi": Relation(schema.relation("poi"), poi_rows),
+        },
+    )
+
+    constraints = [
+        ConstraintSpec("friend", ("pid",), ("fid",), n=max_friends),
+        ConstraintSpec("person", ("pid",), ("city",), n=1),
+    ]
+    families = [
+        FamilySpec("poi", ("type", "city"), ("price", "address")),
+        FamilySpec("poi", ("city",), ("type", "price", "address")),
+        FamilySpec("poi", ("type",), ("city", "price", "address")),
+    ]
+    join_edges = [
+        JoinEdge("friend", "fid", "person", "pid"),
+        JoinEdge("friend", "pid", "person", "pid"),
+        JoinEdge("person", "city", "poi", "city"),
+    ]
+
+    prices = [row[3] for row in poi_rows]
+    low, high = numeric_bounds(prices)
+    attributes = [
+        AttributeInfo("person", "pid", "key", sample_values(range(persons), rng)),
+        AttributeInfo("person", "city", "categorical", tuple(city_names[:12])),
+        AttributeInfo("friend", "pid", "key", sample_values(range(persons), rng)),
+        AttributeInfo("friend", "fid", "key", sample_values(range(persons), rng)),
+        AttributeInfo("poi", "type", "categorical", POI_TYPES),
+        AttributeInfo("poi", "city", "categorical", tuple(city_names[:12])),
+        AttributeInfo("poi", "price", "numeric", low=low, high=high),
+        AttributeInfo("poi", "address", "key"),
+    ]
+
+    return Workload(
+        name="social",
+        database=database,
+        constraints=constraints,
+        families=families,
+        join_edges=join_edges,
+        attributes=attributes,
+    )
+
+
+def example_queries() -> List[str]:
+    """The queries of Example 1 (Q1 and Q2), parameterised for person 0."""
+    q1 = (
+        "select h.address, h.price "
+        "from poi as h, friend as f, person as p "
+        "where f.pid = 0 and f.fid = p.pid and p.city = h.city "
+        "and h.type = 'hotel' and h.price <= 95"
+    )
+    q2 = "select p.city from friend as f, person as p where f.pid = 0 and f.fid = p.pid"
+    return [q1, q2]

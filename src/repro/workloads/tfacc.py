@@ -1,0 +1,198 @@
+"""A synthetic TFACC-like workload (UK road accidents + public transport nodes).
+
+The paper's TFACC dataset combines the UK road-safety accident data
+(1979–2005) with the National Public Transport Access Nodes dataset
+(19 tables, 113 attributes, 89.7 M tuples, ~21 GB).  This generator keeps the
+shape that matters for the experiments: an accidents fact table with
+severity / road / weather categories, numeric casualty counts, speed limits
+and easting/northing coordinates; a vehicles table keyed by accident (1–4
+vehicles per accident); a casualties table; and a NaPTAN-like stops table
+with coordinates, joinable to accidents by local-authority district.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..access.builder import ConstraintSpec, FamilySpec
+from ..relational.database import Database
+from ..relational.distance import CATEGORICAL, numeric_scaled
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
+from .base import AttributeInfo, JoinEdge, Workload
+
+SEVERITIES = (1, 2, 3)  # fatal, serious, slight
+ROAD_TYPES = ("motorway", "a_road", "b_road", "minor", "roundabout")
+WEATHER = ("fine", "rain", "snow", "fog", "wind")
+VEHICLE_TYPES = ("car", "motorcycle", "bus", "hgv", "bicycle", "van")
+STOP_TYPES = ("bus", "rail", "tram", "ferry")
+YEARS = tuple(range(1979, 2006))
+DISTRICTS = tuple(range(1, 41))
+
+
+def _schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "accidents",
+                [
+                    Attribute("accident_id"),
+                    Attribute("severity", numeric_scaled(2.0)),
+                    Attribute("year", numeric_scaled(float(len(YEARS)))),
+                    Attribute("district"),
+                    Attribute("road_type", CATEGORICAL),
+                    Attribute("weather", CATEGORICAL),
+                    Attribute("speed_limit", numeric_scaled(50.0)),
+                    Attribute("casualties", numeric_scaled(8.0)),
+                    Attribute("easting", numeric_scaled(600000.0)),
+                    Attribute("northing", numeric_scaled(600000.0)),
+                ],
+            ),
+            RelationSchema(
+                "vehicles",
+                [
+                    Attribute("accident_id"),
+                    Attribute("vehicle_type", CATEGORICAL),
+                    Attribute("driver_age", numeric_scaled(80.0)),
+                ],
+            ),
+            RelationSchema(
+                "casualties",
+                [
+                    Attribute("accident_id"),
+                    Attribute("casualty_class", CATEGORICAL),
+                    Attribute("age", numeric_scaled(90.0)),
+                ],
+            ),
+            RelationSchema(
+                "stops",
+                [
+                    Attribute("stop_id"),
+                    Attribute("district"),
+                    Attribute("stop_type", CATEGORICAL),
+                    Attribute("easting", numeric_scaled(600000.0)),
+                    Attribute("northing", numeric_scaled(600000.0)),
+                ],
+            ),
+        ]
+    )
+
+
+def generate(accidents: int = 5000, stops: int = 1500, seed: int = 41) -> Workload:
+    """Generate the TFACC-like workload with ``accidents`` fact rows."""
+    rng = random.Random(seed)
+    schema = _schema()
+
+    accident_rows = []
+    vehicle_rows = []
+    casualty_rows = []
+    for accident_id in range(accidents):
+        severity = rng.choices(SEVERITIES, weights=(1, 6, 20))[0]
+        year = rng.choice(YEARS)
+        district = rng.choice(DISTRICTS)
+        accident_rows.append(
+            (
+                accident_id,
+                severity,
+                year,
+                district,
+                rng.choice(ROAD_TYPES),
+                rng.choices(WEATHER, weights=(12, 5, 1, 1, 1))[0],
+                rng.choice((20, 30, 40, 50, 60, 70)),
+                rng.choices(range(1, 9), weights=(30, 12, 5, 2, 1, 1, 1, 1))[0],
+                round(rng.uniform(100000.0, 655000.0), 0),
+                round(rng.uniform(10000.0, 655000.0), 0),
+            )
+        )
+        for _ in range(rng.randint(1, 4)):
+            vehicle_rows.append(
+                (accident_id, rng.choice(VEHICLE_TYPES), rng.randint(17, 90))
+            )
+        for _ in range(rng.randint(1, 3)):
+            casualty_rows.append(
+                (accident_id, rng.choice(("driver", "passenger", "pedestrian")), rng.randint(1, 90))
+            )
+    stop_rows = [
+        (
+            stop_id,
+            rng.choice(DISTRICTS),
+            rng.choices(STOP_TYPES, weights=(20, 3, 1, 1))[0],
+            round(rng.uniform(100000.0, 655000.0), 0),
+            round(rng.uniform(10000.0, 655000.0), 0),
+        )
+        for stop_id in range(stops)
+    ]
+
+    database = Database(
+        schema,
+        {
+            "accidents": Relation(schema.relation("accidents"), accident_rows),
+            "vehicles": Relation(schema.relation("vehicles"), vehicle_rows),
+            "casualties": Relation(schema.relation("casualties"), casualty_rows),
+            "stops": Relation(schema.relation("stops"), stop_rows),
+        },
+    )
+
+    constraints = [
+        ConstraintSpec(
+            "accidents",
+            ("accident_id",),
+            (
+                "severity", "year", "district", "road_type", "weather",
+                "speed_limit", "casualties", "easting", "northing",
+            ),
+            n=1,
+        ),
+        ConstraintSpec("vehicles", ("accident_id",), ("vehicle_type", "driver_age"), n=4),
+        ConstraintSpec("casualties", ("accident_id",), ("casualty_class", "age"), n=3),
+        ConstraintSpec("stops", ("stop_id",), ("district", "stop_type", "easting", "northing"), n=1),
+    ]
+    families = [
+        FamilySpec(
+            "accidents",
+            ("road_type",),
+            ("severity", "speed_limit", "casualties", "year", "district"),
+        ),
+        FamilySpec(
+            "accidents",
+            ("district",),
+            ("severity", "speed_limit", "casualties", "year", "easting", "northing"),
+        ),
+        FamilySpec(
+            "accidents",
+            ("year",),
+            ("severity", "speed_limit", "casualties", "district"),
+        ),
+        FamilySpec("vehicles", ("vehicle_type",), ("driver_age",)),
+        FamilySpec("stops", ("district",), ("stop_type", "easting", "northing")),
+        FamilySpec("stops", ("stop_type",), ("district", "easting", "northing")),
+    ]
+    join_edges = [
+        JoinEdge("vehicles", "accident_id", "accidents", "accident_id"),
+        JoinEdge("casualties", "accident_id", "accidents", "accident_id"),
+        JoinEdge("accidents", "district", "stops", "district"),
+    ]
+    attributes = [
+        AttributeInfo("accidents", "severity", "numeric", low=1, high=3),
+        AttributeInfo("accidents", "year", "numeric", low=min(YEARS), high=max(YEARS)),
+        AttributeInfo("accidents", "district", "categorical", DISTRICTS[:12]),
+        AttributeInfo("accidents", "road_type", "categorical", ROAD_TYPES),
+        AttributeInfo("accidents", "weather", "categorical", WEATHER),
+        AttributeInfo("accidents", "speed_limit", "numeric", low=20, high=70),
+        AttributeInfo("accidents", "casualties", "numeric", low=1, high=8),
+        AttributeInfo("vehicles", "vehicle_type", "categorical", VEHICLE_TYPES),
+        AttributeInfo("vehicles", "driver_age", "numeric", low=17, high=90),
+        AttributeInfo("casualties", "age", "numeric", low=1, high=90),
+        AttributeInfo("stops", "stop_type", "categorical", STOP_TYPES),
+        AttributeInfo("stops", "district", "categorical", DISTRICTS[:12]),
+    ]
+
+    return Workload(
+        name="tfacc",
+        database=database,
+        constraints=constraints,
+        families=families,
+        join_edges=join_edges,
+        attributes=attributes,
+    )

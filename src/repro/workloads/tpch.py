@@ -1,0 +1,241 @@
+"""A scaled-down TPC-H-like synthetic dataset.
+
+The paper's synthetic experiments use TPC-H ``dbgen`` with scale factors 5–25
+(up to ~200 M tuples).  This generator reproduces the schema shape, the
+key / foreign-key structure and the value distributions (uniform prices and
+quantities, categorical segments / brands / statuses, a small fixed
+nation/region hierarchy) at a scale controlled by ``scale`` — the number of
+rows is roughly ``scale × 2,800``, so sweeping ``scale`` reproduces the
+|D|-axis of Figs 6(e), 6(f), 6(j) and 6(l).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..access.builder import ConstraintSpec, FamilySpec
+from ..relational.database import Database
+from ..relational.distance import CATEGORICAL, numeric_scaled
+from ..relational.relation import Relation
+from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
+from .base import AttributeInfo, JoinEdge, Workload, numeric_bounds, sample_values
+
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY")
+BRANDS = tuple(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+PART_TYPES = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+ORDER_STATUS = ("F", "O", "P")
+SHIP_YEARS = tuple(range(1992, 1999))
+
+
+def _schema() -> DatabaseSchema:
+    return DatabaseSchema(
+        [
+            RelationSchema("region", [Attribute("r_regionkey"), Attribute("r_name", CATEGORICAL)]),
+            RelationSchema(
+                "nation",
+                [Attribute("n_nationkey"), Attribute("n_name", CATEGORICAL), Attribute("n_regionkey")],
+            ),
+            RelationSchema(
+                "supplier",
+                [
+                    Attribute("s_suppkey"),
+                    Attribute("s_nationkey"),
+                    Attribute("s_acctbal", numeric_scaled(10000.0)),
+                ],
+            ),
+            RelationSchema(
+                "customer",
+                [
+                    Attribute("c_custkey"),
+                    Attribute("c_nationkey"),
+                    Attribute("c_mktsegment", CATEGORICAL),
+                    Attribute("c_acctbal", numeric_scaled(10000.0)),
+                ],
+            ),
+            RelationSchema(
+                "part",
+                [
+                    Attribute("p_partkey"),
+                    Attribute("p_brand", CATEGORICAL),
+                    Attribute("p_type", CATEGORICAL),
+                    Attribute("p_size", numeric_scaled(50.0)),
+                    Attribute("p_retailprice", numeric_scaled(2000.0)),
+                ],
+            ),
+            RelationSchema(
+                "orders",
+                [
+                    Attribute("o_orderkey"),
+                    Attribute("o_custkey"),
+                    Attribute("o_orderstatus", CATEGORICAL),
+                    Attribute("o_totalprice", numeric_scaled(50000.0)),
+                    Attribute("o_orderyear", numeric_scaled(7.0)),
+                ],
+            ),
+            RelationSchema(
+                "lineitem",
+                [
+                    Attribute("l_orderkey"),
+                    Attribute("l_partkey"),
+                    Attribute("l_suppkey"),
+                    Attribute("l_quantity", numeric_scaled(50.0)),
+                    Attribute("l_extendedprice", numeric_scaled(50000.0)),
+                    Attribute("l_discount", numeric_scaled(0.1)),
+                    Attribute("l_shipyear", numeric_scaled(7.0)),
+                ],
+            ),
+        ]
+    )
+
+
+def generate(scale: int = 1, seed: int = 13) -> Workload:
+    """Generate the TPC-H-like workload at the given scale factor."""
+    rng = random.Random(seed * 1000 + scale)
+    schema = _schema()
+
+    n_customer = 100 * scale
+    n_supplier = 20 * scale
+    n_part = 200 * scale
+    n_orders = 500 * scale
+    lineitems_per_order = 4
+
+    region_rows = [(i, name) for i, name in enumerate(REGIONS)]
+    nation_rows = [(i, name, i % len(REGIONS)) for i, name in enumerate(NATIONS)]
+    supplier_rows = [
+        (i, rng.randrange(len(NATIONS)), round(rng.uniform(-999.0, 9999.0), 2))
+        for i in range(n_supplier)
+    ]
+    customer_rows = [
+        (
+            i,
+            rng.randrange(len(NATIONS)),
+            rng.choice(SEGMENTS),
+            round(rng.uniform(-999.0, 9999.0), 2),
+        )
+        for i in range(n_customer)
+    ]
+    part_rows = [
+        (
+            i,
+            rng.choice(BRANDS),
+            rng.choice(PART_TYPES),
+            rng.randint(1, 50),
+            round(900.0 + (i % 200) + rng.uniform(0, 100), 2),
+        )
+        for i in range(n_part)
+    ]
+    orders_rows = [
+        (
+            i,
+            rng.randrange(n_customer),
+            rng.choice(ORDER_STATUS),
+            round(rng.uniform(1000.0, 50000.0), 2),
+            rng.choice(SHIP_YEARS),
+        )
+        for i in range(n_orders)
+    ]
+    lineitem_rows = []
+    for order_key, *_ in orders_rows:
+        for _ in range(rng.randint(1, lineitems_per_order * 2 - 1)):
+            lineitem_rows.append(
+                (
+                    order_key,
+                    rng.randrange(n_part),
+                    rng.randrange(n_supplier),
+                    rng.randint(1, 50),
+                    round(rng.uniform(900.0, 50000.0), 2),
+                    round(rng.choice((0.0, 0.01, 0.02, 0.05, 0.1)), 2),
+                    rng.choice(SHIP_YEARS),
+                )
+            )
+
+    database = Database(
+        schema,
+        {
+            "region": Relation(schema.relation("region"), region_rows),
+            "nation": Relation(schema.relation("nation"), nation_rows),
+            "supplier": Relation(schema.relation("supplier"), supplier_rows),
+            "customer": Relation(schema.relation("customer"), customer_rows),
+            "part": Relation(schema.relation("part"), part_rows),
+            "orders": Relation(schema.relation("orders"), orders_rows),
+            "lineitem": Relation(schema.relation("lineitem"), lineitem_rows),
+        },
+    )
+
+    max_lineitems = max(
+        sum(1 for row in lineitem_rows if row[0] == key) for key in range(min(50, n_orders))
+    )
+    constraints = [
+        ConstraintSpec("region", ("r_regionkey",), ("r_name",), n=1),
+        ConstraintSpec("nation", ("n_nationkey",), ("n_name", "n_regionkey"), n=1),
+        ConstraintSpec("supplier", ("s_suppkey",), ("s_nationkey", "s_acctbal"), n=1),
+        ConstraintSpec(
+            "customer", ("c_custkey",), ("c_nationkey", "c_mktsegment", "c_acctbal"), n=1
+        ),
+        ConstraintSpec(
+            "part", ("p_partkey",), ("p_brand", "p_type", "p_size", "p_retailprice"), n=1
+        ),
+        ConstraintSpec(
+            "orders", ("o_orderkey",), ("o_custkey", "o_orderstatus", "o_totalprice", "o_orderyear"), n=1
+        ),
+        ConstraintSpec("orders", ("o_custkey",), ("o_orderkey",)),
+        ConstraintSpec(
+            "lineitem",
+            ("l_orderkey",),
+            ("l_partkey", "l_suppkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipyear"),
+            n=max(max_lineitems, lineitems_per_order * 2),
+        ),
+    ]
+    families = [
+        FamilySpec("lineitem", ("l_shipyear",), ("l_quantity", "l_extendedprice", "l_discount")),
+        FamilySpec("orders", ("o_orderyear",), ("o_totalprice", "o_orderstatus", "o_custkey")),
+        FamilySpec("orders", ("o_orderstatus",), ("o_totalprice", "o_orderyear")),
+        FamilySpec("customer", ("c_mktsegment",), ("c_acctbal", "c_nationkey")),
+        FamilySpec("part", ("p_brand",), ("p_size", "p_retailprice", "p_type")),
+        FamilySpec("supplier", ("s_nationkey",), ("s_acctbal",)),
+    ]
+    join_edges = [
+        JoinEdge("nation", "n_regionkey", "region", "r_regionkey"),
+        JoinEdge("supplier", "s_nationkey", "nation", "n_nationkey"),
+        JoinEdge("customer", "c_nationkey", "nation", "n_nationkey"),
+        JoinEdge("orders", "o_custkey", "customer", "c_custkey"),
+        JoinEdge("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        JoinEdge("lineitem", "l_partkey", "part", "p_partkey"),
+        JoinEdge("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ]
+
+    attributes = [
+        AttributeInfo("customer", "c_mktsegment", "categorical", SEGMENTS),
+        AttributeInfo("customer", "c_acctbal", "numeric", low=-999.0, high=9999.0),
+        AttributeInfo("part", "p_brand", "categorical", BRANDS[:12]),
+        AttributeInfo("part", "p_type", "categorical", PART_TYPES),
+        AttributeInfo("part", "p_size", "numeric", low=1, high=50),
+        AttributeInfo("part", "p_retailprice", "numeric", low=900.0, high=1200.0),
+        AttributeInfo("orders", "o_orderstatus", "categorical", ORDER_STATUS),
+        AttributeInfo("orders", "o_totalprice", "numeric", low=1000.0, high=50000.0),
+        AttributeInfo("orders", "o_orderyear", "numeric", low=1992, high=1998),
+        AttributeInfo("lineitem", "l_quantity", "numeric", low=1, high=50),
+        AttributeInfo("lineitem", "l_extendedprice", "numeric", low=900.0, high=50000.0),
+        AttributeInfo("lineitem", "l_discount", "numeric", low=0.0, high=0.1),
+        AttributeInfo("lineitem", "l_shipyear", "numeric", low=1992, high=1998),
+        AttributeInfo("supplier", "s_acctbal", "numeric", low=-999.0, high=9999.0),
+        AttributeInfo("nation", "n_name", "categorical", NATIONS[:12]),
+        AttributeInfo("region", "r_name", "categorical", REGIONS),
+    ]
+
+    return Workload(
+        name="tpch",
+        database=database,
+        constraints=constraints,
+        families=families,
+        join_edges=join_edges,
+        attributes=attributes,
+    )

@@ -1,0 +1,101 @@
+"""Shared fixtures: small deterministic datasets and BEAS instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Beas, ConstraintSpec, Database, FamilySpec, Relation
+from repro.relational.distance import CATEGORICAL, NUMERIC, numeric_scaled
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.workloads import social, tpch
+
+
+@pytest.fixture(scope="session")
+def social_workload():
+    """A small instance of the Example-1 social workload."""
+    return social.generate(persons=300, pois=1500, cities=15, max_friends=6, seed=11)
+
+
+@pytest.fixture(scope="session")
+def social_db(social_workload):
+    return social_workload.database
+
+
+@pytest.fixture(scope="session")
+def social_beas(social_workload):
+    return Beas(
+        social_workload.database,
+        constraints=social_workload.constraints,
+        families=social_workload.families,
+    )
+
+
+@pytest.fixture(scope="session")
+def tpch_workload():
+    """A scale-1 TPC-H-like workload."""
+    return tpch.generate(scale=1, seed=13)
+
+
+@pytest.fixture(scope="session")
+def tpch_beas(tpch_workload):
+    return Beas(
+        tpch_workload.database,
+        constraints=tpch_workload.constraints,
+        families=tpch_workload.families,
+    )
+
+
+@pytest.fixture()
+def tiny_schema():
+    """A tiny two-relation schema used by unit tests."""
+    return DatabaseSchema(
+        [
+            RelationSchema(
+                "emp",
+                [
+                    Attribute("eid"),
+                    Attribute("dept"),
+                    Attribute("salary", numeric_scaled(100.0)),
+                    Attribute("grade", CATEGORICAL),
+                ],
+            ),
+            RelationSchema(
+                "dept",
+                [Attribute("did"), Attribute("name", CATEGORICAL), Attribute("budget", NUMERIC)],
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def tiny_db(tiny_schema):
+    """A tiny deterministic database over :func:`tiny_schema`."""
+    rng = random.Random(5)
+    emp_rows = [
+        (i, i % 5, round(30 + (i * 7) % 70 + rng.random(), 2), f"g{i % 3}")
+        for i in range(60)
+    ]
+    dept_rows = [(d, f"dept_{d}", 1000.0 + 100 * d) for d in range(5)]
+    return Database(
+        tiny_schema,
+        {
+            "emp": Relation(tiny_schema.relation("emp"), emp_rows),
+            "dept": Relation(tiny_schema.relation("dept"), dept_rows),
+        },
+    )
+
+
+@pytest.fixture()
+def tiny_beas(tiny_db):
+    return Beas(
+        tiny_db,
+        constraints=[
+            ConstraintSpec("dept", ("did",), ("name", "budget"), n=1),
+            ConstraintSpec("emp", ("eid",), ("dept", "salary", "grade"), n=1),
+        ],
+        families=[
+            FamilySpec("emp", ("dept",), ("salary", "grade", "eid")),
+        ],
+    )

@@ -1,0 +1,120 @@
+"""Tests for access schemas, the canonical builder A_t and discovery."""
+
+import pytest
+
+from repro.access.builder import AccessSchemaBuilder, ConstraintSpec, FamilySpec
+from repro.access.discovery import discover, discover_constraints, discover_families
+from repro.access.schema import AccessSchema
+
+
+class TestBuilder:
+    def test_canonical_schema_has_one_family_per_relation(self, tiny_db):
+        schema = AccessSchemaBuilder(tiny_db).build_canonical()
+        assert len(schema.families) == len(tiny_db.relation_names)
+        for family in schema.families:
+            assert family.x == ()
+
+    def test_build_with_constraints_and_derived_families(self, tiny_db):
+        builder = AccessSchemaBuilder(tiny_db)
+        schema = builder.build(
+            constraints=[ConstraintSpec("emp", ("eid",), ("salary",))],
+            include_canonical=False,
+        )
+        assert len(schema.constraints) == 1
+        # Derived family emp(eid, salary -> dept, grade).
+        assert len(schema.families) == 1
+        derived = schema.families[0]
+        assert set(derived.x) == {"eid", "salary"}
+        assert set(derived.y) == {"dept", "grade"}
+
+    def test_no_derived_family_when_constraint_covers_relation(self, tiny_db):
+        builder = AccessSchemaBuilder(tiny_db)
+        schema = builder.build(
+            constraints=[ConstraintSpec("dept", ("did",), ("name", "budget"), n=1)],
+            include_canonical=False,
+        )
+        assert schema.families == []
+
+    def test_full_build_subsumes_canonical(self, tiny_beas, tiny_db):
+        schema = tiny_beas.access_schema
+        for relation in tiny_db.relation_names:
+            assert schema.whole_relation_family(relation) is not None
+
+    def test_measured_n_when_not_declared(self, tiny_db):
+        builder = AccessSchemaBuilder(tiny_db)
+        constraint = builder.build_constraint(ConstraintSpec("emp", ("dept",), ("eid",)))
+        assert constraint.spec.n == 12  # 60 employees over 5 departments
+
+    def test_max_level_caps_family_depth(self, tiny_db):
+        builder = AccessSchemaBuilder(tiny_db, max_level=2)
+        schema = builder.build_canonical()
+        assert all(family.max_level <= 2 for family in schema.families)
+
+
+class TestAccessSchemaLookups:
+    def test_applicable_constraints(self, tiny_beas):
+        schema = tiny_beas.access_schema
+        applicable = schema.applicable_constraints("dept", ["did"])
+        assert len(applicable) == 1
+        assert schema.applicable_constraints("dept", ["name"]) == []
+
+    def test_applicable_families(self, tiny_beas):
+        schema = tiny_beas.access_schema
+        families = schema.applicable_families("emp", ["dept"])
+        # The declared (dept -> ...) family and the whole-relation family.
+        assert len(families) >= 2
+
+    def test_cardinality_and_groups(self, tiny_beas):
+        schema = tiny_beas.access_schema
+        assert schema.cardinality > len(schema.constraints)
+        assert schema.distinct_template_groups() >= len(schema.families)
+
+    def test_index_sizes(self, tiny_beas, tiny_db):
+        counts = tiny_beas.access_schema.index_entry_counts()
+        assert counts["constraints"] >= tiny_db.relation("emp").rows.__len__()
+        assert counts["templates"] > 0
+        assert tiny_beas.access_schema.total_index_entries() == sum(counts.values())
+
+    def test_conformance_check(self, tiny_beas, tiny_db):
+        assert tiny_beas.access_schema.check_conformance(tiny_db, sample_levels=(0, 2))
+
+    def test_merge(self, tiny_db):
+        builder = AccessSchemaBuilder(tiny_db)
+        a = builder.build_canonical()
+        b = AccessSchema(constraints=[builder.build_constraint(ConstraintSpec("emp", ("eid",), ("salary",)))])
+        merged = a.merge(b)
+        assert len(merged.families) == len(a.families)
+        assert len(merged.constraints) == 1
+
+    def test_describe(self, tiny_beas):
+        text = tiny_beas.access_schema.describe()
+        assert "AccessSchema" in text and "emp" in text
+
+
+class TestDiscovery:
+    def test_discover_constraints_finds_keys(self, tiny_db):
+        specs = discover_constraints(tiny_db.relation("emp"), max_n=5)
+        xs = {spec.x for spec in specs}
+        assert ("eid",) in xs  # eid is a key: N = 1
+
+    def test_discovered_constraints_respect_max_n(self, tiny_db):
+        specs = discover_constraints(tiny_db.relation("emp"), max_n=5)
+        assert all(spec.n <= 5 for spec in specs)
+
+    def test_discover_families_prefers_large_groups(self, tiny_db):
+        families = discover_families(tiny_db.relation("emp"), min_group_size=10)
+        assert any(spec.x == ("dept",) for spec in families)
+
+    def test_discover_whole_database(self, tiny_db):
+        reports = discover(tiny_db, max_n=100)
+        assert {r.relation for r in reports} == set(tiny_db.relation_names)
+        emp_report = next(r for r in reports if r.relation == "emp")
+        assert emp_report.constraints
+
+    def test_discovered_specs_are_buildable(self, tiny_db):
+        reports = discover(tiny_db, max_n=100)
+        builder = AccessSchemaBuilder(tiny_db)
+        for report in reports:
+            for spec in report.constraints[:2]:
+                constraint = builder.build_constraint(spec)
+                assert constraint.spec.n >= constraint.index.n

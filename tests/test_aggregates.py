@@ -1,0 +1,65 @@
+"""Unit tests for aggregate functions (plain and weighted)."""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateFunction
+from repro.errors import QueryError
+
+
+class TestParsing:
+    def test_parse_names(self):
+        assert AggregateFunction.parse("Count") is AggregateFunction.COUNT
+        assert AggregateFunction.parse(" sum ") is AggregateFunction.SUM
+
+    def test_parse_unknown(self):
+        with pytest.raises(QueryError):
+            AggregateFunction.parse("median")
+
+    def test_needs_counts(self):
+        assert AggregateFunction.COUNT.needs_counts
+        assert AggregateFunction.SUM.needs_counts
+        assert AggregateFunction.AVG.needs_counts
+        assert not AggregateFunction.MIN.needs_counts
+        assert not AggregateFunction.MAX.needs_counts
+
+    def test_output_name(self):
+        assert AggregateFunction.COUNT.output_name("h.address") == "count(h.address)"
+
+
+class TestPlainApplication:
+    def test_min_max(self):
+        assert AggregateFunction.MIN.apply([3, 1, 2]) == 1
+        assert AggregateFunction.MAX.apply([3, 1, 2]) == 3
+
+    def test_sum_count_avg(self):
+        assert AggregateFunction.SUM.apply([1, 2, 3]) == 6
+        assert AggregateFunction.COUNT.apply([1, 2, 3]) == 3
+        assert AggregateFunction.AVG.apply([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_empty_returns_none(self):
+        for agg in AggregateFunction:
+            assert agg.apply([]) is None
+
+    def test_none_values_skipped_except_count(self):
+        assert AggregateFunction.SUM.apply([1, None, 3]) == 4
+        assert AggregateFunction.COUNT.apply([1, None, 3]) == 3
+
+
+class TestWeightedApplication:
+    def test_weighted_count_sums_weights(self):
+        assert AggregateFunction.COUNT.apply_weighted([(5, 10.0), (6, 2.0)]) == 12.0
+
+    def test_weighted_sum_scales_values(self):
+        assert AggregateFunction.SUM.apply_weighted([(5, 10.0), (6, 2.0)]) == 62.0
+
+    def test_weighted_avg(self):
+        value = AggregateFunction.AVG.apply_weighted([(10, 3.0), (20, 1.0)])
+        assert value == pytest.approx(12.5)
+
+    def test_weighted_min_max_ignore_weights(self):
+        pairs = [(5, 100.0), (9, 1.0)]
+        assert AggregateFunction.MIN.apply_weighted(pairs) == 5
+        assert AggregateFunction.MAX.apply_weighted(pairs) == 9
+
+    def test_zero_total_weight_avg(self):
+        assert AggregateFunction.AVG.apply_weighted([(1, 0.0)]) is None

@@ -1,0 +1,108 @@
+"""Tests for the Sampl / Histo / BlinkDB / Exact baselines."""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate_exact
+from repro.algebra.sql import parse_query
+from repro.baselines.blinkdb import StratifiedSampling
+from repro.baselines.exact import ExactEvaluation
+from repro.baselines.histogram import MultiDimHistogram
+from repro.baselines.sampling import UniformSampling
+
+SPC_SQL = "select e.salary from emp as e where e.salary <= 60"
+AGG_SQL = "select e.dept, count(e.eid) from emp as e group by e.dept"
+MINMAX_SQL = "select e.dept, min(e.salary) from emp as e group by e.dept"
+JOIN_SQL = (
+    "select e.salary, d.budget from emp as e, dept as d where e.dept = d.did and d.budget >= 1100"
+)
+
+
+class TestUniformSampling:
+    def test_synopsis_size_within_budget(self, tiny_db):
+        baseline = UniformSampling(tiny_db, seed=1).build(0.2)
+        assert baseline.synopsis_size() <= tiny_db.budget_for(0.2) + len(tiny_db.relation_names)
+
+    def test_answers_are_subset_for_selections(self, tiny_db):
+        baseline = UniformSampling(tiny_db, seed=1).build(0.5)
+        approx = baseline.answer(parse_query(SPC_SQL))
+        exact = evaluate_exact(parse_query(SPC_SQL), tiny_db)
+        assert approx.to_set() <= exact.to_set()
+
+    def test_counts_scaled_by_sampling_rate(self, tiny_db):
+        baseline = UniformSampling(tiny_db, seed=2).build(0.5)
+        approx = baseline.answer(parse_query(AGG_SQL))
+        total = sum(v for _, v in approx.rows)
+        # Horvitz–Thompson estimate of the total (60) should be within 2x.
+        assert 30 <= total <= 120
+
+    def test_full_alpha_reproduces_exact(self, tiny_db):
+        baseline = UniformSampling(tiny_db, seed=3).build(1.0)
+        approx = baseline.answer(parse_query(SPC_SQL))
+        exact = evaluate_exact(parse_query(SPC_SQL), tiny_db)
+        assert approx.to_set() == exact.to_set()
+
+    def test_answer_before_build_raises(self, tiny_db):
+        with pytest.raises(Exception):
+            UniformSampling(tiny_db).answer(parse_query(SPC_SQL))
+
+
+class TestHistogram:
+    def test_synopsis_size_within_budget(self, tiny_db):
+        baseline = MultiDimHistogram(tiny_db).build(0.2)
+        assert baseline.synopsis_size() <= tiny_db.budget_for(0.2) + len(tiny_db.relation_names)
+
+    def test_aggregate_totals_approximated(self, tiny_db):
+        baseline = MultiDimHistogram(tiny_db).build(0.3)
+        approx = baseline.answer(parse_query(AGG_SQL))
+        total = sum(v for _, v in approx.rows)
+        assert total == pytest.approx(60, rel=0.5)
+
+    def test_join_query_supported(self, tiny_db):
+        baseline = MultiDimHistogram(tiny_db).build(0.5)
+        approx = baseline.answer(parse_query(JOIN_SQL))
+        assert approx.schema.attribute_names == ("e.salary", "d.budget")
+
+    def test_larger_alpha_means_finer_buckets(self, tiny_db):
+        coarse = MultiDimHistogram(tiny_db).build(0.1).synopsis_size()
+        fine = MultiDimHistogram(tiny_db).build(0.8).synopsis_size()
+        assert fine >= coarse
+
+
+class TestBlinkDB:
+    def qcs(self):
+        return {"emp": ["dept", "grade"], "dept": ["name"]}
+
+    def test_supports_only_sum_count_avg_aggregates(self, tiny_db):
+        baseline = StratifiedSampling(tiny_db, qcs_columns=self.qcs()).build(0.3)
+        assert baseline.supports(parse_query(AGG_SQL))
+        assert not baseline.supports(parse_query(MINMAX_SQL))
+        assert not baseline.supports(parse_query(SPC_SQL))
+
+    def test_stratified_sample_covers_all_groups(self, tiny_db):
+        baseline = StratifiedSampling(tiny_db, qcs_columns=self.qcs()).build(0.3)
+        approx = baseline.answer(parse_query(AGG_SQL))
+        exact = evaluate_exact(parse_query(AGG_SQL), tiny_db)
+        assert {k for k, _ in approx.rows} == {k for k, _ in exact.rows}
+
+    def test_counts_scaled_per_stratum(self, tiny_db):
+        baseline = StratifiedSampling(tiny_db, qcs_columns=self.qcs()).build(0.3)
+        approx = baseline.answer(parse_query(AGG_SQL))
+        total = sum(v for _, v in approx.rows)
+        assert total == pytest.approx(60, rel=0.5)
+
+    def test_without_qcs_falls_back_to_uniform(self, tiny_db):
+        baseline = StratifiedSampling(tiny_db).build(0.3)
+        assert baseline.synopsis_size() > 0
+
+
+class TestExactBaseline:
+    def test_exact_matches_evaluator(self, tiny_db):
+        baseline = ExactEvaluation(tiny_db).build(1.0)
+        assert baseline.answer(parse_query(SPC_SQL)) == evaluate_exact(
+            parse_query(SPC_SQL), tiny_db
+        )
+
+    def test_metered_answer_counts_scans(self, tiny_db):
+        baseline = ExactEvaluation(tiny_db).build(1.0)
+        _, accessed = baseline.answer_metered(parse_query(SPC_SQL))
+        assert accessed == 60

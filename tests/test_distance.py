@@ -1,0 +1,111 @@
+"""Unit tests for per-attribute distance functions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.distance import (
+    CATEGORICAL,
+    INFINITY,
+    NUMERIC,
+    STRING_PREFIX,
+    TRIVIAL,
+    DistanceFunction,
+    numeric_scaled,
+    tuple_distance,
+)
+
+
+class TestTrivialDistance:
+    def test_equal_values(self):
+        assert TRIVIAL(3, 3) == 0.0
+        assert TRIVIAL("a", "a") == 0.0
+
+    def test_different_values(self):
+        assert TRIVIAL(3, 4) == INFINITY
+        assert TRIVIAL("a", "b") == INFINITY
+
+    def test_not_numeric(self):
+        assert TRIVIAL.numeric is False
+
+
+class TestNumericDistance:
+    def test_absolute_difference(self):
+        assert NUMERIC(3, 7) == 4.0
+        assert NUMERIC(7, 3) == 4.0
+
+    def test_zero(self):
+        assert NUMERIC(5.5, 5.5) == 0.0
+
+    def test_none_handling(self):
+        assert NUMERIC(None, None) == 0.0
+        assert NUMERIC(None, 3) == INFINITY
+
+    def test_is_numeric(self):
+        assert NUMERIC.numeric is True
+
+
+class TestCategoricalDistance:
+    def test_match_and_mismatch(self):
+        assert CATEGORICAL("hotel", "hotel") == 0.0
+        assert CATEGORICAL("hotel", "bar") == 1.0
+
+    def test_bounded(self):
+        assert CATEGORICAL("x", "y") <= 1.0
+
+
+class TestScaledDistance:
+    def test_scaling(self):
+        d = numeric_scaled(10.0)
+        assert d(0, 5) == pytest.approx(0.5)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            numeric_scaled(0.0)
+
+    def test_name_mentions_scale(self):
+        assert "10" in numeric_scaled(10.0).name
+
+
+class TestStringPrefixDistance:
+    def test_identical(self):
+        assert STRING_PREFIX("abc", "abc") == 0.0
+
+    def test_shared_prefix_is_closer(self):
+        far = STRING_PREFIX("london/xyz", "paris/xyz")
+        near = STRING_PREFIX("london/abc", "london/xyz")
+        assert near < far
+
+    def test_symmetry(self):
+        assert STRING_PREFIX("ab", "abcd") == STRING_PREFIX("abcd", "ab")
+
+
+class TestTupleDistance:
+    def test_worst_attribute(self):
+        distances = [NUMERIC, NUMERIC]
+        assert tuple_distance((1, 10), (2, 14), distances) == 4.0
+
+    def test_infinite_short_circuit(self):
+        distances = [TRIVIAL, NUMERIC]
+        assert tuple_distance(("a", 1), ("b", 1), distances) == INFINITY
+
+    def test_empty(self):
+        assert tuple_distance((), (), []) == 0.0
+
+
+@given(st.floats(-1e6, 1e6), st.floats(-1e6, 1e6), st.floats(-1e6, 1e6))
+def test_numeric_triangle_inequality(a, b, c):
+    assert NUMERIC(a, c) <= NUMERIC(a, b) + NUMERIC(b, c) + 1e-9
+
+
+@given(st.text(max_size=10), st.text(max_size=10))
+def test_categorical_symmetry(a, b):
+    assert CATEGORICAL(a, b) == CATEGORICAL(b, a)
+
+
+@given(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3))
+def test_numeric_symmetry_and_nonnegativity(a, b):
+    assert NUMERIC(a, b) == NUMERIC(b, a)
+    assert NUMERIC(a, b) >= 0.0

@@ -1,0 +1,178 @@
+"""Tests for exact RA / RA_aggr evaluation (the ground-truth engine)."""
+
+import pytest
+
+from repro.algebra.evaluator import Evaluator, DatabaseProvider, evaluate_exact
+from repro.algebra.sql import parse_query
+from repro.relational.database import AccessMeter
+
+
+def brute_force_join_filter(db, predicate):
+    """Reference nested-loop implementation for emp ⋈ dept queries."""
+    emp = db.relation("emp").rows
+    dept = db.relation("dept").rows
+    out = []
+    for e in emp:
+        for d in dept:
+            if predicate(e, d):
+                out.append((e, d))
+    return out
+
+
+class TestSelectionsAndProjections:
+    def test_simple_selection(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.salary <= 40")
+        result = evaluate_exact(q, tiny_db)
+        expected = {((r[0]),) for r in tiny_db.relation("emp").rows if r[2] <= 40}
+        assert result.to_set() == frozenset(expected)
+
+    def test_equality_on_categorical(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.grade = 'g1'")
+        result = evaluate_exact(q, tiny_db)
+        expected = {(r[0],) for r in tiny_db.relation("emp").rows if r[3] == "g1"}
+        assert result.to_set() == frozenset(expected)
+
+    def test_projection_deduplicates(self, tiny_db):
+        q = parse_query("select e.dept from emp as e")
+        result = evaluate_exact(q, tiny_db)
+        assert len(result) == 5
+
+    def test_multiple_conditions_are_conjunctive(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.salary >= 40 and e.salary <= 60")
+        result = evaluate_exact(q, tiny_db)
+        for (eid,) in result:
+            salary = dict((r[0], r[2]) for r in tiny_db.relation("emp").rows)[eid]
+            assert 40 <= salary <= 60
+
+
+class TestJoins:
+    def test_equijoin_matches_brute_force(self, tiny_db):
+        q = parse_query(
+            "select e.eid, d.name from emp as e, dept as d where e.dept = d.did"
+        )
+        result = evaluate_exact(q, tiny_db)
+        expected = {
+            (e[0], d[1]) for e, d in brute_force_join_filter(tiny_db, lambda e, d: e[1] == d[0])
+        }
+        assert result.to_set() == frozenset(expected)
+
+    def test_join_with_filter(self, tiny_db):
+        q = parse_query(
+            "select e.eid from emp as e, dept as d where e.dept = d.did and d.budget >= 1200"
+        )
+        result = evaluate_exact(q, tiny_db)
+        expected = {
+            (e[0],)
+            for e, d in brute_force_join_filter(
+                tiny_db, lambda e, d: e[1] == d[0] and d[2] >= 1200
+            )
+        }
+        assert result.to_set() == frozenset(expected)
+
+    def test_cartesian_product_size(self, tiny_db):
+        q = parse_query("select e.eid, d.did from emp as e, dept as d")
+        result = evaluate_exact(q, tiny_db)
+        assert len(result) == 60 * 5
+
+    def test_attr_attr_inequality(self, tiny_db):
+        q = parse_query(
+            "select e.eid from emp as e, dept as d where e.dept = d.did and e.salary <= d.budget"
+        )
+        result = evaluate_exact(q, tiny_db)
+        assert len(result) == 60  # every salary is below every budget
+
+
+class TestSetOperations:
+    def test_difference(self, tiny_db):
+        q = parse_query(
+            "select e.eid from emp as e where e.salary <= 60 "
+            "except select f.eid from emp as f where f.salary <= 40"
+        )
+        result = evaluate_exact(q, tiny_db)
+        rows = tiny_db.relation("emp").rows
+        expected = {(r[0],) for r in rows if r[2] <= 60} - {(r[0],) for r in rows if r[2] <= 40}
+        assert result.to_set() == frozenset(expected)
+
+    def test_union(self, tiny_db):
+        q = parse_query(
+            "select e.eid from emp as e where e.salary <= 35 "
+            "union select f.eid from emp as f where f.salary >= 90"
+        )
+        result = evaluate_exact(q, tiny_db)
+        rows = tiny_db.relation("emp").rows
+        expected = {(r[0],) for r in rows if r[2] <= 35 or r[2] >= 90}
+        assert result.to_set() == frozenset(expected)
+
+
+class TestAggregates:
+    def test_count_group_by(self, tiny_db):
+        q = parse_query("select e.dept, count(e.eid) from emp as e group by e.dept")
+        result = evaluate_exact(q, tiny_db)
+        counts = dict(result.rows)
+        assert sum(counts.values()) == 60
+        assert all(v == 12 for v in counts.values())
+
+    def test_sum_group_by(self, tiny_db):
+        q = parse_query("select e.dept, sum(e.salary) from emp as e group by e.dept")
+        result = evaluate_exact(q, tiny_db)
+        rows = tiny_db.relation("emp").rows
+        for dept, total in result.rows:
+            expected = sum(r[2] for r in rows if r[1] == dept)
+            assert total == pytest.approx(expected)
+
+    def test_min_max_group_by(self, tiny_db):
+        qmin = parse_query("select e.dept, min(e.salary) from emp as e group by e.dept")
+        qmax = parse_query("select e.dept, max(e.salary) from emp as e group by e.dept")
+        rows = tiny_db.relation("emp").rows
+        for dept, value in evaluate_exact(qmin, tiny_db).rows:
+            assert value == min(r[2] for r in rows if r[1] == dept)
+        for dept, value in evaluate_exact(qmax, tiny_db).rows:
+            assert value == max(r[2] for r in rows if r[1] == dept)
+
+    def test_avg_with_filter(self, tiny_db):
+        q = parse_query(
+            "select e.dept, avg(e.salary) from emp as e where e.salary >= 50 group by e.dept"
+        )
+        result = evaluate_exact(q, tiny_db)
+        rows = [r for r in tiny_db.relation("emp").rows if r[2] >= 50]
+        for dept, value in result.rows:
+            values = [r[2] for r in rows if r[1] == dept]
+            assert value == pytest.approx(sum(values) / len(values))
+
+    def test_aggregate_over_join_uses_bag_semantics(self, tiny_db):
+        q = parse_query(
+            "select d.name, count(e.eid) from emp as e, dept as d "
+            "where e.dept = d.did group by d.name"
+        )
+        result = evaluate_exact(q, tiny_db)
+        assert sum(v for _, v in result.rows) == 60
+
+
+class TestMeterAndRelaxation:
+    def test_exact_evaluation_charges_scans(self, tiny_db):
+        meter = AccessMeter()
+        q = parse_query("select e.eid from emp as e where e.salary <= 40")
+        evaluate_exact(q, tiny_db, meter)
+        assert meter.accessed == 60
+
+    def test_relaxed_selection_admits_near_misses(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.salary <= 40")
+        strict = evaluate_exact(q, tiny_db)
+        relaxed_eval = Evaluator(
+            tiny_db.schema,
+            DatabaseProvider(tiny_db),
+            relaxation={"e.salary": 0.2},  # salary distance is scaled by 100
+        )
+        relaxed = relaxed_eval.evaluate(q)
+        assert strict.to_set() <= relaxed.to_set()
+        assert len(relaxed) >= len(strict)
+
+    def test_relaxed_equality_uses_distance(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.salary = 30")
+        relaxed_eval = Evaluator(
+            tiny_db.schema, DatabaseProvider(tiny_db), relaxation={"e.salary": 0.05}
+        )
+        relaxed = relaxed_eval.evaluate(q)
+        for (eid,) in relaxed:
+            salary = dict((r[0], r[2]) for r in tiny_db.relation("emp").rows)[eid]
+            assert abs(salary - 30) / 100.0 <= 0.05 + 1e-9

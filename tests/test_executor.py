@@ -1,0 +1,97 @@
+"""Tests for bounded-plan execution (fetching, atom frames, relaxed evaluation)."""
+
+import pytest
+
+from repro.algebra.sql import parse_query
+from repro.core.executor import PlanExecutor
+from repro.core.planner import generate_plan
+from repro.errors import BudgetExceededError
+from repro.relational.database import AccessMeter
+
+Q1_SQL = (
+    "select h.address, h.price from poi as h, friend as f, person as p "
+    "where f.pid = 0 and f.fid = p.pid and p.city = h.city "
+    "and h.type = 'hotel' and h.price <= 95"
+)
+
+
+class TestFetching:
+    def test_step_frames_created_in_order(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        executor = PlanExecutor(social_db, plan)
+        frames = executor.fetch()
+        assert set(frames) == {step.name for step in plan.fetch_plan}
+
+    def test_fetched_rows_within_output_bounds(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        executor = PlanExecutor(social_db, plan)
+        frames = executor.fetch()
+        bounds = plan.fetch_plan.output_size_bounds()
+        for name, frame in frames.items():
+            assert len(frame) <= bounds[name]
+
+    def test_meter_enforces_budget(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        tight_meter = AccessMeter(budget=1, enforce=True)
+        executor = PlanExecutor(social_db, plan, tight_meter)
+        with pytest.raises(BudgetExceededError):
+            executor.fetch()
+
+    def test_constant_attributes_rematerialised(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        executor = PlanExecutor(social_db, plan)
+        executor.fetch()
+        frame = executor._atom_frames["f"]
+        assert "f.pid" in frame.schema
+        pid_pos = frame.schema.position("f.pid")
+        assert all(row[pid_pos] == 0 for row in frame.rows)
+
+
+class TestEvaluation:
+    def test_execute_returns_output_schema(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        result = PlanExecutor(social_db, plan).execute()
+        assert result.schema.attribute_names == ("h.address", "h.price")
+
+    def test_relaxed_prices_within_resolution(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        result = PlanExecutor(social_db, plan).execute()
+        slack = plan.resolution_map().get("h.price", 0.0) * 390.0  # un-scale the distance
+        price_pos = result.schema.position("h.price")
+        for row in result:
+            assert row[price_pos] <= 95 + slack + 1e-6
+
+    def test_evaluate_other_query_over_same_fetch(self, social_beas, social_db):
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        executor = PlanExecutor(social_db, plan)
+        executor.fetch()
+        projection = parse_query(
+            "select h.price from poi as h, friend as f, person as p "
+            "where f.pid = 0 and f.fid = p.pid and p.city = h.city "
+            "and h.type = 'hotel' and h.price <= 95"
+        )
+        narrower = executor.evaluate(projection)
+        assert narrower.schema.attribute_names == ("h.price",)
+
+    def test_exact_budget_reproduces_exact_answers(self, social_beas, social_db):
+        budget = social_db.total_tuples
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=budget
+        )
+        result = PlanExecutor(social_db, plan).execute()
+        exact = social_beas.answer_exact(Q1_SQL)
+        assert result.to_set() == exact.to_set()

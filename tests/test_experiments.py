@@ -1,0 +1,70 @@
+"""Tests for the experiment harness and reporting."""
+
+import pytest
+
+from repro.experiments import (
+    accuracy_sweep,
+    build_beas,
+    default_baselines,
+    format_series,
+    format_table,
+    mean_by,
+    run_baseline_query,
+    run_beas_query,
+    series_by_method_and_alpha,
+)
+from repro.workloads import QueryGenerator, social
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    workload = social.generate(persons=150, pois=600, cities=10, max_friends=5, seed=3)
+    generator = QueryGenerator(workload, seed=3)
+    queries = generator.workload_mix(count=4)
+    return workload, queries
+
+
+class TestHarness:
+    def test_run_beas_query(self, small_setup):
+        workload, queries = small_setup
+        beas = build_beas(workload)
+        outcome = run_beas_query(beas, workload, queries[0], alpha=0.05)
+        assert outcome.method == "BEAS"
+        assert 0.0 <= outcome.rc <= 1.0
+        assert 0.0 <= outcome.mac <= 1.0
+        assert outcome.eta is not None and outcome.eta <= outcome.rc + 1e-9
+        assert outcome.tuples_accessed <= workload.database.budget_for(0.05)
+
+    def test_run_baseline_query(self, small_setup):
+        workload, queries = small_setup
+        for baseline in default_baselines(workload):
+            baseline.build(0.05)
+            outcome = run_baseline_query(baseline, workload, queries[0], 0.05)
+            assert outcome.method == baseline.name
+            assert 0.0 <= outcome.rc <= 1.0
+
+    def test_accuracy_sweep_structure(self, small_setup):
+        workload, queries = small_setup
+        outcomes = accuracy_sweep(workload, queries[:2], alphas=[0.02, 0.1], include_baselines=False)
+        assert len(outcomes) == 4
+        series = series_by_method_and_alpha(outcomes, "rc")
+        assert "BEAS" in series and "BEAS(eta)" in series
+        assert set(series["BEAS"]) == {0.02, 0.1}
+
+    def test_mean_by(self, small_setup):
+        workload, queries = small_setup
+        outcomes = accuracy_sweep(workload, queries[:2], alphas=[0.05], include_baselines=False)
+        averages = mean_by(outcomes, key=lambda o: o.method, value=lambda o: o.rc)
+        assert set(averages) == {"BEAS"}
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="demo")
+        assert "demo" in text and "2.500" in text
+
+    def test_format_series(self):
+        text = format_series({"BEAS": {0.1: 0.9, 0.2: 0.95}, "Sampl": {0.1: 0.4}}, title="fig")
+        assert "fig" in text
+        assert "BEAS" in text and "Sampl" in text
+        assert "-" in text  # missing value placeholder

@@ -1,0 +1,155 @@
+"""End-to-end tests of the BEAS framework: the guarantees of Theorems 1, 5 and 6."""
+
+import pytest
+
+from repro.accuracy.rc import rc_accuracy
+from repro.algebra.sql import parse_query
+from repro.core.bounded import alpha_exact, exact_plan, is_boundedly_evaluable
+from repro.core.framework import Beas
+from repro.errors import QueryError
+
+Q1_SQL = (
+    "select h.address, h.price from poi as h, friend as f, person as p "
+    "where f.pid = 0 and f.fid = p.pid and p.city = h.city "
+    "and h.type = 'hotel' and h.price <= 95"
+)
+Q2_SQL = "select p.city from friend as f, person as p where f.pid = 0 and f.fid = p.pid"
+AGG_SQL = (
+    "select h.city, count(h.address) from poi as h, friend as f, person as p "
+    "where f.pid = 0 and f.fid = p.pid and p.city = h.city group by h.city"
+)
+DIFF_SQL = (
+    "select h.price from poi as h where h.type = 'hotel' and h.city = 'city_001' "
+    "except select b.price from poi as b where b.type = 'bar' and b.city = 'city_001'"
+)
+
+
+class TestAlphaBoundedness:
+    """BEAS accesses at most α·|D| tuples (the defining property)."""
+
+    @pytest.mark.parametrize("alpha", [0.005, 0.02, 0.1])
+    def test_access_within_budget_q1(self, social_beas, alpha):
+        result = social_beas.answer(Q1_SQL, alpha)
+        assert result.tuples_accessed <= result.budget
+        assert result.budget == social_beas.database.budget_for(alpha)
+
+    @pytest.mark.parametrize("sql", [Q2_SQL, AGG_SQL, DIFF_SQL])
+    def test_access_within_budget_other_classes(self, social_beas, sql):
+        result = social_beas.answer(sql, 0.02)
+        assert result.tuples_accessed <= result.budget
+
+    def test_plan_tariff_bounds_actual_access(self, social_beas):
+        result = social_beas.answer(Q1_SQL, 0.02)
+        assert result.tuples_accessed <= result.plan.tariff <= result.budget
+
+
+class TestAccuracyGuarantee:
+    """The returned η is a valid lower bound on the RC accuracy (Theorem 5/6)."""
+
+    @pytest.mark.parametrize("alpha", [0.01, 0.05, 0.2])
+    def test_eta_is_lower_bound_q1(self, social_beas, social_db, alpha):
+        result = social_beas.answer(Q1_SQL, alpha)
+        exact = social_beas.answer_exact(Q1_SQL)
+        accuracy = rc_accuracy(parse_query(Q1_SQL), social_db, result.rows, exact)
+        assert accuracy.accuracy >= result.eta - 1e-9
+
+    def test_eta_is_lower_bound_aggregate(self, social_beas, social_db):
+        result = social_beas.answer(AGG_SQL, 0.05)
+        exact = social_beas.answer_exact(AGG_SQL)
+        accuracy = rc_accuracy(parse_query(AGG_SQL), social_db, result.rows, exact)
+        assert accuracy.accuracy >= result.eta - 1e-9
+
+    def test_eta_monotone_in_alpha(self, social_beas):
+        etas = [social_beas.answer(Q1_SQL, alpha).eta for alpha in (0.01, 0.05, 0.2, 0.6)]
+        assert etas == sorted(etas)
+
+    def test_exact_plan_when_budget_allows(self, social_beas):
+        result = social_beas.answer(Q1_SQL, 0.9)
+        exact = social_beas.answer_exact(Q1_SQL)
+        assert result.exact
+        assert result.eta == 1.0
+        assert result.rows.to_set() == exact.to_set()
+
+
+class TestBoundedEvaluability:
+    def test_q2_is_boundedly_evaluable(self, social_beas, social_db):
+        assert social_beas.is_boundedly_evaluable(Q2_SQL)
+        result = social_beas.answer(Q2_SQL, 0.01)
+        assert result.boundedly_evaluable
+        assert result.exact
+        assert result.rows.to_set() == social_beas.answer_exact(Q2_SQL).to_set()
+
+    def test_q1_is_not_boundedly_evaluable(self, social_beas):
+        assert not social_beas.is_boundedly_evaluable(Q1_SQL)
+
+    def test_alpha_exact_small_for_bounded_queries(self, social_beas, social_db):
+        ratio = social_beas.alpha_exact(Q2_SQL)
+        assert ratio <= 0.01
+        # Exact answers really are obtained at that ratio.
+        result = social_beas.answer(Q2_SQL, max(ratio, 1e-6))
+        assert result.exact
+
+    def test_exact_plan_has_zero_resolution(self, social_beas, social_db):
+        plan = exact_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema
+        )
+        assert plan.exact
+        assert max(plan.resolution_map().values(), default=0.0) == 0.0
+
+    def test_alpha_exact_within_unit_interval(self, social_beas):
+        assert 0.0 < social_beas.alpha_exact(Q1_SQL) <= 1.0
+
+
+class TestSetDifferenceGuarantee:
+    def test_no_answer_from_negated_side(self, social_beas, social_db):
+        """Theorem 6(5): if t ∈ Q2(D) then t is never returned."""
+        q2_only = "select b.price from poi as b where b.type = 'bar' and b.city = 'city_001'"
+        negated = social_beas.answer_exact(q2_only).to_set()
+        for alpha in (0.01, 0.05, 0.3, 0.9):
+            result = social_beas.answer(DIFF_SQL, alpha)
+            assert not (result.rows.to_set() & negated)
+
+
+class TestResultMetadata:
+    def test_query_classification(self, social_beas):
+        assert social_beas.answer(Q1_SQL, 0.02).query_class == "SPC"
+        assert social_beas.answer(DIFF_SQL, 0.02).query_class == "RA"
+        assert social_beas.answer(AGG_SQL, 0.02).query_class == "agg(SPC)"
+
+    def test_timings_recorded(self, social_beas):
+        result = social_beas.answer(Q1_SQL, 0.02)
+        assert result.plan_seconds >= 0.0
+        assert result.execution_seconds >= 0.0
+
+    def test_explain_mentions_fetch_steps(self, social_beas):
+        text = social_beas.explain(Q1_SQL, 0.02)
+        assert "fetch" in text
+        assert "friend" in text and "poi" in text
+
+    def test_answer_accepts_ast_and_string(self, social_beas):
+        from_string = social_beas.answer(Q2_SQL, 0.02)
+        from_ast = social_beas.answer(parse_query(Q2_SQL), 0.02)
+        assert from_string.rows.to_set() == from_ast.rows.to_set()
+
+    def test_invalid_query_object(self, social_beas):
+        with pytest.raises(QueryError):
+            social_beas.answer(42, 0.02)  # type: ignore[arg-type]
+
+    def test_default_access_schema_is_canonical(self, tiny_db):
+        beas = Beas(tiny_db)
+        result = beas.answer("select e.salary from emp as e where e.salary <= 50", 0.5)
+        assert result.tuples_accessed <= result.budget
+
+
+class TestAccuracyImprovesWithAlpha:
+    def test_rc_accuracy_trend(self, social_beas, social_db):
+        query = parse_query(Q1_SQL)
+        exact = social_beas.answer_exact(Q1_SQL)
+        accuracies = []
+        for alpha in (0.005, 0.05, 0.5):
+            rows = social_beas.answer(Q1_SQL, alpha).rows
+            accuracies.append(rc_accuracy(query, social_db, rows, exact).accuracy)
+        # Not necessarily strictly monotone query-by-query, but the largest
+        # budget should not be worse than the smallest.
+        assert accuracies[-1] >= accuracies[0]
+        assert accuracies[-1] == 1.0

@@ -1,0 +1,64 @@
+"""Unit tests for hash and sorted indexes."""
+
+import pytest
+
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.distance import NUMERIC
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture()
+def relation():
+    schema = RelationSchema("t", [Attribute("k"), Attribute("v", NUMERIC)])
+    return Relation(schema, [("a", 1), ("a", 2), ("b", 3), ("c", 4), ("c", 5), ("c", None)])
+
+
+class TestHashIndex:
+    def test_lookup(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert index.lookup(("a",)) == [("a", 1), ("a", 2)]
+        assert index.lookup(("z",)) == []
+
+    def test_keys_and_sizes(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert set(index.keys()) == {("a",), ("b",), ("c",)}
+        assert index.group_sizes()[("c",)] == 3
+        assert index.max_group_size() == 3
+
+    def test_entry_count(self, relation):
+        index = HashIndex(relation, ["k"])
+        assert index.entry_count == 6
+        assert len(index) == 3
+
+    def test_composite_key(self, relation):
+        index = HashIndex(relation, ["k", "v"])
+        assert index.lookup(("a", 1)) == [("a", 1)]
+
+    def test_empty_relation(self):
+        schema = RelationSchema("t", [Attribute("k")])
+        index = HashIndex(Relation(schema), ["k"])
+        assert index.max_group_size() == 0
+        assert index.entry_count == 0
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self, relation):
+        index = SortedIndex(relation, "v")
+        rows = index.range(2, 4)
+        assert [r[1] for r in rows] == [2, 3, 4]
+
+    def test_range_open_ends(self, relation):
+        index = SortedIndex(relation, "v")
+        assert len(index.range(None, 3)) == 3
+        assert len(index.range(4, None)) == 2
+        assert len(index.range(None, None)) == 5  # None values excluded
+
+    def test_range_exclusive(self, relation):
+        index = SortedIndex(relation, "v")
+        rows = index.range(2, 4, include_low=False, include_high=False)
+        assert [r[1] for r in rows] == [3]
+
+    def test_entry_count_skips_none(self, relation):
+        index = SortedIndex(relation, "v")
+        assert index.entry_count == 5

@@ -1,0 +1,96 @@
+"""Unit tests for in-memory relations."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.distance import NUMERIC
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema("emp", [Attribute("eid"), Attribute("dept"), Attribute("salary", NUMERIC)])
+
+
+@pytest.fixture()
+def relation(schema):
+    return Relation(schema, [(1, "a", 10.0), (2, "a", 20.0), (3, "b", 30.0), (3, "b", 30.0)])
+
+
+class TestConstruction:
+    def test_append_and_len(self, schema):
+        rel = Relation(schema)
+        rel.append((1, "a", 5.0))
+        assert len(rel) == 1
+
+    def test_arity_mismatch(self, schema):
+        rel = Relation(schema)
+        with pytest.raises(SchemaError):
+            rel.append((1, "a"))
+
+    def test_from_dicts(self, schema):
+        rel = Relation.from_dicts(schema, [{"eid": 1, "dept": "x", "salary": 3.0}])
+        assert rel.rows == [(1, "x", 3.0)]
+
+    def test_is_empty(self, schema):
+        assert Relation(schema).is_empty()
+
+
+class TestAccessors:
+    def test_column(self, relation):
+        assert relation.column("dept") == ["a", "a", "b", "b"]
+
+    def test_records(self, relation):
+        records = relation.records()
+        assert records[0] == {"eid": 1, "dept": "a", "salary": 10.0}
+
+    def test_contains(self, relation):
+        assert (1, "a", 10.0) in relation
+        assert (9, "z", 0.0) not in relation
+
+    def test_iteration(self, relation):
+        assert sum(1 for _ in relation) == 4
+
+
+class TestOperations:
+    def test_project_distinct(self, relation):
+        projected = relation.project(["dept"])
+        assert sorted(projected.rows) == [("a",), ("b",)]
+
+    def test_project_keep_duplicates(self, relation):
+        projected = relation.project(["dept"], distinct=False)
+        assert len(projected) == 4
+
+    def test_select(self, relation):
+        idx = relation.schema.position("salary")
+        selected = relation.select(lambda row: row[idx] > 15)
+        assert len(selected) == 3
+
+    def test_distinct(self, relation):
+        assert len(relation.distinct()) == 3
+
+    def test_group_by(self, relation):
+        groups = relation.group_by(["dept"])
+        assert len(groups[("a",)]) == 2
+        assert len(groups[("b",)]) == 2
+
+    def test_rename(self, relation):
+        renamed = relation.rename("workers")
+        assert renamed.schema.name == "workers"
+        assert len(renamed) == len(relation)
+
+    def test_to_set(self, relation):
+        assert len(relation.to_set()) == 3
+
+    def test_sorted_stable(self, relation):
+        assert len(relation.sorted()) == len(relation)
+
+    def test_equality_is_bag_based(self, schema):
+        a = Relation(schema, [(1, "a", 1.0), (2, "b", 2.0)])
+        b = Relation(schema, [(2, "b", 2.0), (1, "a", 1.0)])
+        assert a == b
+
+    def test_not_hashable(self, relation):
+        with pytest.raises(TypeError):
+            hash(relation)

@@ -1,0 +1,112 @@
+"""Tests for query relaxation (candidate queries and relaxation requirements)."""
+
+import pytest
+
+from repro.algebra.ast import Select
+from repro.algebra.evaluator import DatabaseProvider, Evaluator
+from repro.algebra.relax import RelaxationOracle, is_relaxable, relaxed_query, split_condition
+from repro.algebra.sql import parse_query
+from repro.algebra.spc import to_spc
+from repro.relational.distance import INFINITY
+
+
+class TestSplitCondition:
+    def test_numeric_predicates_are_relaxable(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.salary <= 40 and e.eid = 3")
+        select = next(n for n in q.walk() if isinstance(n, Select))
+        schema = select.child.output_schema(tiny_db.schema)
+        split = split_condition(select.condition, schema)
+        assert len(split.relaxable) == 1
+        assert len(split.hard) == 1
+        assert split.relaxable.comparisons[0].attributes()[0].attribute == "salary"
+
+    def test_categorical_predicates_are_relaxable(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.grade = 'g1'")
+        select = next(n for n in q.walk() if isinstance(n, Select))
+        schema = select.child.output_schema(tiny_db.schema)
+        assert is_relaxable(select.condition.comparisons[0], schema)
+
+    def test_key_predicates_are_hard(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.eid = 3")
+        select = next(n for n in q.walk() if isinstance(n, Select))
+        schema = select.child.output_schema(tiny_db.schema)
+        assert not is_relaxable(select.condition.comparisons[0], schema)
+
+
+class TestRelaxedQuery:
+    def test_candidate_query_superset(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.salary <= 40")
+        candidate, dropped = relaxed_query(q, tiny_db.schema)
+        assert len(dropped) == 1
+        evaluator = Evaluator(tiny_db.schema, DatabaseProvider(tiny_db))
+        strict = evaluator.evaluate(q)
+        loose = evaluator.evaluate(candidate)
+        assert strict.to_set() <= loose.to_set()
+        assert len(loose) == 60  # all employees are candidates
+
+    def test_hard_conditions_kept(self, tiny_db):
+        q = parse_query(
+            "select e.eid from emp as e, dept as d where e.dept = d.did and e.salary <= 40"
+        )
+        candidate, dropped = relaxed_query(q, tiny_db.schema)
+        # The join on trivial-distance keys stays; only the salary filter drops.
+        assert len(dropped) == 1
+        evaluator = Evaluator(tiny_db.schema, DatabaseProvider(tiny_db))
+        loose = evaluator.evaluate(candidate)
+        assert len(loose) == 60
+
+    def test_difference_right_side_untouched(self, tiny_db):
+        q = parse_query(
+            "select e.eid from emp as e where e.salary <= 60 "
+            "except select f.eid from emp as f where f.salary <= 40"
+        )
+        candidate, dropped = relaxed_query(q, tiny_db.schema)
+        # Only the positive side's selection is dropped.
+        assert len(dropped) == 1
+
+
+class TestRelaxationOracle:
+    def _oracle_for(self, tiny_db, sql):
+        q = parse_query(sql)
+        spc = to_spc(q)
+        spc.output = ()
+        base = spc.to_ast()
+        candidate, dropped = relaxed_query(base, tiny_db.schema)
+        evaluator = Evaluator(tiny_db.schema, DatabaseProvider(tiny_db))
+        frame = evaluator.evaluate_frame(candidate)
+        return frame, RelaxationOracle(frame.schema, dropped)
+
+    def test_requirement_zero_for_satisfying_tuples(self, tiny_db):
+        frame, oracle = self._oracle_for(
+            tiny_db, "select e.eid from emp as e where e.salary <= 200"
+        )
+        assert all(oracle.requirement(row) == 0.0 for row in frame.rows)
+
+    def test_requirement_matches_violation(self, tiny_db):
+        frame, oracle = self._oracle_for(
+            tiny_db, "select e.eid from emp as e where e.salary <= 40"
+        )
+        salary_pos = frame.schema.position("e.salary")
+        for row in frame.rows:
+            # Violations are measured in the attribute's (range-scaled)
+            # distance units: salary uses numeric_scaled(100).
+            raw_violation = max(0.0, float(row[salary_pos]) - 40.0)
+            expected = raw_violation / 100.0 if raw_violation > 0 else 0.0
+            assert oracle.requirement(row) == pytest.approx(expected)
+
+    def test_requirement_infinite_for_unrelaxable_mismatch(self, tiny_db):
+        q = parse_query("select e.eid from emp as e where e.grade = 'g0' and e.eid = 1")
+        spc = to_spc(q)
+        spc.output = ()
+        candidate, dropped = relaxed_query(spc.to_ast(), tiny_db.schema)
+        evaluator = Evaluator(tiny_db.schema, DatabaseProvider(tiny_db))
+        frame = evaluator.evaluate_frame(candidate)
+        oracle = RelaxationOracle(frame.schema, dropped)
+        grade_pos = frame.schema.position("e.grade")
+        for row in frame.rows:
+            requirement = oracle.requirement(row)
+            if row[grade_pos] == "g0":
+                assert requirement == 0.0
+            else:
+                # Categorical mismatch costs exactly 1 under CATEGORICAL distance.
+                assert requirement == 1.0

@@ -1,0 +1,123 @@
+"""Unit tests for relation and database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.distance import CATEGORICAL, NUMERIC, TRIVIAL
+from repro.relational.schema import (
+    Attribute,
+    DatabaseSchema,
+    RelationSchema,
+    build_schema,
+    key_attribute,
+    numeric_attribute,
+)
+
+
+@pytest.fixture()
+def poi_schema():
+    return RelationSchema(
+        "poi",
+        [
+            Attribute("address"),
+            Attribute("type", CATEGORICAL),
+            Attribute("city"),
+            Attribute("price", NUMERIC),
+        ],
+    )
+
+
+class TestRelationSchema:
+    def test_attribute_names_in_order(self, poi_schema):
+        assert poi_schema.attribute_names == ("address", "type", "city", "price")
+
+    def test_position(self, poi_schema):
+        assert poi_schema.position("city") == 2
+
+    def test_position_unknown_raises(self, poi_schema):
+        with pytest.raises(SchemaError):
+            poi_schema.position("nope")
+
+    def test_positions(self, poi_schema):
+        assert poi_schema.positions(["price", "address"]) == [3, 0]
+
+    def test_contains(self, poi_schema):
+        assert "price" in poi_schema
+        assert "missing" not in poi_schema
+
+    def test_distance_lookup(self, poi_schema):
+        assert poi_schema.distance("price") is NUMERIC
+        assert poi_schema.distance("address") is TRIVIAL
+
+    def test_project(self, poi_schema):
+        projected = poi_schema.project(["price", "city"])
+        assert projected.attribute_names == ("price", "city")
+        assert projected.distance("price") is NUMERIC
+
+    def test_rename(self, poi_schema):
+        renamed = poi_schema.rename("hotels")
+        assert renamed.name == "hotels"
+        assert renamed.attribute_names == poi_schema.attribute_names
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [Attribute("a"), Attribute("a")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", [])
+        with pytest.raises(SchemaError):
+            RelationSchema("", [Attribute("a")])
+
+    def test_equality_and_hash(self, poi_schema):
+        same = RelationSchema("poi", poi_schema.attributes)
+        assert same == poi_schema
+        assert hash(same) == hash(poi_schema)
+
+    def test_len(self, poi_schema):
+        assert len(poi_schema) == 4
+
+
+class TestDatabaseSchema:
+    def test_lookup(self, poi_schema):
+        db = DatabaseSchema([poi_schema])
+        assert db.relation("poi") is poi_schema
+        assert "poi" in db
+        assert len(db) == 1
+
+    def test_unknown_relation(self, poi_schema):
+        db = DatabaseSchema([poi_schema])
+        with pytest.raises(SchemaError):
+            db.relation("nope")
+
+    def test_duplicate_relations_rejected(self, poi_schema):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([poi_schema, poi_schema])
+
+    def test_add(self, poi_schema):
+        db = DatabaseSchema([poi_schema])
+        db.add(RelationSchema("other", [Attribute("x")]))
+        assert "other" in db
+        with pytest.raises(SchemaError):
+            db.add(poi_schema)
+
+    def test_iteration(self, poi_schema):
+        db = DatabaseSchema([poi_schema, RelationSchema("other", [Attribute("x")])])
+        assert {r.name for r in db} == {"poi", "other"}
+
+
+class TestBuildSchema:
+    def test_build_schema_helper(self):
+        schema = build_schema(
+            {
+                "person": [("pid", None), ("city", None)],
+                "poi": [("price", NUMERIC), ("type", CATEGORICAL)],
+            }
+        )
+        assert set(schema.relation_names) == {"person", "poi"}
+        assert schema.relation("poi").distance("price") is NUMERIC
+        assert schema.relation("person").distance("pid") is TRIVIAL
+
+    def test_attribute_constructors(self):
+        assert numeric_attribute("x").numeric is True
+        assert key_attribute("k").numeric is False

@@ -1,0 +1,119 @@
+"""Unit tests for the SQL-ish parser."""
+
+import pytest
+
+from repro.algebra.aggregates import AggregateFunction
+from repro.algebra.ast import Difference, GroupBy, Project, Scan, Select, Union
+from repro.algebra.predicates import CompareOp
+from repro.algebra.sql import parse_query
+from repro.errors import ParseError
+
+
+class TestBasicSelect:
+    def test_simple_projection(self):
+        q = parse_query("select r.a, r.b from rel as r")
+        assert isinstance(q, Project)
+        assert [c.qualified for c in q.columns] == ["r.a", "r.b"]
+        assert isinstance(q.child, Scan)
+        assert q.child.relation == "rel" and q.child.effective_alias == "r"
+
+    def test_default_alias_is_relation_name(self):
+        q = parse_query("select rel.a from rel")
+        scan = q.scans()[0]
+        assert scan.effective_alias == "rel"
+
+    def test_alias_without_as(self):
+        q = parse_query("select r.a from rel r")
+        assert q.scans()[0].effective_alias == "r"
+
+    def test_where_conditions(self):
+        q = parse_query("select r.a from rel as r where r.a = 3 and r.b <= 4.5 and r.c = 'x'")
+        select = next(n for n in q.walk() if isinstance(n, Select))
+        assert len(select.condition) == 3
+        ops = [c.op for c in select.condition]
+        assert ops == [CompareOp.EQ, CompareOp.LE, CompareOp.EQ]
+        constants = [c.constant() for c in select.condition]
+        assert constants == [3, 4.5, "x"]
+
+    def test_double_quoted_string(self):
+        q = parse_query('select r.a from rel as r where r.c = "hello"')
+        select = next(n for n in q.walk() if isinstance(n, Select))
+        assert select.condition.comparisons[0].constant() == "hello"
+
+    def test_join_predicate(self):
+        q = parse_query("select a.x from r as a, s as b where a.k = b.k")
+        assert q.product_count() == 1
+        assert q.relation_count() == 2
+
+    def test_negative_number(self):
+        q = parse_query("select r.a from rel as r where r.a >= -5")
+        select = next(n for n in q.walk() if isinstance(n, Select))
+        assert select.condition.comparisons[0].constant() == -5
+
+
+class TestAggregates:
+    def test_group_by(self):
+        q = parse_query("select r.city, count(r.addr) from rel as r group by r.city")
+        assert isinstance(q, GroupBy)
+        assert q.aggregate is AggregateFunction.COUNT
+        assert q.agg_column.qualified == "r.addr"
+        assert [c.qualified for c in q.group_columns] == ["r.city"]
+
+    def test_all_aggregate_functions(self):
+        for name in ("min", "max", "sum", "avg", "count"):
+            q = parse_query(f"select r.city, {name}(r.v) from rel as r group by r.city")
+            assert isinstance(q, GroupBy)
+            assert q.aggregate is AggregateFunction.parse(name)
+
+    def test_aggregate_without_group_by_uses_select_columns(self):
+        q = parse_query("select r.city, sum(r.v) from rel as r")
+        assert isinstance(q, GroupBy)
+        assert [c.qualified for c in q.group_columns] == ["r.city"]
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select r.city from rel as r group by r.city")
+
+    def test_non_grouped_column_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("select r.city, r.other, sum(r.v) from rel as r group by r.city")
+
+
+class TestSetOperations:
+    def test_except(self):
+        q = parse_query("select r.a from rel as r except select s.a from rel as s")
+        assert isinstance(q, Difference)
+        assert q.has_difference()
+
+    def test_union(self):
+        q = parse_query("select r.a from rel as r union select s.a from rel as s")
+        assert isinstance(q, Union)
+
+    def test_left_associative_chain(self):
+        q = parse_query(
+            "select r.a from rel as r except select s.a from rel as s except select t.a from rel as t"
+        )
+        assert isinstance(q, Difference)
+        assert isinstance(q.left, Difference)
+
+
+class TestErrors:
+    def test_empty_query(self):
+        with pytest.raises(ParseError):
+            parse_query("")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("select a.b where x = 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query("select r.a from rel as r order by r.a")
+
+    def test_bad_operator(self):
+        with pytest.raises(ParseError):
+            parse_query("select r.a from rel as r where r.a ~ 3")
+
+    def test_unterminated_condition(self):
+        with pytest.raises(ParseError):
+            parse_query("select r.a from rel as r where r.a =")
