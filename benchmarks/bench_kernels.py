@@ -1,0 +1,185 @@
+"""Micro-benchmark: distance kernels vs. the naive nested-loop scans.
+
+Times the three kernel-accelerated hot paths against their quadratic
+references at several input scales and writes the series to
+``BENCH_kernels.json`` at the repository root, so future PRs can track the
+performance trajectory:
+
+* ``relaxed_join`` — :meth:`repro.relational.kernels.RadiusMatcher.matches`
+  (the evaluator's slack join) vs. :func:`naive_radius_matches`,
+* ``difference_guard`` — :meth:`~repro.relational.kernels.RadiusMatcher.any_match`
+  (the BEAS set-difference guard) vs. a short-circuiting nested loop,
+* ``rc_nearest`` — :meth:`repro.relational.kernels.NearestNeighbors.min_distance`
+  (RC coverage/relevance) vs. :func:`naive_min_distance`.
+
+Every timed run also cross-checks that the kernel and naive results are
+identical, so the benchmark doubles as a coarse differential test.  Run it
+directly (no pytest needed)::
+
+    python benchmarks/bench_kernels.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments import format_table  # noqa: E402
+from repro.relational.distance import NUMERIC, TRIVIAL  # noqa: E402
+from repro.relational.kernels import (  # noqa: E402
+    NearestNeighbors,
+    RadiusMatcher,
+    naive_min_distance,
+    naive_radius_matches,
+    pair_within,
+)
+from repro.relational.schema import Attribute  # noqa: E402
+
+SCALES = (1_000, 3_000, 10_000)
+QUERY_COUNT = 300
+OUTPUT = REPO_ROOT / "BENCH_kernels.json"
+
+POSITIONS = [0, 1]
+DISTANCES = [TRIVIAL, NUMERIC]
+SLACK = [0.0, 2.0]
+ATTRIBUTES = [Attribute("id", TRIVIAL), Attribute("x", NUMERIC), Attribute("y", NUMERIC)]
+
+
+def _join_rows(size: int, rng: random.Random):
+    """(id, value) rows: ~100-row id buckets, values spread so bands stay narrow."""
+    ids = max(1, size // 100)
+    return [(rng.randrange(ids), rng.uniform(0, size / 10)) for _ in range(size)]
+
+
+def _point_rows(size: int, rng: random.Random):
+    ids = max(1, size // 500)
+    return [
+        (rng.randrange(ids), rng.uniform(0, size / 10), rng.uniform(0, 50))
+        for _ in range(size)
+    ]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def bench_relaxed_join(size: int, queries: int, rng: random.Random):
+    rows = _join_rows(size, rng)
+    probes = _join_rows(queries, rng)
+    naive_seconds, naive_out = _timed(
+        lambda: [naive_radius_matches(q, rows, POSITIONS, DISTANCES, SLACK) for q in probes]
+    )
+    kernel_seconds, kernel_out = _timed(
+        lambda: (
+            lambda matcher: [matcher.matches(q) for q in probes]
+        )(RadiusMatcher(rows, POSITIONS, DISTANCES, SLACK))
+    )
+    assert kernel_out == naive_out
+    return naive_seconds, kernel_seconds
+
+
+def bench_difference_guard(size: int, queries: int, rng: random.Random):
+    rows = _join_rows(size, rng)
+    probes = _join_rows(queries, rng)
+
+    def naive_guard():
+        return [
+            any(pair_within(q, row, POSITIONS, DISTANCES, SLACK) for row in rows)
+            for q in probes
+        ]
+
+    naive_seconds, naive_out = _timed(naive_guard)
+    kernel_seconds, kernel_out = _timed(
+        lambda: (
+            lambda guard: [guard.any_match(q) for q in probes]
+        )(RadiusMatcher(rows, POSITIONS, DISTANCES, SLACK))
+    )
+    assert kernel_out == naive_out
+    return naive_seconds, kernel_seconds
+
+
+def bench_rc_nearest(size: int, queries: int, rng: random.Random):
+    rows = _point_rows(size, rng)
+    probes = _point_rows(queries, rng)
+    distances = [a.distance for a in ATTRIBUTES]
+    naive_seconds, naive_out = _timed(
+        lambda: [naive_min_distance(q, rows, distances) for q in probes]
+    )
+    kernel_seconds, kernel_out = _timed(
+        lambda: (
+            lambda neighbors: [neighbors.min_distance(q) for q in probes]
+        )(NearestNeighbors(rows, ATTRIBUTES))
+    )
+    assert kernel_out == naive_out
+    return naive_seconds, kernel_seconds
+
+
+KERNELS = {
+    "relaxed_join": bench_relaxed_join,
+    "difference_guard": bench_difference_guard,
+    "rc_nearest": bench_rc_nearest,
+}
+
+
+def run(scales=SCALES, queries: int = QUERY_COUNT, output: Path = OUTPUT) -> dict:
+    results = []
+    for size in scales:
+        for name, bench in KERNELS.items():
+            rng = random.Random(size)  # same data for naive and kernel
+            naive_seconds, kernel_seconds = bench(size, queries, rng)
+            results.append(
+                {
+                    "kernel": name,
+                    "size": size,
+                    "queries": queries,
+                    "naive_seconds": round(naive_seconds, 6),
+                    "kernel_seconds": round(kernel_seconds, 6),
+                    "speedup": round(naive_seconds / max(kernel_seconds, 1e-9), 2),
+                }
+            )
+    report = {
+        "benchmark": "distance kernels vs naive nested loops",
+        "query_count": queries,
+        "scales": list(scales),
+        "results": results,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        format_table(
+            ["kernel", "size", "naive s", "kernel s", "speedup"],
+            [
+                [r["kernel"], r["size"], r["naive_seconds"], r["kernel_seconds"], f"{r['speedup']}x"]
+                for r in results
+            ],
+            title=f"Distance kernels vs naive ({queries} queries per scale) -> {output.name}",
+        )
+    )
+    return report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small scales only (CI smoke run)"
+    )
+    args = parser.parse_args()
+    scales = (200, 1_000) if args.quick else SCALES
+    queries = 50 if args.quick else QUERY_COUNT
+    report = run(scales=scales, queries=queries)
+    worst = min(
+        r["speedup"] for r in report["results"] if r["size"] == max(report["scales"])
+    )
+    print(f"worst speedup at {max(report['scales'])} rows: {worst}x")
+
+
+if __name__ == "__main__":
+    main()

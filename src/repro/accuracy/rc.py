@@ -24,10 +24,20 @@ Relevance is evaluated through the per-tuple reformulation implemented in
 :mod:`repro.algebra.relax`: the candidate set is the query with its relaxable
 selections dropped, each candidate ``t`` carrying its minimum admitting
 relaxation ``r(t)``, so ``δ_rel(s) = min_t max(r(t), d(s, t))``.
+
+Both coverage and relevance are nearest-neighbour minimisations, so the hot
+loops run through the distance kernels in :mod:`repro.relational.kernels`
+(:class:`~repro.relational.kernels.NearestNeighbors`, and
+:class:`RelevanceIndex` below) instead of scanning every answer pair;
+per the kernels' exact-equivalence contract the distances — and hence every
+RC score — are identical to the naive per-row min-scans
+(:func:`coverage_distance`, :func:`relevance_distance`), which remain the
+reference implementations.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +58,7 @@ from ..algebra.spc import maximal_induced_query, to_spc
 from ..errors import QueryError
 from ..relational.database import Database
 from ..relational.distance import INFINITY, tuple_distance
+from ..relational.kernels import NearestNeighbors, naive_min_distance
 from ..relational.relation import Relation, Row
 from ..relational.schema import RelationSchema
 
@@ -91,25 +102,34 @@ def _ratio(distance: float) -> float:
 def coverage_distance(
     exact_row: Row, approx_rows: Sequence[Row], schema: RelationSchema
 ) -> float:
-    """``δ_cov`` of one exact answer w.r.t. the approximate answer set."""
+    """``δ_cov`` of one exact answer w.r.t. the approximate answer set.
+
+    Single-query reference implementation (a linear scan); the all-answers
+    sweep :func:`max_coverage_distance` indexes ``approx`` once instead.
+    """
     if not approx_rows:
         return INFINITY
     distances = [a.distance for a in schema.attributes]
-    return min(tuple_distance(s, exact_row, distances) for s in approx_rows)
+    return naive_min_distance(exact_row, approx_rows, distances)
 
 
 def max_coverage_distance(
     exact: Relation, approx: Relation, schema: RelationSchema
 ) -> float:
-    """``max_t δ_cov(Q, S, t)`` over all exact answers."""
+    """``max_t δ_cov(Q, S, t)`` over all exact answers.
+
+    ``approx`` is indexed once (:class:`~repro.relational.kernels.NearestNeighbors`)
+    and queried per exact answer; distances are identical to calling
+    :func:`coverage_distance` per row.
+    """
     if len(exact) == 0:
         return 0.0
     if len(approx) == 0:
         return INFINITY
+    neighbors = NearestNeighbors(approx.rows, schema.attributes)
     worst = 0.0
-    approx_rows = list(approx.rows)
     for exact_row in exact:
-        d = coverage_distance(exact_row, approx_rows, schema)
+        d = neighbors.min_distance(exact_row)
         if d > worst:
             worst = d
         if worst == INFINITY:
@@ -200,7 +220,11 @@ def relevance_distance(
     candidates: Sequence[RelevanceCandidate],
     schema: RelationSchema,
 ) -> float:
-    """``δ_rel`` of one approximate answer given precomputed candidates."""
+    """``δ_rel`` of one approximate answer given precomputed candidates.
+
+    Single-query reference implementation (a linear scan); loops over many
+    approximate answers should build a :class:`RelevanceIndex` once instead.
+    """
     if not candidates:
         return INFINITY
     distances = [a.distance for a in schema.attributes]
@@ -213,6 +237,50 @@ def relevance_distance(
         if best == 0.0:
             break
     return best
+
+
+class RelevanceIndex:
+    """``δ_rel`` queries over a fixed candidate set, kernel-accelerated.
+
+    Candidates are grouped by their relaxation requirement ``r(t)``; within a
+    group ``min_t max(r, d(s, t)) = max(r, min_t d(s, t))``, so each group
+    reduces to one nearest-neighbour query
+    (:class:`~repro.relational.kernels.NearestNeighbors`).  Groups are
+    visited in ascending requirement order and the sweep stops once the
+    requirement alone can no longer improve the best score, mirroring the
+    naive scan's early exit.  Distances are identical to
+    :func:`relevance_distance` over the same candidates.
+    """
+
+    def __init__(
+        self, candidates: Sequence[RelevanceCandidate], schema: RelationSchema
+    ) -> None:
+        self.schema = schema
+        groups: Dict[float, List[Row]] = {}
+        for candidate in candidates:
+            groups.setdefault(candidate.requirement, []).append(candidate.values)
+        self._requirements = sorted(groups)
+        self._groups = groups
+        self._neighbors: Dict[float, NearestNeighbors] = {}
+
+    def distance(self, approx_row: Row) -> float:
+        """``δ_rel`` of one approximate answer (equal to the naive scan)."""
+        best = INFINITY
+        for requirement in self._requirements:
+            if requirement >= best:
+                break
+            neighbors = self._neighbors.get(requirement)
+            if neighbors is None:
+                neighbors = NearestNeighbors(
+                    self._groups[requirement], self.schema.attributes
+                )
+                self._neighbors[requirement] = neighbors
+            score = max(requirement, neighbors.min_distance(approx_row))
+            if score < best:
+                best = score
+            if best == 0.0:
+                break
+        return best
 
 
 # ---------------------------------------------------------------------------
@@ -243,9 +311,10 @@ def rc_accuracy(
         rel_dist = 0.0
     else:
         candidates = _relevance_candidate_cache(query, database, relaxation_allowed)
+        index = RelevanceIndex(candidates, output_schema)
         rel_dist = 0.0
         for row in approx:
-            d = relevance_distance(row, candidates, output_schema)
+            d = index.distance(row)
             if d > rel_dist:
                 rel_dist = d
             if rel_dist == INFINITY:
@@ -284,8 +353,8 @@ def _rc_aggregate(
     group_positions = list(range(len(query.group_columns)))
     # Group-by semantics: duplicate group keys in S make those answers
     # irrelevant (+∞).
-    keys = [tuple(row[p] for p in group_positions) for row in approx]
-    duplicate_keys = {k for k in keys if keys.count(k) > 1}
+    key_counts = Counter(tuple(row[p] for p in group_positions) for row in approx)
+    duplicate_keys = {key for key, count in key_counts.items() if count > 1}
 
     needs_counts = query.aggregate.needs_counts
     if needs_counts:
@@ -300,6 +369,9 @@ def _rc_aggregate(
     candidates = relevance_candidates(
         query.child, database, candidate_refs, relaxation_allowed
     )
+    index = RelevanceIndex(
+        candidates, compare_schema if needs_counts and compare_schema else output_schema
+    )
 
     rel_dist = 0.0
     for row in approx:
@@ -313,9 +385,9 @@ def _rc_aggregate(
                 # relevant as long as the child query has candidates.
                 d = 0.0 if candidates else INFINITY
             else:
-                d = relevance_distance(key, candidates, compare_schema)
+                d = index.distance(key)
         else:
-            d = relevance_distance(row, candidates, output_schema)
+            d = index.distance(row)
         if d > rel_dist:
             rel_dist = d
         if rel_dist == INFINITY:

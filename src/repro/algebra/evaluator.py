@@ -25,6 +25,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from ..errors import EvaluationError, QueryError
 from ..relational.database import AccessMeter, Database
 from ..relational.distance import INFINITY
+from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import DatabaseSchema, RelationSchema
 from .ast import (
@@ -286,8 +287,14 @@ class Evaluator:
 
         When any join key carries a positive relaxation slack (because the
         attribute was fetched via an access template with non-zero
-        resolution), the equality is loosened to "within slack" on that key —
-        falling back to a filtered nested-loop join for those keys.
+        resolution), the equality is loosened to "within slack" on that key.
+        The slack join runs through :class:`repro.relational.kernels.RadiusMatcher`
+        (hash buckets on zero-slack keys, banded sort-merge / KD-tree
+        within-radius search on the slack keys) and produces exactly the
+        pairs — in the same order — a nested loop over ``left × right``
+        would, with one deliberate exception: a NaN key distance no longer
+        counts as a match (the old ``not (dis > slack)`` test made a NaN
+        join key cross-join with every row of the other side).
         """
         slack = [
             self.relaxation.get(kl, 0.0) + self.relaxation.get(kr, 0.0)
@@ -315,20 +322,16 @@ class Evaluator:
                     weights.append(left.weights[i] * right.weights[j])
             return Frame(out_schema, rows, weights)
 
-        # Relaxed join: nested loop with per-key distance checks.
+        # Relaxed join: within-slack matching through the distance kernels.
         positions_left = left.schema.positions(keys_left)
         positions_right = right.schema.positions(keys_right)
         distances = [left.schema.attribute(k).distance for k in keys_left]
+        matcher = RadiusMatcher(right.rows, positions_right, distances, slack)
         for i, lrow in enumerate(left.rows):
-            for j, rrow in enumerate(right.rows):
-                ok = True
-                for pl, pr, dist, s in zip(positions_left, positions_right, distances, slack):
-                    if dist(lrow[pl], rrow[pr]) > s:
-                        ok = False
-                        break
-                if ok:
-                    rows.append(lrow + rrow)
-                    weights.append(left.weights[i] * right.weights[j])
+            values = tuple(lrow[p] for p in positions_left)
+            for j in matcher.matches(values):
+                rows.append(lrow + right.rows[j])
+                weights.append(left.weights[i] * right.weights[j])
         return Frame(out_schema, rows, weights)
 
     # -- generic operators ----------------------------------------------------

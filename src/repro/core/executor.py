@@ -27,6 +27,7 @@ from ..algebra.evaluator import Evaluator, Frame, MappingProvider
 from ..algebra.spc import maximal_induced_query
 from ..errors import EvaluationError, PlanError
 from ..relational.database import AccessMeter, Database
+from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import Attribute, RelationSchema
 from .plan import BoundedPlan, FetchPlan, FetchStep
@@ -43,6 +44,12 @@ class BeasEvaluator(Evaluator):
     the fetch resolution of *some* answer to the maximal induced query
     ``Q̂2`` — any real ``Q2`` answer is represented within that distance, so
     it is guaranteed to be filtered out.
+
+    The within-resolution existence test runs through
+    :class:`repro.relational.kernels.RadiusMatcher` (hash buckets /
+    banded search / KD-tree radius queries instead of scanning every
+    ``Q̂2`` answer per ``Q1`` answer); the set of surviving rows is
+    identical to the nested-loop scan.
     """
 
     def _eval_difference(self, node: Difference) -> Frame:
@@ -66,17 +73,12 @@ class BeasEvaluator(Evaluator):
             self.relaxation.get(name, 0.0) for name in right.schema.attribute_names
         ]
         distances = [attribute.distance for attribute in left.schema.attributes]
+        guard = RadiusMatcher(
+            right.rows, list(range(len(distances))), distances, thresholds
+        )
         rows, weights = [], []
         for row, weight in zip(left.rows, left.weights):
-            excluded = False
-            for other in right.rows:
-                if all(
-                    dist(a, b) <= threshold
-                    for a, b, dist, threshold in zip(row, other, distances, thresholds)
-                ):
-                    excluded = True
-                    break
-            if not excluded:
+            if not guard.any_match(row):
                 rows.append(row)
                 weights.append(weight)
         return Frame(left.schema, rows, weights)

@@ -13,6 +13,12 @@ from .distance import (
 )
 from .index import HashIndex, SortedIndex
 from .kdtree import KDNode, KDTree
+from .kernels import (
+    NearestNeighbors,
+    RadiusMatcher,
+    naive_min_distance,
+    naive_radius_matches,
+)
 from .relation import Relation, Row
 from .schema import (
     Attribute,
@@ -34,7 +40,11 @@ __all__ = [
     "INFINITY",
     "KDNode",
     "KDTree",
+    "NearestNeighbors",
     "NUMERIC",
+    "RadiusMatcher",
+    "naive_min_distance",
+    "naive_radius_matches",
     "Relation",
     "RelationSchema",
     "Row",

@@ -24,6 +24,15 @@ INFINITY = math.inf
 DistanceCallable = Callable[[object, object], float]
 
 
+def is_real_number(value: object) -> bool:
+    """A comparable number (bool counts as its int value, NaN excluded).
+
+    Shared predicate for the KD-tree and the distance kernels: such values
+    can sit in sorted columns and min/max bounds used for search pruning.
+    """
+    return isinstance(value, (int, float)) and value == value
+
+
 def trivial_distance(x: object, y: object) -> float:
     """Default distance: 0 if the values are equal, +inf otherwise.
 

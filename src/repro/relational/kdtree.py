@@ -18,6 +18,18 @@ non-numeric attributes by number of distinct values) and split the node's
 rows at the median of that attribute.  This mirrors the paper's motivation
 for K-D trees — upgrading from level ``k`` to ``k+1`` should maximise the
 gain in resolution.
+
+Beyond the level/resolution API that access templates need, the tree also
+answers **within-radius** and **nearest-neighbour** queries under the
+per-attribute distance functions (used by the distance kernels in
+:mod:`repro.relational.kernels` to replace quadratic nested-loop scans).
+Each node carries min/max bounds for its numeric attributes; search prunes a
+subtree when the bound-derived lower bound on some attribute distance already
+exceeds the radius (or the best distance found so far).  Pruning assumes
+numeric distance functions are monotone in ``|x - y|`` (true for the built-in
+absolute and scaled distances); candidate tuples at the leaves are always
+checked with the *exact* distance functions, so results are identical to a
+full nested-loop scan.
 """
 
 from __future__ import annotations
@@ -25,8 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .distance import INFINITY
-from .relation import Relation, Row
+from .distance import INFINITY, is_real_number
+from .relation import Relation, Row, value_sort_key
 from .schema import RelationSchema
 
 
@@ -40,6 +52,9 @@ class KDNode:
         depth: distance from the root (root has depth 0).
         left/right: children, or ``None`` for a leaf.
         split_attribute: name of the attribute this node split on (if any).
+        bounds: per-attribute-position ``(min, max)`` over the subtree's
+            values, recorded only for numeric attributes whose values are all
+            real numbers (search pruning skips attributes without bounds).
     """
 
     rows: List[Row]
@@ -48,6 +63,7 @@ class KDNode:
     left: Optional["KDNode"] = None
     right: Optional["KDNode"] = None
     split_attribute: Optional[str] = None
+    bounds: Dict[int, Tuple[float, float]] = field(default_factory=dict)
 
     @property
     def is_leaf(self) -> bool:
@@ -65,14 +81,40 @@ class KDTree:
         self.relation = relation
         self.schema: RelationSchema = relation.schema
         self.max_leaf_size = max(1, max_leaf_size)
+        self._numeric_positions = [
+            i for i, a in enumerate(self.schema.attributes) if a.numeric
+        ]
         rows = list(relation.rows)
         self.root: Optional[KDNode] = self._build(rows, depth=0) if rows else None
         self._levels: Dict[int, List[KDNode]] = {}
 
     # -- construction ------------------------------------------------------
+    def _numeric_bounds(self, rows: List[Row]) -> Dict[int, Tuple[float, float]]:
+        """Min/max per numeric attribute, omitted when any value is non-real."""
+        bounds: Dict[int, Tuple[float, float]] = {}
+        for position in self._numeric_positions:
+            lo = hi = None
+            for row in rows:
+                value = row[position]
+                if not is_real_number(value):
+                    lo = None
+                    break
+                if lo is None or value < lo:
+                    lo = value
+                if hi is None or value > hi:
+                    hi = value
+            if lo is not None:
+                bounds[position] = (lo, hi)
+        return bounds
+
     def _build(self, rows: List[Row], depth: int) -> KDNode:
         representative = rows[len(rows) // 2]
-        node = KDNode(rows=rows, representative=representative, depth=depth)
+        node = KDNode(
+            rows=rows,
+            representative=representative,
+            depth=depth,
+            bounds=self._numeric_bounds(rows),
+        )
         if len(rows) <= self.max_leaf_size:
             return node
         split = self._choose_split(rows)
@@ -92,13 +134,9 @@ class KDTree:
 
     @staticmethod
     def _sort_key(value: object) -> Tuple[int, object]:
-        # Sort None first, then numerics, then everything else by repr so that
-        # heterogeneous columns still order deterministically.
-        if value is None:
-            return (0, 0)
-        if isinstance(value, (int, float)) and not isinstance(value, bool):
-            return (1, value)
-        return (2, repr(value))
+        # Shared type-aware total order (None, then numbers, then repr) so
+        # that heterogeneous columns still order deterministically.
+        return value_sort_key(value)
 
     def _choose_split(self, rows: List[Row]) -> Optional[Tuple[str, int]]:
         """Pick the attribute with the widest spread; ``None`` if all constant."""
@@ -201,6 +239,97 @@ class KDTree:
             if all(node.is_leaf for node in nodes):
                 return level
             level += 1
+
+    # -- search ----------------------------------------------------------------
+    def _node_lower_bounds(self, node: KDNode, values: Sequence[object]) -> Dict[int, float]:
+        """Per-attribute lower bounds of ``dis_A(values[A], row[A])`` over the subtree.
+
+        Only attributes with recorded numeric bounds (and a real query value)
+        contribute; everything else is bounded below by 0.  Valid because the
+        numeric distances are monotone in ``|x - y|``.
+        """
+        lower: Dict[int, float] = {}
+        for position, (lo, hi) in node.bounds.items():
+            value = values[position]
+            if not is_real_number(value):
+                continue
+            if value < lo:
+                lower[position] = self.schema.attributes[position].distance(value, lo)
+            elif value > hi:
+                lower[position] = self.schema.attributes[position].distance(value, hi)
+        return lower
+
+    def within_radius(self, values: Sequence[object], radii: Sequence[float]) -> List[Row]:
+        """All rows within ``radii[A]`` of ``values[A]`` on *every* attribute.
+
+        Identical to the nested-loop filter
+        ``[row for row in rows if all(dis_A(values[A], row[A]) <= radii[A])]``
+        (up to row order); the tree only prunes subtrees that provably
+        contain no matching row.
+        """
+        if self.root is None:
+            return []
+        distances = [a.distance for a in self.schema.attributes]
+        out: List[Row] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            lower = self._node_lower_bounds(node, values)
+            if any(bound > radii[position] for position, bound in lower.items()):
+                continue
+            if node.is_leaf:
+                for row in node.rows:
+                    if all(
+                        dist(value, row[position]) <= radius
+                        for position, (value, radius, dist) in enumerate(
+                            zip(values, radii, distances)
+                        )
+                    ):
+                        out.append(row)
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return out
+
+    def nearest_distance(self, values: Sequence[object]) -> float:
+        """``min_row max_A dis_A(values[A], row[A])`` — branch-and-bound NN.
+
+        Returns the exact minimum tuple distance (possibly ``+inf`` when every
+        row mismatches on a trivial-distance attribute), identical to a full
+        scan with :func:`repro.relational.distance.tuple_distance`.
+        """
+        if self.root is None:
+            return INFINITY
+        distances = [a.distance for a in self.schema.attributes]
+        best = INFINITY
+        stack: List[Tuple[float, KDNode]] = [(0.0, self.root)]
+        while stack:
+            bound, node = stack.pop()
+            if bound >= best and best < INFINITY:
+                continue
+            if node.is_leaf:
+                for row in node.rows:
+                    worst = 0.0
+                    for value, dist, other in zip(values, distances, row):
+                        d = dist(value, other)
+                        if d > worst:
+                            worst = d
+                        if worst >= best:
+                            break
+                    else:
+                        if worst < best:
+                            best = worst
+                if best == 0.0:
+                    return 0.0
+            else:
+                children = []
+                for child in (node.left, node.right):
+                    lower = self._node_lower_bounds(child, values)
+                    children.append((max(lower.values(), default=0.0), child))
+                # Visit the closer child first (it is popped last-pushed).
+                children.sort(key=lambda pair: pair[0], reverse=True)
+                stack.extend(children)
+        return best
 
     # -- bookkeeping ----------------------------------------------------------
     def node_count(self) -> int:

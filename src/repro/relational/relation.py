@@ -20,12 +20,36 @@ from .schema import RelationSchema
 Row = Tuple[object, ...]
 
 
+def value_sort_key(value: object) -> Tuple[int, object]:
+    """Type-aware sort key consistent with ``==`` across int/float.
+
+    ``repr``-based ordering treated ``1`` and ``1.0`` as different values even
+    though they compare equal (and evaluator set semantics deduplicates them),
+    breaking :meth:`Relation.__eq__` and :meth:`Relation.sorted` on mixed
+    int/float columns.  Here ``None`` sorts first, then numbers by value
+    (``1`` and ``1.0`` — and ``True`` — compare equal, as under ``==``), then
+    everything else by ``repr``; NaN falls back to the ``repr`` tier so the
+    ordering stays total.  Also used by the KD-tree to order split columns.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, (int, float)) and value == value:
+        return (1, value)
+    return (2, repr(value))
+
+
+def row_sort_key(row: Row) -> Tuple[Tuple[int, object], ...]:
+    """Per-value :func:`value_sort_key` tuple for sorting whole rows."""
+    return tuple(value_sort_key(value) for value in row)
+
+
 class Relation:
     """A named bag of tuples under a fixed schema."""
 
     def __init__(self, schema: RelationSchema, rows: Optional[Iterable[Row]] = None) -> None:
         self.schema = schema
         self._rows: List[Row] = []
+        self._row_set: Optional[set] = None  # built lazily, kept current by append
         if rows is not None:
             self.extend(rows)
 
@@ -44,7 +68,10 @@ class Relation:
                 f"tuple of arity {len(row)} does not match schema "
                 f"{self.schema.name}({len(self.schema)} attributes)"
             )
-        self._rows.append(tuple(row))
+        added = tuple(row)
+        self._rows.append(added)
+        if self._row_set is not None:
+            self._row_set.add(added)
 
     def extend(self, rows: Iterable[Sequence[object]]) -> None:
         """Add many tuples."""
@@ -64,7 +91,9 @@ class Relation:
         return iter(self._rows)
 
     def __contains__(self, row: Row) -> bool:
-        return tuple(row) in set(self._rows)
+        if self._row_set is None:
+            self._row_set = set(self._rows)
+        return tuple(row) in self._row_set
 
     def is_empty(self) -> bool:
         return not self._rows
@@ -124,20 +153,31 @@ class Relation:
         return frozenset(self._rows)
 
     def sorted(self) -> "Relation":
-        """Rows sorted by their natural (stringified) order — for stable output."""
-        return Relation(self.schema, sorted(self._rows, key=lambda r: tuple(map(repr, r))))
+        """Rows sorted by a type-aware total order — for stable output.
+
+        The sort key groups values that compare equal under ``==`` (so ``1``
+        and ``1.0`` sort together) while keeping heterogeneous columns
+        orderable; see :func:`_value_sort_key`.
+        """
+        return Relation(self.schema, sorted(self._rows, key=row_sort_key))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Relation({self.schema.name}, {len(self._rows)} rows)"
 
-    # -- equality (by schema name + multiset of rows) -----------------------
+    # -- equality (by attribute names + multiset of rows) -------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Relation):
             return NotImplemented
-        return (
-            self.schema.attribute_names == other.schema.attribute_names
-            and sorted(map(repr, self._rows)) == sorted(map(repr, other._rows))
-        )
+        if self.schema.attribute_names != other.schema.attribute_names:
+            return False
+        if len(self._rows) != len(other._rows):
+            return False
+        # Compare the sorted *keys* rather than the raw rows: the type-aware
+        # key equates ==-equal values across int/float (e.g. ``(1,)`` and
+        # ``(1.0,)``, which the old repr-based comparison wrongly treated as
+        # different) while keeping NaN comparable by its repr (so two
+        # NaN-containing relations still compare equal, as before).
+        return sorted(map(row_sort_key, self._rows)) == sorted(map(row_sort_key, other._rows))
 
     def __hash__(self) -> int:  # pragma: no cover - relations are mutable
         raise TypeError("Relation is not hashable")

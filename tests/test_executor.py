@@ -43,6 +43,32 @@ class TestFetching:
         with pytest.raises(BudgetExceededError):
             executor.fetch()
 
+    def test_budget_exceeded_mid_fetch_leaves_partial_state(self, social_beas, social_db):
+        """A mid-fetch budget violation stops fetching at the offending step.
+
+        The meter records the access that tripped the budget, and only the
+        steps that ran before the violation have frames — nothing after the
+        failing step is fetched.
+        """
+        plan = generate_plan(
+            parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500
+        )
+        assert len(list(plan.fetch_plan)) > 1
+        # Generous enough for the first step, too tight for the whole plan.
+        full_cost = sum(
+            len(frame.rows) for frame in PlanExecutor(social_db, plan).fetch().values()
+        )
+        meter = AccessMeter(budget=full_cost - 1, enforce=True)
+        executor = PlanExecutor(social_db, plan, meter)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            executor.fetch()
+        assert excinfo.value.accessed > excinfo.value.budget
+        assert meter.accessed == excinfo.value.accessed
+        # The fetch stopped mid-plan: not every step produced a frame.
+        assert len(executor._step_frames) < len(list(plan.fetch_plan))
+        # Evaluation over the torn fetch is not silently attempted either.
+        assert executor._atom_frames is None
+
     def test_constant_attributes_rematerialised(self, social_beas, social_db):
         plan = generate_plan(
             parse_query(Q1_SQL), social_db.schema, social_beas.access_schema, budget=500

@@ -96,6 +96,46 @@ class TestResolution:
                         assert d <= resolution[attribute.name] + 1e-9
 
 
+class TestSearch:
+    def test_within_radius_empty_tree(self):
+        tree = KDTree(make_relation([]))
+        assert tree.within_radius((1.0, 2.0, "a"), [1.0, 1.0, 1.0]) == []
+        assert tree.nearest_distance((1.0, 2.0, "a")) == float("inf")
+
+    def test_within_radius_includes_boundary(self, tree):
+        """A row exactly at the radius on every attribute is a match."""
+        anchor = tree.relation.rows[0]
+        matches = tree.within_radius(anchor, [0.0, 0.0, 0.0])
+        assert anchor in matches
+        for row in matches:
+            assert row[0] == anchor[0] and row[1] == anchor[1] and row[2] == anchor[2]
+
+    def test_within_radius_matches_linear_scan(self, tree):
+        radii = [5.0, 1.0, 0.5]
+        query = (50.0, 5.0, "t1")
+        expected = [
+            row
+            for row in tree.relation.rows
+            if all(
+                attribute.distance(q, v) <= r
+                for q, v, attribute, r in zip(query, row, tree.schema.attributes, radii)
+            )
+        ]
+        assert sorted(tree.within_radius(query, radii)) == sorted(expected)
+
+    def test_nearest_distance_matches_linear_scan(self, tree):
+        distances = [a.distance for a in tree.schema.attributes]
+        for query in [(0.0, 0.0, "t0"), (55.5, 3.3, "t2"), (200.0, -5.0, "zzz")]:
+            expected = min(
+                max(d(q, v) for q, v, d in zip(query, row, distances))
+                for row in tree.relation.rows
+            )
+            assert tree.nearest_distance(query) == expected
+
+    def test_nearest_distance_zero_on_member(self, tree):
+        assert tree.nearest_distance(tree.relation.rows[17]) == 0.0
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     rows=st.lists(

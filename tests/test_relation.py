@@ -91,6 +91,54 @@ class TestOperations:
         b = Relation(schema, [(2, "b", 2.0), (1, "a", 1.0)])
         assert a == b
 
+    def test_equality_mixed_int_float(self, schema):
+        # Regression: repr-based comparison treated (1,) and (1.0,) as
+        # different rows even though they are == and dedup-equal.
+        a = Relation(schema, [(1, "a", 10.0), (2.0, "b", 20)])
+        b = Relation(schema, [(1.0, "a", 10), (2, "b", 20.0)])
+        assert a == b
+        assert b == a
+
+    def test_equality_with_nan_rows(self, schema):
+        # NaN-containing relations compared equal under the old repr-based
+        # scheme; the type-aware comparison must preserve that.
+        nan = float("nan")
+        a = Relation(schema, [(1, "a", nan)])
+        b = Relation(schema, [(1, "a", nan)])
+        assert a == b
+
+    def test_inequality_different_multiset(self, schema):
+        a = Relation(schema, [(1, "a", 10.0), (1, "a", 10.0)])
+        b = Relation(schema, [(1, "a", 10.0), (2, "a", 10.0)])
+        assert a != b
+        assert a != Relation(schema, [(1, "a", 10.0)])
+
+    def test_sorted_mixed_types_is_total_and_stable(self, schema):
+        rel = Relation(
+            schema,
+            [(None, "b", 2.0), (2, "a", 1), ("x", "a", 1.5), (1.0, "a", 3.0), (1, "a", 3)],
+        )
+        ordered = rel.sorted().rows
+        assert len(ordered) == 5
+        assert ordered[0][0] is None  # None sorts first
+        assert ordered[1][0] in (1, 1.0) and ordered[2][0] in (1, 1.0)
+        assert ordered[-1][0] == "x"  # non-numerics sort last
+
     def test_not_hashable(self, relation):
         with pytest.raises(TypeError):
             hash(relation)
+
+
+class TestMembershipCache:
+    def test_contains_sees_rows_appended_after_first_lookup(self, schema):
+        rel = Relation(schema, [(1, "a", 10.0)])
+        assert (1, "a", 10.0) in rel  # primes the cached row set
+        rel.append((2, "b", 20.0))
+        assert (2, "b", 20.0) in rel
+        rel.extend([(3, "c", 30.0)])
+        assert (3, "c", 30.0) in rel
+        assert (9, "z", 0.0) not in rel
+
+    def test_contains_mixed_int_float(self, schema):
+        rel = Relation(schema, [(1, "a", 10.0)])
+        assert (1.0, "a", 10) in rel  # tuple equality, as before the cache
