@@ -1,8 +1,10 @@
 """Setuptools shim.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-offline environments without the ``wheel`` package (pip falls back to the
-legacy ``setup.py develop`` code path for editable installs).
+All project metadata lives in ``pyproject.toml`` (setuptools >= 61 reads the
+``[project]`` table from there).  This file exists only so that offline
+environments without the ``wheel`` package can still do editable installs via
+the legacy code path (``pip install -e . --no-use-pep517``, which runs
+``setup.py develop``); modern pip with build isolation never executes it.
 """
 
 from setuptools import setup

@@ -58,18 +58,24 @@ from .relational import (
     TRIVIAL,
     AccessMeter,
     Attribute,
+    ColumnStore,
     Database,
     DatabaseSchema,
     DistanceFunction,
     Relation,
     RelationSchema,
+    RowStore,
+    Store,
     build_schema,
+    get_default_backend,
     key_attribute,
     numeric_attribute,
     numeric_scaled,
+    register_backend,
+    set_default_backend,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "AccessMeter",
@@ -83,6 +89,7 @@ __all__ = [
     "BoundedPlan",
     "BudgetExceededError",
     "CATEGORICAL",
+    "ColumnStore",
     "CompareOp",
     "Comparison",
     "Conjunction",
@@ -105,20 +112,25 @@ __all__ = [
     "Relation",
     "RelationSchema",
     "ReproError",
+    "RowStore",
     "STRING_PREFIX",
     "Scan",
     "SchemaError",
     "Select",
+    "Store",
     "TRIVIAL",
     "TemplateSpec",
     "Union",
     "build_schema",
     "evaluate_exact",
     "f_measure",
+    "get_default_backend",
     "key_attribute",
     "mac_accuracy",
     "numeric_attribute",
     "numeric_scaled",
     "parse_query",
     "rc_accuracy",
+    "register_backend",
+    "set_default_backend",
 ]

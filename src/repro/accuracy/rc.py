@@ -126,7 +126,10 @@ def max_coverage_distance(
         return 0.0
     if len(approx) == 0:
         return INFINITY
-    neighbors = NearestNeighbors(approx.rows, schema.attributes)
+    # Index straight off the approximate relation's storage backend: a
+    # column-backed relation contributes its buffers without materializing
+    # row tuples.
+    neighbors = NearestNeighbors.from_store(approx.store, schema.attributes)
     worst = 0.0
     for exact_row in exact:
         d = neighbors.min_distance(exact_row)
@@ -175,11 +178,12 @@ def _spc_candidates(
 
     candidates: List[RelevanceCandidate] = []
     seen: Dict[Tuple[Row, float], None] = {}
-    for row in frame.rows:
+    # Output values are extracted column-wise; full rows are only consulted
+    # for the relaxation requirement.
+    for row, values in zip(frame.rows, frame.key_tuples(positions)):
         requirement = oracle.requirement(row)
         if requirement == INFINITY:
             continue
-        values = tuple(row[p] for p in positions)
         key = (values, requirement)
         if key in seen:
             continue
@@ -352,8 +356,8 @@ def _rc_aggregate(
 
     group_positions = list(range(len(query.group_columns)))
     # Group-by semantics: duplicate group keys in S make those answers
-    # irrelevant (+∞).
-    key_counts = Counter(tuple(row[p] for p in group_positions) for row in approx)
+    # irrelevant (+∞).  Keys are extracted column-wise from the backend.
+    key_counts = Counter(approx.store.key_tuples(group_positions))
     duplicate_keys = {key for key, count in key_counts.items() if count > 1}
 
     needs_counts = query.aggregate.needs_counts
@@ -374,8 +378,7 @@ def _rc_aggregate(
     )
 
     rel_dist = 0.0
-    for row in approx:
-        key = tuple(row[p] for p in group_positions)
+    for row, key in zip(approx, approx.store.key_tuples(group_positions)):
         if key in duplicate_keys:
             rel_dist = INFINITY
             break

@@ -18,7 +18,7 @@ from ..errors import QueryError
 from ..relational.distance import NUMERIC, TRIVIAL, DistanceFunction
 from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
 from .aggregates import AggregateFunction
-from .predicates import AttrRef, Comparison, Conjunction, Const
+from .predicates import AttrRef, Comparison, Conjunction, Const, resolve_position
 
 
 class QueryNode:
@@ -262,27 +262,11 @@ def resolve_attribute(schema: RelationSchema, ref: AttrRef) -> str:
 
     Accepts an exact qualified match (``alias.attr``), or an unqualified
     attribute name when it is unambiguous among the schema's attributes.
+    The actual matching lives in
+    :func:`repro.algebra.predicates.resolve_position` so the row and
+    vectorized predicate paths share one implementation.
     """
-    qualified = ref.qualified
-    if qualified in schema:
-        return qualified
-    # Unqualified (or differently-qualified) lookup by suffix match.
-    candidates = [
-        name
-        for name in schema.attribute_names
-        if name == ref.attribute or name.endswith(f".{ref.attribute}")
-    ]
-    if ref.alias:
-        candidates = [
-            name for name in candidates if name.startswith(f"{ref.alias}.") or name == qualified
-        ]
-    if len(candidates) == 1:
-        return candidates[0]
-    if not candidates:
-        raise QueryError(
-            f"attribute {qualified!r} not found in schema {list(schema.attribute_names)}"
-        )
-    raise QueryError(f"attribute {qualified!r} is ambiguous: matches {candidates}")
+    return schema.attribute_names[resolve_position(schema, ref)]
 
 
 def condition_on(schema: RelationSchema, condition: Conjunction) -> Conjunction:

@@ -19,15 +19,16 @@ answers over multi-million-row products stay tractable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from itertools import compress
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import EvaluationError, QueryError
+from ..errors import EvaluationError
 from ..relational.database import AccessMeter, Database
 from ..relational.distance import INFINITY
 from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import DatabaseSchema, RelationSchema
+from ..relational.store import RowStore, Store, and_masks
 from .ast import (
     Difference,
     GroupBy,
@@ -45,31 +46,70 @@ from .predicates import AttrRef, Comparison, CompareOp, Conjunction, Const
 from .spc import SPCQuery, to_spc
 
 
-@dataclass
 class Frame:
-    """An intermediate result: rows under a schema, with per-row weights."""
+    """An intermediate result: tuples under a schema, with per-row weights.
 
-    schema: RelationSchema
-    rows: List[Row]
-    weights: List[float]
+    Backed by a :class:`~repro.relational.store.Store` so that column-backed
+    inputs stay columnar through scans, filters and projections.  The classic
+    ``Frame(schema, rows, weights)`` constructor adopts a row list (the shape
+    operator outputs are produced in); pass ``store=`` to adopt an existing
+    backend without materializing tuples.
+    """
+
+    __slots__ = ("schema", "weights", "_store")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        rows: Optional[List[Row]] = None,
+        weights: Optional[List[float]] = None,
+        store: Optional[Store] = None,
+    ) -> None:
+        self.schema = schema
+        if store is None:
+            store = RowStore.from_rows(len(schema), rows if rows is not None else [])
+        self._store = store
+        if weights is None:
+            weights = [1.0] * len(store)
+        self.weights = weights
+
+    @property
+    def store(self) -> Store:
+        """The storage backend holding this frame's tuples (read-only)."""
+        return self._store
+
+    @property
+    def rows(self) -> List[Row]:
+        """The tuples as a list (materialized lazily for column backends)."""
+        return self._store.row_list()
+
+    def column(self, position: int) -> Sequence[object]:
+        """One attribute's values in row order, straight from the backend."""
+        return self._store.column(position)
+
+    def key_tuples(self, positions: Sequence[int]) -> Iterator[Tuple[object, ...]]:
+        """Per-row sub-tuples on ``positions``, extracted column-wise."""
+        return self._store.key_tuples(positions)
 
     @classmethod
     def from_relation(cls, relation: Relation, weights: Optional[Sequence[float]] = None) -> "Frame":
-        rows = list(relation.rows)
         if weights is None:
-            weights = [1.0] * len(rows)
+            weights = [1.0] * len(relation)
         else:
             weights = list(weights)
-            if len(weights) != len(rows):
+            if len(weights) != len(relation):
                 raise EvaluationError("weights length does not match relation size")
-        return cls(relation.schema, rows, weights)
+        # The relation's store is adopted without copying; frames are
+        # transient read-only views, so this is safe as long as the relation
+        # is not mutated mid-evaluation (it never is).
+        return cls(relation.schema, weights=weights, store=relation.store)
 
     def to_relation(self, distinct: bool = False) -> Relation:
-        relation = Relation(self.schema, self.rows)
+        relation = Relation(self.schema, store=self._store.copy())
         return relation.distinct() if distinct else relation
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._store)
 
 
 class RelationProvider:
@@ -88,7 +128,9 @@ class DatabaseProvider(RelationProvider):
 
     def frame_for(self, scan: Scan, output_schema: RelationSchema) -> Frame:
         relation = self.database.scan(scan.relation, self.meter)
-        return Frame(output_schema, list(relation.rows), [1.0] * len(relation))
+        # Adopt the relation's store directly (row- or column-backed): scans
+        # stay zero-copy and downstream operators read column buffers.
+        return Frame(output_schema, weights=[1.0] * len(relation), store=relation.store)
 
 
 class MappingProvider(RelationProvider):
@@ -111,8 +153,13 @@ class MappingProvider(RelationProvider):
                 raise EvaluationError(
                     f"fetched data for atom {alias!r} is missing attribute {name!r}"
                 )
-        rows = [tuple(row[p] for p in positions) for row in frame.rows]
-        return Frame(output_schema, rows, list(frame.weights))
+        if positions == list(range(len(frame.schema))):
+            return Frame(output_schema, weights=list(frame.weights), store=frame.store)
+        return Frame(
+            output_schema,
+            weights=list(frame.weights),
+            store=frame.store.project(positions),
+        )
 
 
 class Evaluator:
@@ -174,7 +221,7 @@ class Evaluator:
         if isinstance(node, Rename):
             child = self._eval(node.child)
             schema = node.output_schema(self.db_schema)
-            return Frame(schema, child.rows, child.weights)
+            return Frame(schema, weights=child.weights, store=child.store)
         if isinstance(node, Product):
             left = self._eval(node.left)
             right = self._eval(node.right)
@@ -308,49 +355,46 @@ class Evaluator:
         rows: List[Row] = []
         weights: List[float] = []
 
+        positions_left = left.schema.positions(keys_left)
+        positions_right = right.schema.positions(keys_right)
+        left_rows, right_rows = left.rows, right.rows
+
         if all(s == 0.0 for s in slack):
-            positions_left = left.schema.positions(keys_left)
-            positions_right = right.schema.positions(keys_right)
+            # Join keys are extracted column-at-a-time on both sides; row
+            # tuples are only touched to emit matching pairs.
             buckets: Dict[Tuple[object, ...], List[int]] = {}
-            for i, row in enumerate(right.rows):
-                key = tuple(row[p] for p in positions_right)
+            for i, key in enumerate(right.key_tuples(positions_right)):
                 buckets.setdefault(key, []).append(i)
-            for i, row in enumerate(left.rows):
-                key = tuple(row[p] for p in positions_left)
+            for i, key in enumerate(left.key_tuples(positions_left)):
                 for j in buckets.get(key, ()):  # type: ignore[arg-type]
-                    rows.append(row + right.rows[j])
+                    rows.append(left_rows[i] + right_rows[j])
                     weights.append(left.weights[i] * right.weights[j])
             return Frame(out_schema, rows, weights)
 
-        # Relaxed join: within-slack matching through the distance kernels.
-        positions_left = left.schema.positions(keys_left)
-        positions_right = right.schema.positions(keys_right)
+        # Relaxed join: within-slack matching through the distance kernels,
+        # indexed straight from the build side's column buffers.
         distances = [left.schema.attribute(k).distance for k in keys_left]
-        matcher = RadiusMatcher(right.rows, positions_right, distances, slack)
-        for i, lrow in enumerate(left.rows):
-            values = tuple(lrow[p] for p in positions_left)
+        matcher = RadiusMatcher.from_store(right.store, positions_right, distances, slack)
+        for i, values in enumerate(left.key_tuples(positions_left)):
             for j in matcher.matches(values):
-                rows.append(lrow + right.rows[j])
+                rows.append(left_rows[i] + right_rows[j])
                 weights.append(left.weights[i] * right.weights[j])
         return Frame(out_schema, rows, weights)
 
     # -- generic operators ----------------------------------------------------
     def _product(self, left: Frame, right: Frame) -> Frame:
         schema = RelationSchema("×", left.schema.attributes + right.schema.attributes)
-        rows: List[Row] = []
-        weights: List[float] = []
-        for i, lrow in enumerate(left.rows):
-            for j, rrow in enumerate(right.rows):
-                rows.append(lrow + rrow)
-                weights.append(left.weights[i] * right.weights[j])
+        rows = [lrow + rrow for lrow in left.rows for rrow in right.rows]
+        weights = [lw * rw for lw in left.weights for rw in right.weights]
         return Frame(schema, rows, weights)
 
     def _project_frame(self, frame: Frame, columns: Sequence[AttrRef]) -> Frame:
         names = [resolve_attribute(frame.schema, ref) for ref in columns]
         positions = frame.schema.positions(names)
         schema = RelationSchema("π", tuple(frame.schema.attributes[p] for p in positions))
-        rows = [tuple(row[p] for p in positions) for row in frame.rows]
-        return Frame(schema, rows, list(frame.weights))
+        return Frame(
+            schema, weights=list(frame.weights), store=frame.store.project(positions)
+        )
 
     def _eval_project(self, node: Project) -> Frame:
         child = self._eval(node.child)
@@ -385,10 +429,13 @@ class Evaluator:
         agg_name = resolve_attribute(child.schema, node.agg_column)
         agg_position = child.schema.position(agg_name)
 
+        # Group keys and the aggregated column are pulled column-at-a-time;
+        # no full row tuples are materialized for grouping.
         groups: Dict[Tuple[object, ...], List[Tuple[object, float]]] = {}
-        for row, weight in zip(child.rows, child.weights):
-            key = tuple(row[p] for p in group_positions)
-            groups.setdefault(key, []).append((row[agg_position], weight))
+        for key, value, weight in zip(
+            child.key_tuples(group_positions), child.column(agg_position), child.weights
+        ):
+            groups.setdefault(key, []).append((value, weight))
 
         rows: List[Row] = []
         for key, pairs in groups.items():
@@ -398,46 +445,72 @@ class Evaluator:
 
     # -- selection with relaxation --------------------------------------------
     def _filter(self, frame: Frame, condition: Conjunction) -> Frame:
+        """Apply a (possibly relaxed) conjunction, column-at-a-time.
+
+        Each comparison is evaluated over whole column buffers into a 0/1
+        byte mask (:meth:`~repro.algebra.predicates.CompareOp.column_mask`
+        for strict comparisons, one tight loop over the column through
+        :func:`_relaxed_attr_const` / :func:`_relaxed_attr_attr` for relaxed
+        ones); masks are AND-combined and the surviving rows compressed out
+        of the backend in one pass, so no per-row tuple is materialized for
+        filtering.  Semantics are identical to the former row-at-a-time
+        ``all(check(row) ...)`` loop.
+        """
         if not condition:
             return frame
         condition = condition_on(frame.schema, condition)
-        checks = [self._compile_comparison(frame.schema, c) for c in condition]
-        rows, weights = [], []
-        for row, weight in zip(frame.rows, frame.weights):
-            if all(check(row) for check in checks):
-                rows.append(row)
-                weights.append(weight)
-        return Frame(frame.schema, rows, weights)
+        mask: Optional[bytearray] = None
+        for comparison in condition:
+            part = self._comparison_mask(frame, comparison)
+            mask = part if mask is None else and_masks(mask, part)
+            if not any(mask):
+                break  # nothing left to select; skip remaining comparisons
+        if mask is None or mask.count(1) == len(frame):
+            return frame
+        weights = list(compress(frame.weights, mask))
+        return Frame(frame.schema, weights=weights, store=frame.store.select_mask(mask))
 
-    def _compile_comparison(
-        self, schema: RelationSchema, comparison: Comparison
-    ) -> Callable[[Row], bool]:
+    def _comparison_mask(self, frame: Frame, comparison: Comparison) -> bytearray:
+        """One comparison's 0/1 byte mask over the frame's column buffers.
+
+        Strict comparisons (no usable slack) delegate to
+        :meth:`~repro.algebra.predicates.Comparison.mask` — the single
+        vectorized-dispatch implementation; only the relaxed per-value loops
+        live here.  An infinite resolution gives no usable relaxation: the
+        accuracy bound is already 0, and relaxing by +inf would admit every
+        tuple, so it falls back to the strict condition as well.
+        """
+        schema = frame.schema
         comparison = comparison.normalized()
         if comparison.is_attr_const:
             ref = comparison.attributes()[0]
             name = resolve_attribute(schema, ref)
-            position = schema.position(name)
-            constant = comparison.constant()
             slack = self.relaxation.get(name, 0.0)
+            if slack <= 0 or slack == INFINITY:
+                return comparison.mask(frame.store, schema)
+            column = frame.column(schema.position(name))
+            constant = comparison.constant()
             distance = schema.attribute(name).distance
             op = comparison.op
-            # An infinite resolution gives no usable relaxation: the accuracy
-            # bound is already 0, and relaxing by +inf would admit every
-            # tuple, so fall back to the strict condition instead.
-            if slack <= 0 or slack == INFINITY:
-                return lambda row: op.evaluate(row[position], constant)
-            return lambda row: _relaxed_attr_const(row[position], op, constant, slack, distance)
+            return bytearray(
+                _relaxed_attr_const(value, op, constant, slack, distance)
+                for value in column
+            )
         if comparison.is_attr_attr:
             left, right = comparison.attributes()
             lname = resolve_attribute(schema, left)
             rname = resolve_attribute(schema, right)
-            lpos, rpos = schema.position(lname), schema.position(rname)
             slack = self.relaxation.get(lname, 0.0) + self.relaxation.get(rname, 0.0)
+            if slack <= 0 or slack == INFINITY:
+                return comparison.mask(frame.store, schema)
+            lcol = frame.column(schema.position(lname))
+            rcol = frame.column(schema.position(rname))
             distance = schema.attribute(lname).distance
             op = comparison.op
-            if slack <= 0 or slack == INFINITY:
-                return lambda row: op.evaluate(row[lpos], row[rpos])
-            return lambda row: _relaxed_attr_attr(row[lpos], row[rpos], op, slack, distance)
+            return bytearray(
+                _relaxed_attr_attr(lvalue, rvalue, op, slack, distance)
+                for lvalue, rvalue in zip(lcol, rcol)
+            )
         raise EvaluationError(f"cannot compile comparison {comparison}")
 
 

@@ -7,15 +7,28 @@ and relaxation machinery handle.
 
 An :class:`AttrRef` names an attribute of the query's *output* (or of an
 intermediate operator's output) by its qualified name ``alias.attribute``.
+
+Besides the classic per-row evaluation (:meth:`CompareOp.evaluate`), every
+comparison supports a **vectorized path**: :meth:`Comparison.mask` /
+:meth:`Conjunction.mask` evaluate the condition column-at-a-time over a
+storage backend (:class:`repro.relational.store.Store`) and return a 0/1
+byte mask, one byte per row.  Column-at-a-time evaluation never materializes
+row tuples and dispatches one tight loop per comparison instead of one
+Python call per row, which is what makes column-backed selection fast;
+consumers that need arbitrary per-row callables simply keep using the row
+path (:meth:`repro.relational.relation.Relation.select` accepts both).
 """
 
 from __future__ import annotations
 
 import enum
+from array import array
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from ..errors import QueryError
+from ..relational.schema import RelationSchema
+from ..relational.store import Store, all_ones, and_masks
 
 
 @dataclass(frozen=True)
@@ -55,6 +68,37 @@ class Const:
 Operand = Union[AttrRef, Const]
 
 
+def resolve_position(schema: RelationSchema, ref: AttrRef) -> int:
+    """Column position of ``ref`` within ``schema``.
+
+    The canonical attribute-resolution rules (exact qualified match, else
+    unambiguous suffix match, with alias filtering), shared by the
+    vectorized predicate path and :func:`repro.algebra.ast.resolve_attribute`
+    (which delegates here; this module cannot import the AST module).
+    """
+    qualified = ref.qualified
+    if qualified in schema:
+        return schema.position(qualified)
+    candidates = [
+        name
+        for name in schema.attribute_names
+        if name == ref.attribute or name.endswith(f".{ref.attribute}")
+    ]
+    if ref.alias:
+        candidates = [
+            name
+            for name in candidates
+            if name.startswith(f"{ref.alias}.") or name == qualified
+        ]
+    if len(candidates) == 1:
+        return schema.position(candidates[0])
+    if not candidates:
+        raise QueryError(
+            f"attribute {qualified!r} not found in schema {list(schema.attribute_names)}"
+        )
+    raise QueryError(f"attribute {qualified!r} is ambiguous: matches {candidates}")
+
+
 class CompareOp(enum.Enum):
     """Comparison operators supported in selection conditions."""
 
@@ -84,6 +128,81 @@ class CompareOp(enum.Enum):
                 return left > right  # type: ignore[operator]
         except TypeError:
             return False
+        raise QueryError(f"unsupported comparison operator {self}")
+
+    def column_mask(self, values: Sequence[object], constant: object) -> bytearray:
+        """Vectorized ``value op constant`` over a whole column.
+
+        Returns a 0/1 byte per value with semantics identical to calling
+        :meth:`evaluate` per value (``None`` and non-comparable pairs fail
+        order comparisons).  The common all-comparable case runs as one
+        tight generator pass — typed numeric buffers (``array.array``) skip
+        the per-value ``None`` guard entirely; a ``TypeError`` from a
+        mixed-type column falls back to the per-value path, which absorbs it
+        pair by pair.
+        """
+        if self is CompareOp.EQ:
+            return bytearray(v == constant for v in values)
+        if self is CompareOp.NE:
+            return bytearray(v != constant for v in values)
+        if constant is None:
+            return bytearray(len(values))
+        if isinstance(values, array):
+            # Typed buffer: every value is a real number, no None/TypeError
+            # possible (NaN order comparisons are False, as under evaluate).
+            if isinstance(constant, (int, float)):
+                if self is CompareOp.LE:
+                    return bytearray(v <= constant for v in values)
+                if self is CompareOp.LT:
+                    return bytearray(v < constant for v in values)
+                if self is CompareOp.GE:
+                    return bytearray(v >= constant for v in values)
+                if self is CompareOp.GT:
+                    return bytearray(v > constant for v in values)
+            return bytearray(self.evaluate(v, constant) for v in values)
+        try:
+            if self is CompareOp.LE:
+                return bytearray(v is not None and v <= constant for v in values)
+            if self is CompareOp.LT:
+                return bytearray(v is not None and v < constant for v in values)
+            if self is CompareOp.GE:
+                return bytearray(v is not None and v >= constant for v in values)
+            if self is CompareOp.GT:
+                return bytearray(v is not None and v > constant for v in values)
+        except TypeError:
+            return bytearray(self.evaluate(v, constant) for v in values)
+        raise QueryError(f"unsupported comparison operator {self}")
+
+    def column_mask_pair(
+        self, left_values: Sequence[object], right_values: Sequence[object]
+    ) -> bytearray:
+        """Vectorized ``left op right`` over two aligned columns."""
+        pairs = zip(left_values, right_values)
+        if self is CompareOp.EQ:
+            return bytearray(a == b for a, b in pairs)
+        if self is CompareOp.NE:
+            return bytearray(a != b for a, b in pairs)
+        try:
+            if self is CompareOp.LE:
+                return bytearray(
+                    a is not None and b is not None and a <= b for a, b in pairs
+                )
+            if self is CompareOp.LT:
+                return bytearray(
+                    a is not None and b is not None and a < b for a, b in pairs
+                )
+            if self is CompareOp.GE:
+                return bytearray(
+                    a is not None and b is not None and a >= b for a, b in pairs
+                )
+            if self is CompareOp.GT:
+                return bytearray(
+                    a is not None and b is not None and a > b for a, b in pairs
+                )
+        except TypeError:
+            return bytearray(
+                self.evaluate(a, b) for a, b in zip(left_values, right_values)
+            )
         raise QueryError(f"unsupported comparison operator {self}")
 
     @property
@@ -159,6 +278,25 @@ class Comparison:
                 return operand.value
         return None
 
+    def mask(self, store: Store, schema: RelationSchema) -> bytearray:
+        """Vectorized evaluation over a storage backend: one 0/1 byte per row.
+
+        Pulls the referenced column buffer(s) straight from ``store`` (no
+        row tuples) and applies :meth:`CompareOp.column_mask` /
+        :meth:`CompareOp.column_mask_pair`.  Semantics match per-row
+        :meth:`CompareOp.evaluate` exactly.
+        """
+        comparison = self.normalized()
+        if comparison.is_attr_const:
+            ref = comparison.attributes()[0]
+            position = resolve_position(schema, ref)
+            return comparison.op.column_mask(store.column(position), comparison.constant())
+        left, right = comparison.attributes()
+        return comparison.op.column_mask_pair(
+            store.column(resolve_position(schema, left)),
+            store.column(resolve_position(schema, right)),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - debug helper
         return f"{self.left} {self.op.value} {self.right}"
 
@@ -200,6 +338,23 @@ class Conjunction:
 
     def equality_comparisons(self) -> List[Comparison]:
         return [c for c in self.comparisons if c.op.is_equality]
+
+    def mask(self, store: Store, schema: RelationSchema) -> bytearray:
+        """Vectorized conjunction: the AND of every comparison's mask.
+
+        The empty conjunction selects every row.  Masks are combined with a
+        single big-int AND per comparison (see
+        :func:`repro.relational.store.and_masks`).
+        """
+        mask: Optional[bytearray] = None
+        for comparison in self.comparisons:
+            part = comparison.mask(store, schema)
+            mask = part if mask is None else and_masks(mask, part)
+            if not any(mask):
+                break  # already empty; skip the remaining comparisons
+        if mask is None:
+            return all_ones(len(store))
+        return mask
 
     def __str__(self) -> str:  # pragma: no cover - debug helper
         if not self.comparisons:

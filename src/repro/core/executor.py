@@ -73,8 +73,8 @@ class BeasEvaluator(Evaluator):
             self.relaxation.get(name, 0.0) for name in right.schema.attribute_names
         ]
         distances = [attribute.distance for attribute in left.schema.attributes]
-        guard = RadiusMatcher(
-            right.rows, list(range(len(distances))), distances, thresholds
+        guard = RadiusMatcher.from_store(
+            right.store, list(range(len(distances))), distances, thresholds
         )
         rows, weights = [], []
         for row, weight in zip(left.rows, left.weights):
@@ -132,8 +132,8 @@ class PlanExecutor:
                 raise PlanError(f"fetch step {step.name} reads from {step_name} before it ran")
             positions = [frame.schema.position(column) for _, column in pairs]
             seen: Dict[Tuple[object, ...], None] = {}
-            for row in frame.rows:
-                seen.setdefault(tuple(row[p] for p in positions), None)
+            for values in frame.key_tuples(positions):
+                seen.setdefault(values, None)
             group_choices.append(
                 [dict(zip((attr for attr, _ in pairs), values)) for values in seen]
             )
@@ -236,16 +236,17 @@ class PlanExecutor:
         left_positions = left.schema.positions(common)
         right_positions = right.schema.positions(common)
         right_extra_positions = right.schema.positions(right_only)
+        # Join keys and the right side's carried columns are read column-wise.
         buckets: Dict[Tuple[object, ...], List[int]] = {}
-        for index, row in enumerate(right.rows):
-            buckets.setdefault(tuple(row[p] for p in right_positions), []).append(index)
+        for index, key in enumerate(right.key_tuples(right_positions)):
+            buckets.setdefault(key, []).append(index)
+        right_extras = list(right.key_tuples(right_extra_positions))
+        left_rows = left.rows
         rows: List[Row] = []
         weights: List[float] = []
-        for index, row in enumerate(left.rows):
-            key = tuple(row[p] for p in left_positions)
+        for index, key in enumerate(left.key_tuples(left_positions)):
             for other_index in buckets.get(key, ()):  # type: ignore[arg-type]
-                other = right.rows[other_index]
-                rows.append(row + tuple(other[p] for p in right_extra_positions))
+                rows.append(left_rows[index] + right_extras[other_index])
                 weights.append(left.weights[index] * right.weights[other_index])
         return Frame(out_schema, rows, weights)
 

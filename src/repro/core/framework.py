@@ -129,6 +129,28 @@ class Beas:
         plan = self.plan(ast, alpha)
         plan_seconds = time.perf_counter() - start
 
+        if enforce_budget and plan.tariff > budget:
+            # The chase must cover every query atom with at least one fetch
+            # step, so for very tight budgets even the cheapest plan can carry
+            # a tariff above ``α·|D|``.  Executing it would trip the meter
+            # mid-fetch; instead refuse to touch ``D`` at all and return the
+            # empty answer with the trivially sound bound ``η = 0``.
+            return QueryResult(
+                rows=Relation(ast.output_schema(self.database.schema)),
+                eta=0.0,
+                alpha=alpha,
+                budget=budget,
+                tuples_accessed=0,
+                # The (unexecuted) empty answer is never exact, but bounded
+                # evaluability is a property of the plan itself — report it.
+                exact=False,
+                boundedly_evaluable=plan.boundedly_evaluable,
+                plan=plan,
+                plan_seconds=plan_seconds,
+                execution_seconds=0.0,
+                query_class=classify(ast),
+            )
+
         meter = AccessMeter(budget=budget, enforce=enforce_budget)
         start = time.perf_counter()
         executor = PlanExecutor(self.database, plan, meter)

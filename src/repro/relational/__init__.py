@@ -20,6 +20,17 @@ from .kernels import (
     naive_radius_matches,
 )
 from .relation import Relation, Row
+from .store import (
+    ColumnStore,
+    RowStore,
+    Store,
+    available_backends,
+    backend_class,
+    get_default_backend,
+    make_store,
+    register_backend,
+    set_default_backend,
+)
 from .schema import (
     Attribute,
     DatabaseSchema,
@@ -33,6 +44,7 @@ __all__ = [
     "AccessMeter",
     "CATEGORICAL",
     "Attribute",
+    "ColumnStore",
     "Database",
     "DatabaseSchema",
     "DistanceFunction",
@@ -48,12 +60,20 @@ __all__ = [
     "Relation",
     "RelationSchema",
     "Row",
+    "RowStore",
     "SortedIndex",
+    "Store",
     "STRING_PREFIX",
     "TRIVIAL",
+    "available_backends",
+    "backend_class",
     "build_schema",
+    "get_default_backend",
     "key_attribute",
+    "make_store",
     "numeric_attribute",
     "numeric_scaled",
+    "register_backend",
+    "set_default_backend",
     "tuple_distance",
 ]

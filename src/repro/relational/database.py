@@ -178,7 +178,7 @@ class Database:
         for name, rel in self._relations.items():
             frac = fractions.get(name, 1.0)
             keep = max(1, int(len(rel) * frac)) if len(rel) else 0
-            relations.append(Relation(rel.schema, rel.rows[:keep]))
+            relations.append(Relation(rel.schema, store=rel.store.head(keep)))
         return Database.from_relations(relations)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

@@ -19,6 +19,15 @@ rows at the median of that attribute.  This mirrors the paper's motivation
 for K-D trees — upgrading from level ``k`` to ``k+1`` should maximise the
 gain in resolution.
 
+**Columnar construction.**  The tree is built over the relation's storage
+backend: per-attribute column buffers are pulled once
+(:meth:`repro.relational.store.Store.columns`) and every construction
+decision — split choice, median sort, min/max bounds — runs over those
+buffers with *index lists*, never materializing intermediate row tuples.
+Each :class:`KDNode` records the indices of its subtree; its ``rows`` view
+is materialized lazily on first access (level/representative consumers and
+leaf checks), so the node API is unchanged.
+
 Beyond the level/resolution API that access templates need, the tree also
 answers **within-radius** and **nearest-neighbour** queries under the
 per-attribute distance functions (used by the distance kernels in
@@ -34,7 +43,6 @@ full nested-loop scan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .distance import INFINITY, is_real_number
@@ -42,12 +50,12 @@ from .relation import Relation, Row, value_sort_key
 from .schema import RelationSchema
 
 
-@dataclass
 class KDNode:
     """One node of the KD-tree.
 
     Attributes:
-        rows: all tuples in this subtree.
+        indices: positions (into the tree's master row order) of all tuples
+            in this subtree.
         representative: the tuple chosen to stand for the subtree.
         depth: distance from the root (root has depth 0).
         left/right: children, or ``None`` for a leaf.
@@ -55,15 +63,47 @@ class KDNode:
         bounds: per-attribute-position ``(min, max)`` over the subtree's
             values, recorded only for numeric attributes whose values are all
             real numbers (search pruning skips attributes without bounds).
+        rows: all tuples in this subtree (materialized lazily from the
+            tree's columns on first access).
     """
 
-    rows: List[Row]
-    representative: Row
-    depth: int
-    left: Optional["KDNode"] = None
-    right: Optional["KDNode"] = None
-    split_attribute: Optional[str] = None
-    bounds: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    __slots__ = (
+        "indices",
+        "representative",
+        "depth",
+        "left",
+        "right",
+        "split_attribute",
+        "bounds",
+        "_tree",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        indices: List[int],
+        representative: Row,
+        depth: int,
+        tree: "KDTree",
+        bounds: Optional[Dict[int, Tuple[float, float]]] = None,
+    ) -> None:
+        self.indices = indices
+        self.representative = representative
+        self.depth = depth
+        self.left: Optional["KDNode"] = None
+        self.right: Optional["KDNode"] = None
+        self.split_attribute: Optional[str] = None
+        self.bounds: Dict[int, Tuple[float, float]] = bounds if bounds is not None else {}
+        self._tree = tree
+        self._rows: Optional[List[Row]] = None
+
+    @property
+    def rows(self) -> List[Row]:
+        """The subtree's tuples (lazy view over the tree's master rows)."""
+        if self._rows is None:
+            master = self._tree._master_rows()
+            self._rows = [master[i] for i in self.indices]
+        return self._rows
 
     @property
     def is_leaf(self) -> bool:
@@ -71,7 +111,7 @@ class KDNode:
 
     @property
     def size(self) -> int:
-        return len(self.rows)
+        return len(self.indices)
 
 
 class KDTree:
@@ -84,18 +124,30 @@ class KDTree:
         self._numeric_positions = [
             i for i, a in enumerate(self.schema.attributes) if a.numeric
         ]
-        rows = list(relation.rows)
-        self.root: Optional[KDNode] = self._build(rows, depth=0) if rows else None
+        # Pull the column buffers once; every build decision reads these.
+        self._columns: List[Sequence[object]] = relation.store.columns()
+        self._rows: Optional[List[Row]] = None
+        size = len(relation)
+        self.root: Optional[KDNode] = (
+            self._build(list(range(size)), depth=0) if size else None
+        )
         self._levels: Dict[int, List[KDNode]] = {}
 
+    def _master_rows(self) -> List[Row]:
+        """All tuples in storage order (materialized lazily, then shared)."""
+        if self._rows is None:
+            self._rows = self.relation.store.row_list()
+        return self._rows
+
     # -- construction ------------------------------------------------------
-    def _numeric_bounds(self, rows: List[Row]) -> Dict[int, Tuple[float, float]]:
+    def _numeric_bounds(self, indices: List[int]) -> Dict[int, Tuple[float, float]]:
         """Min/max per numeric attribute, omitted when any value is non-real."""
         bounds: Dict[int, Tuple[float, float]] = {}
         for position in self._numeric_positions:
+            column = self._columns[position]
             lo = hi = None
-            for row in rows:
-                value = row[position]
+            for index in indices:
+                value = column[index]
                 if not is_real_number(value):
                     lo = None
                     break
@@ -107,29 +159,31 @@ class KDTree:
                 bounds[position] = (lo, hi)
         return bounds
 
-    def _build(self, rows: List[Row], depth: int) -> KDNode:
-        representative = rows[len(rows) // 2]
+    def _build(self, indices: List[int], depth: int) -> KDNode:
+        master = self._master_rows()
         node = KDNode(
-            rows=rows,
-            representative=representative,
+            indices=indices,
+            representative=master[indices[len(indices) // 2]],
             depth=depth,
-            bounds=self._numeric_bounds(rows),
+            tree=self,
+            bounds=self._numeric_bounds(indices),
         )
-        if len(rows) <= self.max_leaf_size:
+        if len(indices) <= self.max_leaf_size:
             return node
-        split = self._choose_split(rows)
+        split = self._choose_split(indices)
         if split is None:
             return node
         attr_name, position = split
-        ordered = sorted(rows, key=lambda r: self._sort_key(r[position]))
+        column = self._columns[position]
+        ordered = sorted(indices, key=lambda i: self._sort_key(column[i]))
         mid = len(ordered) // 2
-        left_rows, right_rows = ordered[:mid], ordered[mid:]
-        if not left_rows or not right_rows:
+        left_indices, right_indices = ordered[:mid], ordered[mid:]
+        if not left_indices or not right_indices:
             return node
         node.split_attribute = attr_name
-        node.representative = ordered[mid]
-        node.left = self._build(left_rows, depth + 1)
-        node.right = self._build(right_rows, depth + 1)
+        node.representative = master[ordered[mid]]
+        node.left = self._build(left_indices, depth + 1)
+        node.right = self._build(right_indices, depth + 1)
         return node
 
     @staticmethod
@@ -138,11 +192,12 @@ class KDTree:
         # that heterogeneous columns still order deterministically.
         return value_sort_key(value)
 
-    def _choose_split(self, rows: List[Row]) -> Optional[Tuple[str, int]]:
+    def _choose_split(self, indices: List[int]) -> Optional[Tuple[str, int]]:
         """Pick the attribute with the widest spread; ``None`` if all constant."""
         best: Optional[Tuple[float, str, int]] = None
         for position, attribute in enumerate(self.schema.attributes):
-            values = [row[position] for row in rows]
+            column = self._columns[position]
+            values = [column[i] for i in indices]
             distinct = set(values)
             if len(distinct) <= 1:
                 continue
@@ -206,16 +261,19 @@ class KDTree:
 
         ``d̄_level[B]`` bounds, for every tuple of the relation, the distance
         on ``B`` to the representative of the frontier node containing it.
+        The sweep runs per attribute over the column buffers (indices only,
+        no row tuples).
         """
         resolution: Dict[str, float] = {a.name: 0.0 for a in self.schema.attributes}
         for node in self.level_nodes(level):
             rep = node.representative
             for position, attribute in enumerate(self.schema.attributes):
                 dist = attribute.distance
+                column = self._columns[position]
                 worst = 0.0
                 rep_value = rep[position]
-                for row in node.rows:
-                    d = dist(rep_value, row[position])
+                for index in node.indices:
+                    d = dist(rep_value, column[index])
                     if d > worst:
                         worst = d
                     if worst == INFINITY:
@@ -265,11 +323,14 @@ class KDTree:
         Identical to the nested-loop filter
         ``[row for row in rows if all(dis_A(values[A], row[A]) <= radii[A])]``
         (up to row order); the tree only prunes subtrees that provably
-        contain no matching row.
+        contain no matching row.  Leaf candidates are checked per attribute
+        against the column buffers; only matching rows are materialized.
         """
         if self.root is None:
             return []
         distances = [a.distance for a in self.schema.attributes]
+        checks = list(zip(values, radii, distances, self._columns))
+        master = self._master_rows()
         out: List[Row] = []
         stack = [self.root]
         while stack:
@@ -278,14 +339,12 @@ class KDTree:
             if any(bound > radii[position] for position, bound in lower.items()):
                 continue
             if node.is_leaf:
-                for row in node.rows:
+                for index in node.indices:
                     if all(
-                        dist(value, row[position]) <= radius
-                        for position, (value, radius, dist) in enumerate(
-                            zip(values, radii, distances)
-                        )
+                        dist(value, column[index]) <= radius
+                        for value, radius, dist, column in checks
                     ):
-                        out.append(row)
+                        out.append(master[index])
             else:
                 stack.append(node.left)
                 stack.append(node.right)
@@ -301,6 +360,7 @@ class KDTree:
         if self.root is None:
             return INFINITY
         distances = [a.distance for a in self.schema.attributes]
+        pairs = list(zip(values, distances, self._columns))
         best = INFINITY
         stack: List[Tuple[float, KDNode]] = [(0.0, self.root)]
         while stack:
@@ -308,10 +368,10 @@ class KDTree:
             if bound >= best and best < INFINITY:
                 continue
             if node.is_leaf:
-                for row in node.rows:
+                for index in node.indices:
                     worst = 0.0
-                    for value, dist, other in zip(values, distances, row):
-                        d = dist(value, other)
+                    for value, dist, column in pairs:
+                        d = dist(value, column[index])
                         if d > worst:
                             worst = d
                         if worst >= best:

@@ -32,6 +32,13 @@ Strategy is chosen per key from its distance function and threshold:
 * a graceful **nested-loop fallback** for everything else (categorical or
   custom distances with positive slack, unhashable values, NaN).
 
+Both kernels are internally **columnar**: they keep per-key column buffers
+rather than row tuples, and their ``from_store`` constructors borrow the
+buffers of a column-backed :class:`~repro.relational.store.Store` directly
+(typed ``array`` buffers additionally let canonicalization skip per-value
+calls — see :func:`_canonical_column`).  Row-sequence construction is still
+supported and behaves identically.
+
 **Exact-equivalence contract.**  Every kernel returns *identical* results to
 the naive nested-loop reference implementations that this module also
 exports (:func:`naive_radius_matches`, :func:`naive_min_distance`):
@@ -57,13 +64,16 @@ not signal, and the BEAS difference guard and RC measure already used the
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
+from math import isnan
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .distance import INFINITY, DistanceFunction, is_real_number
 from .kdtree import KDTree
 from .relation import Relation, Row
 from .schema import Attribute, RelationSchema
+from .store import Store
 
 # Key kinds (see classify_key).
 KIND_DROP = "drop"  # threshold admits every pair: key can be ignored
@@ -132,6 +142,31 @@ def _canonical(distance: DistanceFunction, value: object) -> object:
     if isinstance(value, float) and value != value:
         return object()
     return value
+
+
+def _canonical_column(column: Sequence[object], distance: DistanceFunction) -> Sequence[object]:
+    """:func:`_canonical` applied to a whole column, exploiting typed buffers.
+
+    A ``ColumnStore`` buffer of machine ints (``array('q')``) provably holds
+    no ``None``/NaN/strings, so its canonical form is the buffer itself (or
+    its C-speed float image for numeric distances); a float buffer
+    (``array('d')``) only needs the per-value treatment when it actually
+    contains NaN (one ``math.isnan`` sweep decides).  Plain lists — and any
+    row-backed column — fall back to the per-value loop, so canonical values
+    are identical across backends.
+    """
+    if isinstance(column, array):
+        if distance.name == "string-prefix":
+            return [str(value) for value in column]
+        if column.typecode == "q":
+            if distance.numeric:
+                # float() semantics at C speed (same rounding for huge ints).
+                return array("d", column)
+            return column
+        # 'd': values are floats; only NaN needs the unmatchable sentinel.
+        if not any(map(isnan, column)):
+            return column
+    return [_canonical(distance, value) for value in column]
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +255,11 @@ class RadiusMatcher:
         thresholds: per-key slack; a row matches a query when *every* key
             distance is ``<= threshold``.
 
+    Internally the matcher is columnar: only the key columns are kept, one
+    buffer per key, extracted in a single pass (or borrowed directly from a
+    column-backed :class:`~repro.relational.store.Store` via
+    :meth:`from_store` — no row tuples are ever materialized then).
+
     ``matches(values)`` returns the matching row indices sorted ascending —
     byte-identical to :func:`naive_radius_matches` — and ``any_match`` is the
     short-circuiting existence variant.
@@ -227,22 +267,31 @@ class RadiusMatcher:
 
     def __init__(
         self,
-        rows: Sequence[Row],
+        rows: Optional[Sequence[Row]],
         positions: Sequence[int],
         distances: Sequence[DistanceFunction],
         thresholds: Sequence[float],
+        key_columns: Optional[Sequence[Sequence[object]]] = None,
+        size: Optional[int] = None,
     ) -> None:
-        self.rows = list(rows)
         self.positions = list(positions)
         self.distances = list(distances)
         self.thresholds = list(thresholds)
+        if key_columns is None:
+            if rows is None:
+                raise ValueError("RadiusMatcher needs rows or key_columns")
+            rows = list(rows)
+            size = len(rows)
+            key_columns = [[row[p] for row in rows] for p in self.positions]
+        self._key_columns = list(key_columns)
+        self._size = size if size is not None else (len(self._key_columns[0]) if self._key_columns else 0)
 
         kinds = [classify_key(d, t) for d, t in zip(self.distances, self.thresholds)]
-        keys = list(zip(self.positions, self.distances, self.thresholds, kinds))
+        keys = list(zip(self.distances, self.thresholds, kinds))
         # Query `values` is aligned with `positions`; remember each key's slot.
-        self._exact = [(slot, p, d) for slot, (p, d, _, k) in enumerate(keys) if k == KIND_EXACT]
-        self._band = [(slot, p, d, t) for slot, (p, d, t, k) in enumerate(keys) if k == KIND_BAND]
-        self._check = [(slot, p, d, t) for slot, (p, d, t, k) in enumerate(keys) if k == KIND_CHECK]
+        self._exact = [(slot, d) for slot, (d, _, k) in enumerate(keys) if k == KIND_EXACT]
+        self._band = [(slot, d, t) for slot, (d, t, k) in enumerate(keys) if k == KIND_BAND]
+        self._check = [(slot, d, t) for slot, (d, t, k) in enumerate(keys) if k == KIND_CHECK]
 
         self._naive = False
         self._buckets: Dict[Tuple[object, ...], _Bucket] = {}
@@ -256,10 +305,40 @@ class RadiusMatcher:
             # offending row is never actually compared.
             self._naive = True
 
+    @classmethod
+    def from_store(
+        cls,
+        store: Store,
+        positions: Sequence[int],
+        distances: Sequence[DistanceFunction],
+        thresholds: Sequence[float],
+    ) -> "RadiusMatcher":
+        """Index a store's rows by pulling its key column buffers directly."""
+        return cls(
+            None,
+            positions,
+            distances,
+            thresholds,
+            key_columns=[store.column(p) for p in positions],
+            size=len(store),
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
     # -- construction -------------------------------------------------------
     def _build(self) -> None:
-        for index, row in enumerate(self.rows):
-            key = tuple(_canonical(d, row[p]) for _, p, d in self._exact)
+        if self._exact:
+            # Canonicalize each exact-key column in one pass (typed buffers
+            # skip the per-value calls), then zip the canonical columns into
+            # bucket keys at C speed.
+            canonical_columns = [
+                _canonical_column(self._key_columns[slot], d) for slot, d in self._exact
+            ]
+            keys_iter: Iterable[Tuple[object, ...]] = zip(*canonical_columns)
+        else:
+            keys_iter = iter([()] * self._size)
+        for index, key in enumerate(keys_iter):
             bucket = self._buckets.get(key)
             if bucket is None:
                 bucket = self._buckets[key] = _Bucket()
@@ -268,10 +347,11 @@ class RadiusMatcher:
         single_band = len(self._band) == 1
         for bucket in self._buckets.values():
             if single_band:
-                _, position, _, _ = self._band[0]
+                slot, _, _ = self._band[0]
+                column = self._key_columns[slot]
                 sortable: List[Tuple[object, int]] = []
                 for index in bucket.indices:
-                    value = self.rows[index][position]
+                    value = column[index]
                     if is_real_number(value):
                         sortable.append((value, index))
                     else:
@@ -286,13 +366,12 @@ class RadiusMatcher:
 
     def _plant_tree(self, bucket: _Bucket) -> None:
         """Index a bucket's band-key sub-tuples in a KD-tree."""
-        attrs = [
-            Attribute(f"k{slot}", dist) for slot, _, dist, _ in self._band
-        ]
+        attrs = [Attribute(f"k{slot}", dist) for slot, dist, _ in self._band]
         schema = RelationSchema("kernel", attrs)
+        band_columns = [self._key_columns[slot] for slot, _, _ in self._band]
         tree_map: Dict[Tuple[object, ...], List[int]] = {}
         for index in bucket.indices:
-            sub = tuple(self.rows[index][p] for _, p, _, _ in self._band)
+            sub = tuple(column[index] for column in band_columns)
             tree_map.setdefault(sub, []).append(index)
         bucket.tree_map = tree_map
         bucket.tree = KDTree(
@@ -311,16 +390,16 @@ class RadiusMatcher:
         return False
 
     def _pair_ok(self, values: Sequence[object], index: int, keys) -> bool:
-        row = self.rows[index]
-        for slot, position, dist, threshold in keys:
-            if not dist(values[slot], row[position]) <= threshold:
+        columns = self._key_columns
+        for slot, dist, threshold in keys:
+            if not dist(values[slot], columns[slot][index]) <= threshold:
                 return False
         return True
 
     def _iter_matches(self, values: Sequence[object]) -> Iterator[int]:
         if not self._naive:
             try:
-                key = tuple(_canonical(d, values[slot]) for slot, _, d in self._exact)
+                key = tuple(_canonical(d, values[slot]) for slot, d in self._exact)
                 bucket = self._buckets.get(key)  # may raise on unhashable values
             except (TypeError, ValueError, OverflowError):
                 bucket = None
@@ -332,20 +411,20 @@ class RadiusMatcher:
                 return
         # Fallback: exhaustive scan over every indexed row (all key kinds).
         residual = self._exact_as_checks() + self._band + self._check
-        for index in range(len(self.rows)):
+        for index in range(self._size):
             if self._pair_ok(values, index, residual):
                 yield index
 
     def _exact_as_checks(self):
-        return [(slot, p, d, self.thresholds[slot]) for slot, p, d in self._exact]
+        return [(slot, d, self.thresholds[slot]) for slot, d in self._exact]
 
     def _iter_bucket(self, values: Sequence[object], bucket: _Bucket) -> Iterator[int]:
         if len(self._band) == 1 and (bucket.band_values or bucket.linear):
             yield from self._iter_banded(values, bucket)
             return
         if bucket.tree is not None:
-            sub = tuple(values[slot] for slot, _, _, _ in self._band)
-            radii = [t for _, _, _, t in self._band]
+            sub = tuple(values[slot] for slot, _, _ in self._band)
+            radii = [t for _, _, t in self._band]
             for match in bucket.tree.within_radius(sub, radii):
                 for index in bucket.tree_map[match]:
                     if self._pair_ok(values, index, self._check):
@@ -356,7 +435,7 @@ class RadiusMatcher:
                 yield index
 
     def _iter_banded(self, values: Sequence[object], bucket: _Bucket) -> Iterator[int]:
-        slot, position, dist, threshold = self._band[0]
+        slot, dist, threshold = self._band[0]
         value = values[slot]
         if not is_real_number(value):
             # NaN/None/other query value: the band window is undefined, so
@@ -399,12 +478,38 @@ class NearestNeighbors:
     a bucket, the remaining attributes are searched with a KD-tree
     nearest-neighbour query (large buckets) or a linear scan (small ones).
     Results are identical to :func:`naive_min_distance` over all rows.
+
+    The index is built column-at-a-time: bucket keys are canonicalized one
+    column buffer at a time and sub-tuples assembled with ``zip`` over the
+    non-trivial columns.  :meth:`from_store` / :meth:`from_relation` borrow
+    a column-backed store's buffers directly.
     """
 
-    def __init__(self, rows: Sequence[Row], attributes: Sequence[Attribute]) -> None:
-        self.rows = list(rows)
+    def __init__(
+        self,
+        rows: Optional[Sequence[Row]],
+        attributes: Sequence[Attribute],
+        columns: Optional[Sequence[Sequence[object]]] = None,
+        size: Optional[int] = None,
+    ) -> None:
         self.attributes = list(attributes)
         self.distances = [a.distance for a in attributes]
+        if columns is None:
+            if rows is None:
+                raise ValueError("NearestNeighbors needs rows or columns")
+            rows = list(rows)
+            size = len(rows)
+            columns = (
+                [list(col) for col in zip(*rows)]
+                if rows
+                else [[] for _ in self.attributes]
+            )
+            self._row_cache: Optional[List[Row]] = rows
+        else:
+            columns = list(columns)
+            self._row_cache = None
+        self._columns = columns
+        self._size = size if size is not None else (len(columns[0]) if columns else 0)
         self._bucket_positions = [
             i for i, a in enumerate(attributes) if a.distance.name == "trivial"
         ]
@@ -419,26 +524,67 @@ class NearestNeighbors:
         except (TypeError, ValueError, OverflowError):
             self._naive = True
 
+    @classmethod
+    def from_store(cls, store: Store, attributes: Sequence[Attribute]) -> "NearestNeighbors":
+        """Index a store's rows by borrowing its column buffers directly."""
+        return cls(None, attributes, columns=store.columns(), size=len(store))
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "NearestNeighbors":
+        """Index a relation under its own schema's distance functions."""
+        return cls.from_store(relation.store, relation.schema.attributes)
+
+    @property
+    def rows(self) -> List[Row]:
+        """The indexed rows as tuples (materialized lazily from columns)."""
+        if self._row_cache is None:
+            self._row_cache = list(zip(*self._columns)) if self._size else []
+        return self._row_cache
+
+    def __len__(self) -> int:
+        return self._size
+
     def _build(self) -> None:
-        trivial = [self.distances[i] for i in self._bucket_positions]
-        for row in self.rows:
-            key = tuple(
-                _canonical(d, row[p]) for p, d in zip(self._bucket_positions, trivial)
+        if self._bucket_positions:
+            canonical_columns = [
+                _canonical_column(self._columns[p], self.distances[p])
+                for p in self._bucket_positions
+            ]
+            keys: Iterable[Tuple[object, ...]] = zip(*canonical_columns)
+        else:
+            keys = iter([()] * self._size)
+        if self._other:
+            subs: Iterable[Tuple[object, ...]] = zip(
+                *(self._columns[p] for p, _ in self._other)
             )
-            sub = tuple(row[p] for p, _ in self._other)
+        else:
+            subs = iter([()] * self._size)
+        for key, sub in zip(keys, subs):
             self._buckets.setdefault(key, []).append(sub)
         if not self._other:
             return
         schema = RelationSchema(
             "kernel", [Attribute(f"k{i}", a.distance) for i, (_, a) in enumerate(self._other)]
         )
-        for key, subs in self._buckets.items():
-            distinct = dict.fromkeys(subs)
+        other_distances = [a.distance for _, a in self._other]
+        for key, bucket_subs in self._buckets.items():
+            # Dedup by per-distance *canonical* form, not by ``==``: values
+            # like ``1`` and ``1.0`` compare equal but behave differently
+            # under non-numeric distances (``str()`` forms differ for
+            # string-prefix), so ==-dedup could drop the closer
+            # representative and report a too-large minimum.  Equal
+            # canonical tuples guarantee equal distances to every query.
+            distinct: Dict[Tuple[object, ...], Tuple[object, ...]] = {}
+            for sub in bucket_subs:
+                canonical = tuple(
+                    _canonical(d, value) for d, value in zip(other_distances, sub)
+                )
+                distinct.setdefault(canonical, sub)
             if len(distinct) >= _MIN_TREE_SIZE:
                 self._trees[key] = KDTree(
-                    Relation(schema, distinct.keys()), max_leaf_size=_TREE_LEAF_SIZE
+                    Relation(schema, distinct.values()), max_leaf_size=_TREE_LEAF_SIZE
                 )
-                self._buckets[key] = list(distinct)
+                self._buckets[key] = list(distinct.values())
 
     def min_distance(self, values: Sequence[object]) -> float:
         """Exact minimum tuple distance from ``values`` to any indexed row."""

@@ -1,0 +1,477 @@
+"""Pluggable storage backends behind :class:`~repro.relational.relation.Relation`.
+
+A :class:`Store` holds the tuples of one relation and hides *how* they are
+laid out in memory.  :class:`~repro.relational.relation.Relation` is a thin
+facade over a store: every relational operation (projection, selection,
+grouping) and every kernel (distance matching, KD-tree construction, RC
+sweeps) reads through the store API, so the layout is a tunable parameter of
+the system rather than a hard-wired representation.
+
+Two backends ship with the library:
+
+* :class:`RowStore` — the classic layout: one Python tuple per row, kept in a
+  single list.  Cheap row materialization, row-at-a-time everything.
+* :class:`ColumnStore` — columnar layout: one buffer per attribute.  Pure
+  float columns are held in contiguous ``array.array('d')`` buffers and pure
+  int columns in ``array.array('q')`` buffers (falling back to a plain list
+  the moment a value of any other type — ``None``, ``bool``, strings, huge
+  ints — arrives, so values always round-trip bit-identically).  Column
+  reads (:meth:`Store.column`, :meth:`Store.key_tuples`) return whole buffers
+  without materializing row tuples, which is what the vectorized predicate
+  masks (:meth:`repro.algebra.predicates.Comparison.mask`), the hash-join key
+  extraction, the distance kernels and the KD-tree builder consume.
+
+**Choosing a backend.**  Per relation via
+``Relation(schema, rows, backend="column")`` /
+``Relation.from_columns(...)``, or process-wide via
+:func:`set_default_backend`.  Derived relations (project/select/distinct/...)
+inherit their source's backend.
+
+**Adding a third backend.**  Subclass :class:`Store` and implement the
+abstract core (``__len__``, ``append``, ``row``, ``iter_rows``, ``row_list``,
+``column``, ``select_mask``, ``take``, ``project``, ``head``, ``copy`` and
+the ``from_rows`` / ``from_columns`` constructors — the docstrings below are
+the contract), set a unique ``backend`` class attribute, and register it with
+:func:`register_backend`::
+
+    class MmapStore(Store):
+        backend = "mmap"
+        ...
+
+    register_backend("mmap", MmapStore)
+    set_default_backend("mmap")          # or Relation(..., backend="mmap")
+
+Every backend must preserve **value identity**: a value read back from the
+store must be equal to — and of the same type as — the value that was
+appended (``1`` stays ``int``, ``1.0`` stays ``float``, ``None`` stays
+``None``, NaN stays NaN).  The differential tests in ``tests/test_store.py``
+hold backends to this: row- and column-backed execution of the same queries
+must return bit-identical relations.
+
+**Mutation discipline.**  Buffers returned by :meth:`Store.column` /
+:meth:`Store.row_list` are internal state, exposed without copying for speed;
+callers must treat them as read-only.  A store is owned by exactly one
+relation/frame for mutation purposes; derived stores are always fresh copies.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import compress
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+Row = Tuple[object, ...]
+
+# ColumnStore buffer kinds.
+_KIND_EMPTY = "empty"  # no values yet: becomes typed on first append
+_KIND_FLOAT = "float"  # array('d') of pure-float values
+_KIND_INT = "int"  # array('q') of pure (machine-word) int values
+_KIND_OBJECT = "object"  # plain list, any values
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+class Store:
+    """Abstract storage backend for a relation's tuples.
+
+    Concrete backends set the ``backend`` class attribute (the name used by
+    ``Relation(..., backend=...)``) and implement the methods below.  All
+    derived stores (``select_mask``/``take``/``project``/``head``/``copy``)
+    return a **new** store of the same backend.
+    """
+
+    backend: str = "abstract"
+    width: int
+
+    # -- size / mutation ----------------------------------------------------
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def append(self, row: Sequence[object]) -> None:
+        """Add one row (arity is validated by the owning relation)."""
+        raise NotImplementedError
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # -- row access ---------------------------------------------------------
+    def row(self, index: int) -> Row:
+        """The row at ``index`` as a tuple."""
+        raise NotImplementedError
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate rows as tuples, in insertion order."""
+        raise NotImplementedError
+
+    def row_list(self) -> List[Row]:
+        """All rows as a list of tuples (may be cached; treat as read-only)."""
+        raise NotImplementedError
+
+    # -- column access ------------------------------------------------------
+    def column(self, position: int) -> Sequence[object]:
+        """All values of one attribute, in row order (treat as read-only).
+
+        Column backends return their internal buffer without copying; row
+        backends materialize a fresh list.
+        """
+        raise NotImplementedError
+
+    def columns(self) -> List[Sequence[object]]:
+        """One :meth:`column` per attribute, in schema order."""
+        return [self.column(position) for position in range(self.width)]
+
+    def key_tuples(self, positions: Sequence[int]) -> Iterator[Tuple[object, ...]]:
+        """Iterate ``tuple(row[p] for p in positions)`` per row, column-wise.
+
+        The default implementation zips the relevant column buffers, so no
+        full row tuples are materialized.
+        """
+        if not positions:
+            n = len(self)
+            return iter([()] * n)
+        return zip(*(self.column(p) for p in positions))
+
+    # -- derivation ---------------------------------------------------------
+    def select_mask(self, mask: Sequence[int]) -> "Store":
+        """A new store keeping the rows whose mask byte is truthy."""
+        raise NotImplementedError
+
+    def take(self, indices: Sequence[int]) -> "Store":
+        """A new store with the rows at ``indices`` (in that order)."""
+        raise NotImplementedError
+
+    def project(self, positions: Sequence[int]) -> "Store":
+        """A new store with only the columns at ``positions`` (in order)."""
+        raise NotImplementedError
+
+    def head(self, count: int) -> "Store":
+        """A new store with the first ``count`` rows."""
+        raise NotImplementedError
+
+    def copy(self) -> "Store":
+        """An independent copy (same backend, same contents)."""
+        raise NotImplementedError
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_rows(cls, width: int, rows: Iterable[Sequence[object]]) -> "Store":
+        """Build a store of ``width`` columns from row sequences."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_columns(cls, width: int, columns: Sequence[Sequence[object]]) -> "Store":
+        """Build a store from per-attribute value sequences (equal lengths)."""
+        raise NotImplementedError
+
+
+class RowStore(Store):
+    """Row-major backend: a list of Python tuples (the legacy layout)."""
+
+    backend = "row"
+    __slots__ = ("width", "_rows")
+
+    def __init__(self, width: int, rows: Optional[List[Row]] = None) -> None:
+        self.width = width
+        # ``rows`` is adopted without copying; constructors below guarantee
+        # it is a fresh list of tuples.
+        self._rows: List[Row] = rows if rows is not None else []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, row: Sequence[object]) -> None:
+        self._rows.append(tuple(row))
+
+    def row(self, index: int) -> Row:
+        return self._rows[index]
+
+    def iter_rows(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def row_list(self) -> List[Row]:
+        return self._rows
+
+    def column(self, position: int) -> Sequence[object]:
+        return [row[position] for row in self._rows]
+
+    def key_tuples(self, positions: Sequence[int]) -> Iterator[Tuple[object, ...]]:
+        # Row-major: one pass over the rows beats zipping per-column scans.
+        return (tuple(row[p] for p in positions) for row in self._rows)
+
+    def select_mask(self, mask: Sequence[int]) -> "RowStore":
+        return RowStore(self.width, list(compress(self._rows, mask)))
+
+    def take(self, indices: Sequence[int]) -> "RowStore":
+        rows = self._rows
+        return RowStore(self.width, [rows[i] for i in indices])
+
+    def project(self, positions: Sequence[int]) -> "RowStore":
+        return RowStore(
+            len(positions), [tuple(row[p] for p in positions) for row in self._rows]
+        )
+
+    def head(self, count: int) -> "RowStore":
+        return RowStore(self.width, self._rows[:count])
+
+    def copy(self) -> "RowStore":
+        return RowStore(self.width, list(self._rows))
+
+    @classmethod
+    def from_rows(cls, width: int, rows: Iterable[Sequence[object]]) -> "RowStore":
+        # tuple(t) returns t itself for tuples, so adopting pre-tupled rows
+        # is free.
+        return cls(width, [tuple(row) for row in rows])
+
+    @classmethod
+    def from_columns(cls, width: int, columns: Sequence[Sequence[object]]) -> "RowStore":
+        return cls(width, list(zip(*columns)) if columns else [])
+
+
+def _typed_buffer(values: Sequence[object]) -> Tuple[str, Sequence[object]]:
+    """Choose the tightest buffer for ``values`` without changing any value."""
+    if not values:
+        return _KIND_EMPTY, []
+    if all(type(v) is float for v in values):
+        return _KIND_FLOAT, array("d", values)
+    if all(type(v) is int for v in values):
+        try:
+            return _KIND_INT, array("q", values)
+        except OverflowError:
+            pass
+    return _KIND_OBJECT, list(values)
+
+
+class ColumnStore(Store):
+    """Column-major backend: one contiguous buffer per attribute.
+
+    Buffers specialize adaptively: a column whose values are all ``float``
+    lives in an ``array.array('d')``, all machine-word ``int`` in an
+    ``array.array('q')``, anything else (or any mix) in a plain list.  A
+    buffer demotes to a list the moment an incompatible value is appended —
+    existing values are preserved exactly, so reads are always bit-identical
+    to what was written.
+    """
+
+    backend = "column"
+    __slots__ = ("width", "_cols", "_kinds", "_length", "_row_cache")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._cols: List[Sequence[object]] = [[] for _ in range(width)]
+        self._kinds: List[str] = [_KIND_EMPTY] * width
+        self._length = 0
+        self._row_cache: Optional[List[Row]] = None
+
+    # -- internal buffer management -----------------------------------------
+    def _adopt(self, kinds: List[str], cols: List[Sequence[object]], length: int) -> "ColumnStore":
+        """A sibling store adopting pre-built buffers (no copies)."""
+        out = ColumnStore.__new__(ColumnStore)
+        out.width = len(cols)
+        out._cols = cols
+        out._kinds = kinds
+        out._length = length
+        out._row_cache = None
+        return out
+
+    def _append_value(self, position: int, value: object) -> None:
+        kind = self._kinds[position]
+        col = self._cols[position]
+        if kind is _KIND_OBJECT:
+            col.append(value)  # type: ignore[union-attr]
+            return
+        if kind is _KIND_EMPTY:
+            if type(value) is float:
+                self._cols[position] = array("d", (value,))
+                self._kinds[position] = _KIND_FLOAT
+            elif type(value) is int and _INT64_MIN <= value <= _INT64_MAX:
+                self._cols[position] = array("q", (value,))
+                self._kinds[position] = _KIND_INT
+            else:
+                col.append(value)  # type: ignore[union-attr]
+                self._kinds[position] = _KIND_OBJECT
+            return
+        if kind is _KIND_FLOAT and type(value) is float:
+            col.append(value)  # type: ignore[union-attr]
+            return
+        if kind is _KIND_INT and type(value) is int and _INT64_MIN <= value <= _INT64_MAX:
+            col.append(value)  # type: ignore[union-attr]
+            return
+        # Demote the typed buffer to a plain list; values are preserved
+        # exactly (array('d') yields floats, array('q') yields ints).
+        demoted = list(col)
+        demoted.append(value)
+        self._cols[position] = demoted
+        self._kinds[position] = _KIND_OBJECT
+
+    # -- size / mutation ----------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def append(self, row: Sequence[object]) -> None:
+        for position, value in enumerate(row):
+            self._append_value(position, value)
+        self._length += 1
+        self._row_cache = None
+
+    # -- row access ---------------------------------------------------------
+    def row(self, index: int) -> Row:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {index} out of range")
+        return tuple(col[index] for col in self._cols)
+
+    def iter_rows(self) -> Iterator[Row]:
+        if self._row_cache is not None:
+            return iter(self._row_cache)
+        return zip(*self._cols)
+
+    def row_list(self) -> List[Row]:
+        if self._row_cache is None:
+            self._row_cache = list(zip(*self._cols))
+        return self._row_cache
+
+    # -- column access ------------------------------------------------------
+    def column(self, position: int) -> Sequence[object]:
+        return self._cols[position]
+
+    def columns(self) -> List[Sequence[object]]:
+        return list(self._cols)
+
+    # -- derivation ---------------------------------------------------------
+    def select_mask(self, mask: Sequence[int]) -> "ColumnStore":
+        # Compress the *index space* once (C-speed, no value boxing), then
+        # gather per column.  Compressing each buffer directly would box
+        # every element of every typed buffer, selected or not.
+        return self.take(list(compress(range(self._length), mask)))
+
+    def take(self, indices: Sequence[int]) -> "ColumnStore":
+        kinds: List[str] = []
+        cols: List[Sequence[object]] = []
+        for kind, col in zip(self._kinds, self._cols):
+            getter = col.__getitem__
+            if kind is _KIND_FLOAT:
+                kept: Sequence[object] = array("d", map(getter, indices))
+            elif kind is _KIND_INT:
+                kept = array("q", map(getter, indices))
+            else:
+                kept = list(map(getter, indices))
+            # An emptied column reverts to the undecided state, which
+            # requires a plain-list buffer (appends re-specialize it).
+            cols.append(kept if kept else [])
+            kinds.append(kind if kept else _KIND_EMPTY)
+        return self._adopt(kinds, cols, len(indices))
+
+    def project(self, positions: Sequence[int]) -> "ColumnStore":
+        kinds = [self._kinds[p] for p in positions]
+        cols = [self._cols[p][:] for p in positions]
+        return self._adopt(kinds, cols, self._length)
+
+    def head(self, count: int) -> "ColumnStore":
+        count = max(0, min(count, self._length))
+        kinds = [k if count else _KIND_EMPTY for k in self._kinds]
+        # Emptied columns revert to undecided, which needs a list buffer.
+        cols = [col[:count] if count else [] for col in self._cols]
+        return self._adopt(kinds, cols, count)
+
+    def copy(self) -> "ColumnStore":
+        return self._adopt(list(self._kinds), [col[:] for col in self._cols], self._length)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_rows(cls, width: int, rows: Iterable[Sequence[object]]) -> "ColumnStore":
+        materialized = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        if not materialized:
+            return cls(width)
+        raw_columns = list(zip(*materialized))
+        store = cls.from_columns(width, raw_columns)
+        store._row_cache = materialized
+        return store
+
+    @classmethod
+    def from_columns(cls, width: int, columns: Sequence[Sequence[object]]) -> "ColumnStore":
+        store = cls(width)
+        if not columns:
+            return store
+        kinds: List[str] = []
+        cols: List[Sequence[object]] = []
+        for column in columns:
+            kind, buf = _typed_buffer(list(column))
+            kinds.append(kind)
+            cols.append(buf)
+        store._kinds = kinds
+        store._cols = cols
+        store._length = len(cols[0]) if cols else 0
+        return store
+
+
+# ---------------------------------------------------------------------------
+# Backend registry and process-wide default
+# ---------------------------------------------------------------------------
+
+_BACKENDS: Dict[str, Type[Store]] = {
+    RowStore.backend: RowStore,
+    ColumnStore.backend: ColumnStore,
+}
+
+_default_backend = RowStore.backend
+
+
+def register_backend(name: str, store_class: Type[Store]) -> None:
+    """Register a third-party :class:`Store` subclass under ``name``."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _BACKENDS[name] = store_class
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends."""
+    return tuple(_BACKENDS)
+
+
+def backend_class(name: str) -> Type[Store]:
+    """The :class:`Store` subclass registered under ``name``."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown storage backend {name!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def get_default_backend() -> str:
+    """The backend used when ``Relation(..., backend=None)``."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process-wide default backend; returns the previous default."""
+    global _default_backend
+    backend_class(name)  # validate
+    previous = _default_backend
+    _default_backend = name
+    return previous
+
+
+def make_store(width: int, backend: Optional[str] = None) -> Store:
+    """An empty store of ``width`` columns using ``backend`` (or the default)."""
+    cls = backend_class(backend if backend is not None else _default_backend)
+    return cls(width)
+
+
+# ---------------------------------------------------------------------------
+# Mask helpers (shared by the vectorized predicate API)
+# ---------------------------------------------------------------------------
+
+def all_ones(count: int) -> bytearray:
+    """A mask selecting every row."""
+    return bytearray(b"\x01" * count)
+
+
+def and_masks(left: Sequence[int], right: Sequence[int]) -> bytearray:
+    """Elementwise AND of two 0/1 byte masks (via one big-int AND, C speed)."""
+    n = len(left)
+    merged = int.from_bytes(bytes(left), "little") & int.from_bytes(bytes(right), "little")
+    return bytearray(merged.to_bytes(n, "little")) if n else bytearray()

@@ -42,6 +42,25 @@ class TestAlphaBoundedness:
         result = social_beas.answer(Q1_SQL, 0.02)
         assert result.tuples_accessed <= result.plan.tariff <= result.budget
 
+    def test_over_budget_plan_refused_with_zero_eta(self, social_beas):
+        """Regression: at very tight budgets the chase's mandatory atom
+        coverage can produce a plan whose tariff exceeds α·|D|; answering
+        used to start fetching and crash with BudgetExceededError mid-plan.
+        Now BEAS refuses to touch D and returns the empty answer with the
+        trivially sound bound η = 0 (found by hypothesis at alpha≈0.00586,
+        pid=28, price=50 on the social workload)."""
+        sql = (
+            "select h.price from poi as h, friend as f, person as p "
+            "where f.pid = 28 and f.fid = p.pid and p.city = h.city "
+            "and h.type = 'hotel' and h.price <= 50"
+        )
+        result = social_beas.answer(sql, 0.005859375)
+        assert result.plan.tariff > result.budget  # the tight-budget regime
+        assert result.tuples_accessed == 0
+        assert result.eta == 0.0
+        assert len(result.rows) == 0
+        assert not result.exact
+
 
 class TestAccuracyGuarantee:
     """The returned η is a valid lower bound on the RC accuracy (Theorem 5/6)."""

@@ -214,6 +214,20 @@ def test_nearest_neighbors_matches_naive(seed):
         assert neighbors.min_distance(query) == naive_min_distance(query, rows, distances)
 
 
+def test_nearest_neighbors_dedups_by_canonical_form_not_equality():
+    """Regression: ``1`` and ``1.0`` are ``==`` but differ under the
+    string-prefix distance (``str()`` forms '1' vs '1.0').  The KD-tree
+    point dedup used ``dict.fromkeys`` (plain ``==``), dropping the closer
+    representative and inflating the minimum distance on large buckets."""
+    attributes = [Attribute("s", STRING_PREFIX)]
+    # 21 canonically-distinct values (tree path) including the ==-equal pair.
+    rows = [(1,), (1.0,)] + [(100 + i,) for i in range(19)]
+    neighbors = NearestNeighbors(rows, attributes)
+    distances = [a.distance for a in attributes]
+    for query in [(1.0,), (1,), ("1.0",)]:
+        assert neighbors.min_distance(query) == naive_min_distance(query, rows, distances)
+
+
 # ---------------------------------------------------------------------------
 # KD-tree search vs. brute force
 # ---------------------------------------------------------------------------

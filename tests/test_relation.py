@@ -31,10 +31,22 @@ class TestConstruction:
 
     def test_from_dicts(self, schema):
         rel = Relation.from_dicts(schema, [{"eid": 1, "dept": "x", "salary": 3.0}])
-        assert rel.rows == [(1, "x", 3.0)]
+        assert rel.rows == ((1, "x", 3.0),)
 
     def test_is_empty(self, schema):
         assert Relation(schema).is_empty()
+
+    def test_rows_view_is_immutable(self, relation):
+        view = relation.rows
+        assert isinstance(view, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            view.append((9, "z", 0.0))  # type: ignore[attr-defined]
+
+    def test_rows_view_tracks_appends(self, relation):
+        before = relation.rows
+        relation.append((9, "z", 99.0))
+        assert len(relation.rows) == len(before) + 1
+        assert relation.rows[-1] == (9, "z", 99.0)
 
 
 class TestAccessors:

@@ -1,0 +1,354 @@
+"""Storage backends: unit, differential and property tests.
+
+The contract under test (see :mod:`repro.relational.store`): row- and
+column-backed relations are **bit-identical** through every relational
+operation — same values, same types (``1`` stays ``int``, ``1.0`` stays
+``float``), same row order — including mixed int/float columns, ``None``,
+NaN, and the full ``Beas.answer()`` pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Beas, Database, Relation, parse_query
+from repro.algebra.evaluator import DatabaseProvider, Evaluator, evaluate_exact
+from repro.algebra.predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
+from repro.errors import SchemaError
+from repro.relational.distance import CATEGORICAL, NUMERIC
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.store import (
+    ColumnStore,
+    RowStore,
+    and_masks,
+    available_backends,
+    backend_class,
+    get_default_backend,
+    make_store,
+    register_backend,
+    set_default_backend,
+)
+from repro.workloads import social
+
+NAN = float("nan")
+
+
+def identity_key(row):
+    """Sortable key distinguishing types and NaN (``1`` != ``1.0`` here)."""
+    return tuple(f"{type(v).__name__}:{v!r}" for v in row)
+
+
+def assert_identical(left: Relation, right: Relation):
+    """Bit-identical contents: same multiset of (typed) rows, same order."""
+    assert left.schema.attribute_names == right.schema.attribute_names
+    lrows, rrows = list(left), list(right)
+    assert [identity_key(r) for r in lrows] == [identity_key(r) for r in rrows]
+
+
+@pytest.fixture()
+def schema():
+    return RelationSchema(
+        "t",
+        [
+            Attribute("id"),
+            Attribute("cat", CATEGORICAL),
+            Attribute("x", NUMERIC),
+            Attribute("y", NUMERIC),
+        ],
+    )
+
+
+MIXED_ROWS = [
+    (1, "a", 10.0, 1),
+    (2, "a", 20, 2.5),
+    (3, "b", None, NAN),
+    (3, "b", 30.5, -0.0),
+    (4, None, NAN, 10**25),
+    (5, "c", 1, True),
+]
+
+
+# ---------------------------------------------------------------------------
+# Store unit tests
+# ---------------------------------------------------------------------------
+
+class TestStores:
+    @pytest.mark.parametrize("cls", [RowStore, ColumnStore])
+    def test_roundtrip_mixed_rows(self, cls):
+        store = cls.from_rows(4, MIXED_ROWS)
+        assert len(store) == len(MIXED_ROWS)
+        assert store.row_list() == MIXED_ROWS
+        assert list(store.iter_rows()) == MIXED_ROWS
+        assert [store.row(i) for i in range(len(store))] == MIXED_ROWS
+        for p in range(4):
+            expected = [row[p] for row in MIXED_ROWS]
+            got = list(store.column(p))
+            assert [identity_key((v,)) for v in got] == [
+                identity_key((v,)) for v in expected
+            ]
+
+    @pytest.mark.parametrize("cls", [RowStore, ColumnStore])
+    def test_derivations(self, cls):
+        store = cls.from_rows(4, MIXED_ROWS)
+        mask = bytearray([1, 0, 1, 0, 1, 0])
+        assert store.select_mask(mask).row_list() == [MIXED_ROWS[i] for i in (0, 2, 4)]
+        assert store.take([3, 1]).row_list() == [MIXED_ROWS[3], MIXED_ROWS[1]]
+        assert store.project([2, 0]).row_list() == [(r[2], r[0]) for r in MIXED_ROWS]
+        assert store.head(2).row_list() == MIXED_ROWS[:2]
+        dup = store.copy()
+        dup.append((9, "z", 0.0, 0.0))
+        assert len(store) == len(MIXED_ROWS) and len(dup) == len(MIXED_ROWS) + 1
+        assert list(store.key_tuples([1, 3])) == [(r[1], r[3]) for r in MIXED_ROWS]
+        assert list(store.key_tuples([])) == [()] * len(MIXED_ROWS)
+
+    def test_column_store_typed_buffers(self):
+        store = ColumnStore(2)
+        for v in (1.0, 2.5, NAN):
+            store.append((v, 7))
+        assert store._kinds == ["float", "int"]  # noqa: SLF001 - layout assertion
+        # Ints and floats stay distinct types after a round trip.
+        assert [type(v) for v in store.column(0)] == [float, float, float]
+        assert [type(v) for v in store.column(1)] == [int, int, int]
+        # A mixed value demotes the buffer without changing stored values.
+        store.append((None, 10**25))
+        assert store._kinds == ["object", "object"]
+        assert list(store.column(0))[:2] == [1.0, 2.5]
+        assert list(store.column(1)) == [7, 7, 7, 10**25]
+        # bool is not int for buffer purposes (it must round-trip as bool).
+        other = ColumnStore(1)
+        other.append((True,))
+        assert other._kinds == ["object"]
+        assert other.column(0)[0] is True
+
+    def test_column_store_select_mask_keeps_types(self):
+        store = ColumnStore.from_rows(2, [(1.0, 1), (2.0, 2), (3.0, 3)])
+        kept = store.select_mask(bytearray([1, 0, 1]))
+        assert kept._kinds == ["float", "int"]
+        assert kept.row_list() == [(1.0, 1), (3.0, 3)]
+
+    def test_emptied_typed_columns_accept_any_append(self):
+        # Regression: take/head used to keep the empty array('d') buffer
+        # while resetting the kind, so appending a non-numeric value crashed.
+        store = ColumnStore.from_rows(2, [(1.0, 1), (2.0, 2)])
+        for emptied in (store.select_mask(bytearray([0, 0])), store.head(0)):
+            emptied.append(("hello", None))
+            assert emptied.row_list() == [("hello", None)]
+            assert emptied._kinds == ["object", "object"]
+
+    def test_from_columns_equals_from_rows(self):
+        columns = list(zip(*MIXED_ROWS))
+        for cls in (RowStore, ColumnStore):
+            assert cls.from_columns(4, columns).row_list() == MIXED_ROWS
+
+    def test_registry_and_default(self):
+        assert {"row", "column"} <= set(available_backends())
+        assert backend_class("row") is RowStore
+        with pytest.raises(ValueError):
+            backend_class("no-such-backend")
+        previous = set_default_backend("column")
+        try:
+            assert get_default_backend() == "column"
+            assert isinstance(make_store(3), ColumnStore)
+            assert Relation(RelationSchema("r", [Attribute("a")])).backend == "column"
+        finally:
+            set_default_backend(previous)
+        assert get_default_backend() == previous
+
+    def test_register_third_backend(self):
+        class TaggedRowStore(RowStore):
+            backend = "tagged"
+
+        register_backend("tagged", TaggedRowStore)
+        assert "tagged" in available_backends()
+        rel = Relation(
+            RelationSchema("r", [Attribute("a")]), [(1,), (2,)], backend="tagged"
+        )
+        assert rel.backend == "tagged"
+        assert rel.select(lambda row: row[0] == 1).rows == ((1,),)
+
+    def test_and_masks(self):
+        assert and_masks(bytearray([1, 1, 0, 1]), bytearray([1, 0, 0, 1])) == bytearray(
+            [1, 0, 0, 1]
+        )
+        assert and_masks(bytearray(), bytearray()) == bytearray()
+
+
+# ---------------------------------------------------------------------------
+# Relation facade
+# ---------------------------------------------------------------------------
+
+class TestRelationFacade:
+    def test_backend_choice_and_inheritance(self, schema):
+        rel = Relation(schema, MIXED_ROWS, backend="column")
+        assert rel.backend == "column"
+        assert rel.project(["cat", "x"]).backend == "column"
+        assert rel.select(lambda row: True).backend == "column"
+        assert rel.distinct().backend == "column"
+        assert rel.rename("u").backend == "column"
+        assert rel.sorted().backend == "column"
+        assert rel.with_backend("row").backend == "row"
+        assert_identical(rel.with_backend("row"), rel)
+
+    def test_from_columns_mapping_and_sequence(self, schema):
+        columns = {name: [r[i] for r in MIXED_ROWS] for i, name in enumerate(schema.attribute_names)}
+        by_map = Relation.from_columns(schema, columns)
+        by_seq = Relation.from_columns(schema, list(zip(*MIXED_ROWS)))
+        assert by_map.backend == "column"
+        assert_identical(by_map, by_seq)
+        assert_identical(by_map, Relation(schema, MIXED_ROWS))
+
+    def test_from_columns_validation(self, schema):
+        with pytest.raises(SchemaError):
+            Relation.from_columns(schema, {"id": [1]})  # missing columns
+        with pytest.raises(SchemaError):
+            Relation.from_columns(schema, [[1], [2]])  # wrong arity
+        with pytest.raises(SchemaError):
+            Relation.from_columns(
+                schema, [[1], ["a"], [1.0], [2.0, 3.0]]
+            )  # ragged lengths
+
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_rows_view_is_immutable(self, schema, backend):
+        rel = Relation(schema, MIXED_ROWS, backend=backend)
+        assert isinstance(rel.rows, tuple)
+
+    def test_store_width_must_match_schema(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema, store=RowStore.from_rows(2, [(1, 2)]))
+
+
+# ---------------------------------------------------------------------------
+# Vectorized predicates
+# ---------------------------------------------------------------------------
+
+PREDICATES = [
+    Comparison(AttrRef(None, "x"), CompareOp.LE, Const(20)),
+    Comparison(AttrRef(None, "x"), CompareOp.GT, Const(10.0)),
+    Comparison(AttrRef(None, "cat"), CompareOp.EQ, Const("b")),
+    Comparison(AttrRef(None, "cat"), CompareOp.NE, Const("a")),
+    Comparison(AttrRef(None, "x"), CompareOp.EQ, Const(None)),
+    Comparison(AttrRef(None, "x"), CompareOp.LT, Const(None)),
+    Comparison(Const(25), CompareOp.GE, AttrRef(None, "x")),  # flipped operand
+    Comparison(AttrRef(None, "x"), CompareOp.LE, AttrRef(None, "y")),  # attr/attr
+]
+
+
+class TestVectorizedPredicates:
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    @pytest.mark.parametrize("comparison", PREDICATES, ids=str)
+    def test_mask_matches_row_evaluation(self, schema, backend, comparison):
+        rel = Relation(schema, MIXED_ROWS, backend=backend)
+        normalized = comparison.normalized()
+
+        def row_predicate(row):
+            def value(operand):
+                if isinstance(operand, Const):
+                    return operand.value
+                return row[schema.position(operand.attribute)]
+
+            return comparison.op.evaluate(value(comparison.left), value(comparison.right))
+
+        mask = comparison.mask(rel.store, schema)
+        assert list(mask) == [1 if row_predicate(row) else 0 for row in rel]
+        assert normalized.mask(rel.store, schema) == mask
+        assert_identical(rel.select(comparison), rel.select(row_predicate))
+
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_conjunction_mask(self, schema, backend):
+        rel = Relation(schema, MIXED_ROWS, backend=backend)
+        conj = Conjunction.of(PREDICATES[:2])
+        expected = and_masks(
+            PREDICATES[0].mask(rel.store, schema), PREDICATES[1].mask(rel.store, schema)
+        )
+        assert conj.mask(rel.store, schema) == expected
+        assert list(Conjunction.true().mask(rel.store, schema)) == [1] * len(rel)
+
+    def test_mask_on_typed_buffer_handles_nan_and_type_mismatch(self):
+        schema = RelationSchema("t", [Attribute("x", NUMERIC)])
+        rel = Relation(schema, [(1.0,), (NAN,), (3.0,)], backend="column")
+        le = Comparison(AttrRef(None, "x"), CompareOp.LE, Const(2.0))
+        assert list(le.mask(rel.store, schema)) == [1, 0, 0]
+        # Non-numeric constant against a typed buffer: everything fails,
+        # exactly like per-row evaluate (TypeError absorbed pair by pair).
+        weird = Comparison(AttrRef(None, "x"), CompareOp.LE, Const("zzz"))
+        assert list(weird.mask(rel.store, schema)) == [0, 0, 0]
+
+
+# ---------------------------------------------------------------------------
+# Differential: row vs column through the algebra and BEAS
+# ---------------------------------------------------------------------------
+
+def to_backend(database: Database, backend: str) -> Database:
+    relations = [
+        Relation(database.relation(name).schema, database.relation(name).rows, backend=backend)
+        for name in database.relation_names
+    ]
+    return Database.from_relations(relations)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_basic_operations(self, schema, backend):
+        base = Relation(schema, MIXED_ROWS, backend="row")
+        other = Relation(schema, MIXED_ROWS, backend=backend)
+        assert_identical(base.project(["cat"]), other.project(["cat"]))
+        assert_identical(
+            base.project(["cat", "x"], distinct=False),
+            other.project(["cat", "x"], distinct=False),
+        )
+        assert_identical(base.distinct(), other.distinct())
+        assert_identical(base.sorted(), other.sorted())
+        for comparison in PREDICATES:
+            assert_identical(base.select(comparison), other.select(comparison))
+        base_groups = base.group_by(["cat"])
+        other_groups = other.group_by(["cat"])
+        assert list(base_groups) == list(other_groups)
+        for key in base_groups:
+            assert base_groups[key] == other_groups[key]
+
+    def test_exact_evaluation_identical(self, social_db):
+        queries = social.example_queries()
+        db_col = to_backend(social_db, "column")
+        for sql in queries:
+            node = parse_query(sql)
+            assert_identical(
+                evaluate_exact(node, social_db), evaluate_exact(node, db_col)
+            )
+
+    def test_relaxed_selection_and_join_identical(self, social_db):
+        db_col = to_backend(social_db, "column")
+        sql = (
+            "select h.price from poi as h, friend as f, person as p "
+            "where f.pid = 3 and f.fid = p.pid and p.city = h.city "
+            "and h.type = 'hotel' and h.price <= 120"
+        )
+        node = parse_query(sql)
+        relaxation = {"h.price": 15.0, "p.city": 0.0, "h.city": 0.0}
+        row_result = Evaluator(
+            social_db.schema, DatabaseProvider(social_db), relaxation=relaxation
+        ).evaluate(node)
+        col_result = Evaluator(
+            db_col.schema, DatabaseProvider(db_col), relaxation=relaxation
+        ).evaluate(node)
+        assert_identical(row_result, col_result)
+
+    def test_full_beas_answer_identical(self, social_workload):
+        db_row = social_workload.database
+        db_col = to_backend(db_row, "column")
+        beas_row = Beas(
+            db_row,
+            constraints=social_workload.constraints,
+            families=social_workload.families,
+        )
+        beas_col = Beas(
+            db_col,
+            constraints=social_workload.constraints,
+            families=social_workload.families,
+        )
+        for sql in social.example_queries():
+            for alpha in (0.005, 0.05):
+                row_answer = beas_row.answer(sql, alpha)
+                col_answer = beas_col.answer(sql, alpha)
+                assert_identical(row_answer.rows, col_answer.rows)
+                assert row_answer.eta == pytest.approx(col_answer.eta)
+                assert row_answer.tuples_accessed == col_answer.tuples_accessed

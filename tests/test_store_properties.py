@@ -1,0 +1,93 @@
+"""Property-based row/column backend equivalence (hypothesis).
+
+Separate from ``test_store.py`` so the differential and unit tests there
+still run in environments without the optional ``hypothesis`` extra.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")  # optional [test] extra
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Relation
+from repro.algebra.evaluator import Evaluator, Frame
+from repro.algebra.predicates import AttrRef, CompareOp, Comparison, Const
+from repro.relational.distance import CATEGORICAL, NUMERIC
+from repro.relational.schema import Attribute, RelationSchema
+
+from test_store import assert_identical, identity_key
+
+CATS = st.one_of(st.none(), st.sampled_from(["a", "b", "c"]))
+NUMBERS = st.one_of(
+    st.none(),
+    st.integers(-3, 3),
+    st.integers(-(10**20), 10**20),
+    st.floats(allow_infinity=False, allow_nan=True),
+    st.booleans(),
+)
+ROWS = st.lists(st.tuples(st.integers(0, 5), CATS, NUMBERS, NUMBERS), max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=ROWS, constant=st.one_of(st.integers(-3, 3), st.floats(-5, 5)), data=st.data())
+def test_property_backends_bit_identical(rows, constant, data):
+    schema = RelationSchema(
+        "t",
+        [
+            Attribute("id"),
+            Attribute("cat", CATEGORICAL),
+            Attribute("x", NUMERIC),
+            Attribute("y", NUMERIC),
+        ],
+    )
+    row_rel = Relation(schema, rows, backend="row")
+    col_rel = Relation(schema, rows, backend="column")
+    assert_identical(row_rel, col_rel)
+    assert row_rel == col_rel
+
+    op = data.draw(st.sampled_from(list(CompareOp)))
+    comparison = Comparison(AttrRef(None, "x"), op, Const(constant))
+    assert_identical(row_rel.select(comparison), col_rel.select(comparison))
+
+    attr_attr = Comparison(AttrRef(None, "x"), op, AttrRef(None, "y"))
+    assert_identical(row_rel.select(attr_attr), col_rel.select(attr_attr))
+
+    names = data.draw(
+        st.lists(st.sampled_from(schema.attribute_names), min_size=1, max_size=4, unique=True)
+    )
+    assert_identical(row_rel.project(names), col_rel.project(names))
+    assert_identical(
+        row_rel.project(names, distinct=False), col_rel.project(names, distinct=False)
+    )
+    assert_identical(row_rel.distinct(), col_rel.distinct())
+    assert list(row_rel.group_by(["cat"])) == list(col_rel.group_by(["cat"]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    left_rows=st.lists(st.tuples(st.integers(0, 4), NUMBERS), max_size=25),
+    right_rows=st.lists(st.tuples(st.integers(0, 4), NUMBERS), max_size=25),
+    slack=st.floats(0.0, 3.0),
+)
+def test_property_relaxed_join_bit_identical(left_rows, right_rows, slack):
+    """Hash/relaxed joins give identical output for row/column frames."""
+    from repro.algebra.evaluator import Frame
+
+    left_schema = RelationSchema("l", [Attribute("l.k"), Attribute("l.v", NUMERIC)])
+    right_schema = RelationSchema("r", [Attribute("r.k"), Attribute("r.v", NUMERIC)])
+    relaxation = {"l.v": slack / 2, "r.v": slack / 2}
+    results = []
+    for backend in ("row", "column"):
+        left = Frame.from_relation(Relation(left_schema, left_rows, backend=backend))
+        right = Frame.from_relation(Relation(right_schema, right_rows, backend=backend))
+        evaluator = Evaluator.__new__(Evaluator)
+        evaluator.relaxation = dict(relaxation)
+        joined = evaluator._hash_join(left, right, ["l.k", "l.v"], ["r.k", "r.v"])
+        results.append((joined.rows, joined.weights))
+    (row_rows, row_weights), (col_rows, col_weights) = results
+    assert [identity_key(r) for r in row_rows] == [identity_key(r) for r in col_rows]
+    assert row_weights == col_weights
