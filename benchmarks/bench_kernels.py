@@ -21,12 +21,21 @@ relation vs. a ``RowStore``-backed one (see :mod:`repro.relational.store`):
 * ``columnar_rc`` — the RC coverage sweep
   (:func:`repro.accuracy.rc.max_coverage_distance`) over key-shaped answers.
 
-Every timed run cross-checks that both sides return identical results, so
-the benchmark doubles as a coarse differential test.  The combined series is
-written to ``BENCH_kernels.json`` at the repository root so future PRs can
-track the performance trajectory.  Run it directly (no pytest needed)::
+Part 3 sweeps the same four operations over the **sharded** backend
+(:class:`repro.relational.store.ShardedStore`, range-partitioned per-shard
+column stores) at several shard counts, against the row baseline —
+``sharded_scan`` / ``sharded_selection`` / ``sharded_join`` / ``sharded_rc``
+entries record how partition-parallel execution scales with shard count.
 
-    python benchmarks/bench_kernels.py [--quick]
+``--backends`` restricts which storage backends parts 2–3 exercise
+(comma-separated, e.g. ``--backends row,sharded``; part 1 is
+backend-independent).  Every timed run cross-checks that both sides return
+identical results, so the benchmark doubles as a coarse differential test.
+The combined series is written to ``BENCH_kernels.json`` at the repository
+root so future PRs can track the performance trajectory.  Run it directly
+(no pytest needed)::
+
+    python benchmarks/bench_kernels.py [--quick] [--backends row,column,sharded]
 """
 
 from __future__ import annotations
@@ -37,7 +46,7 @@ import random
 import sys
 import time
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -155,7 +164,7 @@ KERNELS = {
 
 
 # ---------------------------------------------------------------------------
-# Columnar vs row storage (ColumnStore vs RowStore through the same APIs)
+# Storage backends through the same APIs (row baseline vs column / sharded)
 # ---------------------------------------------------------------------------
 
 WIDE_SCHEMA = RelationSchema(
@@ -169,8 +178,23 @@ WIDE_SCHEMA = RelationSchema(
     ],
 )
 
+# Shard counts swept by the sharded section; each is registered as its own
+# range-partitioned backend (contiguous shards concatenate typed buffers).
+SHARD_COUNTS = (1, 2, 4, 8)
 
-def _wide_relations(size: int, rng: random.Random):
+
+def register_sharded_variants() -> None:
+    from repro.relational.store import ShardedStore, list_backends, register_backend
+
+    for count in SHARD_COUNTS:
+        name = f"sharded{count}"
+        if name not in list_backends():
+            register_backend(
+                name, ShardedStore.configured(count, "range", name=name)
+            )
+
+
+def _wide_relations(size: int, rng: random.Random, backend: str):
     rows = [
         (
             rng.randrange(max(1, size // 100)),
@@ -183,26 +207,26 @@ def _wide_relations(size: int, rng: random.Random):
     ]
     return (
         Relation(WIDE_SCHEMA, rows, backend="row"),
-        Relation(WIDE_SCHEMA, rows, backend="column"),
+        Relation(WIDE_SCHEMA, rows, backend=backend),
     )
 
 
-def bench_columnar_scan(size: int, queries: int, rng: random.Random):
+def bench_storage_scan(size: int, queries: int, rng: random.Random, backend: str):
     """Column projection (π x,y without dedup) — the scan-shaped workload."""
-    row_rel, col_rel = _wide_relations(size, rng)
+    row_rel, other_rel = _wide_relations(size, rng, backend)
     row_seconds, row_out = _timed_best(
         lambda: [row_rel.project(["x", "y"], distinct=False) for _ in range(10)]
     )
-    col_seconds, col_out = _timed_best(
-        lambda: [col_rel.project(["x", "y"], distinct=False) for _ in range(10)]
+    other_seconds, other_out = _timed_best(
+        lambda: [other_rel.project(["x", "y"], distinct=False) for _ in range(10)]
     )
-    assert row_out[0] == col_out[0]
-    return row_seconds, col_seconds
+    assert row_out[0] == other_out[0]
+    return row_seconds, other_seconds
 
 
-def bench_columnar_selection(size: int, queries: int, rng: random.Random):
+def bench_storage_selection(size: int, queries: int, rng: random.Random, backend: str):
     """Selective vectorized three-way conjunction (~4% of rows pass)."""
-    row_rel, col_rel = _wide_relations(size, rng)
+    row_rel, other_rel = _wide_relations(size, rng, backend)
     condition = Conjunction.of(
         [
             Comparison(AttrRef(None, "x"), CompareOp.LE, Const(30.0)),
@@ -211,14 +235,16 @@ def bench_columnar_selection(size: int, queries: int, rng: random.Random):
         ]
     )
     row_seconds, row_out = _timed_best(lambda: [row_rel.select(condition) for _ in range(10)])
-    col_seconds, col_out = _timed_best(lambda: [col_rel.select(condition) for _ in range(10)])
-    assert row_out[0] == col_out[0]
-    assert col_out[0].backend == "column"
-    return row_seconds, col_seconds
+    other_seconds, other_out = _timed_best(
+        lambda: [other_rel.select(condition) for _ in range(10)]
+    )
+    assert row_out[0] == other_out[0]
+    assert other_out[0].backend == backend
+    return row_seconds, other_seconds
 
 
-def bench_columnar_join(size: int, queries: int, rng: random.Random):
-    """The evaluator's hash-join kernel: columnar vs row-wise key extraction."""
+def bench_storage_join(size: int, queries: int, rng: random.Random, backend: str):
+    """The evaluator's hash-join kernel: backend vs row-wise key extraction."""
     from repro.algebra.evaluator import Evaluator, Frame, MappingProvider
     from repro.relational.schema import DatabaseSchema
 
@@ -230,9 +256,9 @@ def bench_columnar_join(size: int, queries: int, rng: random.Random):
     evaluator = Evaluator(DatabaseSchema([]), MappingProvider({}))
     outputs = []
     seconds = []
-    for backend in ("row", "column"):
-        left = Frame.from_relation(Relation(l_schema, l_rows, backend=backend))
-        right = Frame.from_relation(Relation(r_schema, r_rows, backend=backend))
+    for side in ("row", backend):
+        left = Frame.from_relation(Relation(l_schema, l_rows, backend=side))
+        right = Frame.from_relation(Relation(r_schema, r_rows, backend=side))
         sec, out = _timed_best(lambda: evaluator._hash_join(left, right, ["l.k"], ["r.k"]))
         outputs.append(out)
         seconds.append(sec)
@@ -246,40 +272,50 @@ KEY_SCHEMA = RelationSchema(
 )
 
 
-def bench_columnar_rc(size: int, queries: int, rng: random.Random):
+def bench_storage_rc(size: int, queries: int, rng: random.Random, backend: str):
     """RC coverage sweep over a key-shaped answer set (hash-bucket regime).
 
     Identifier/key outputs (``select p.pid, p.city ...``) are the common
     RC shape; the sweep reduces to canonicalized hash-bucket lookups, where
-    a column-backed answer set contributes typed buffers directly
-    (``rc_nearest`` above covers the numeric KD-tree regime).
+    a column-backed answer set contributes typed buffers directly and a
+    sharded one is indexed shard by shard (``rc_nearest`` above covers the
+    numeric KD-tree regime).
     """
     rows = [
         (rng.randrange(size), rng.randrange(200), rng.randrange(50))
         for _ in range(size)
     ]
     row_rel = Relation(KEY_SCHEMA, rows, backend="row")
-    col_rel = Relation(KEY_SCHEMA, rows, backend="column")
+    other_rel = Relation(KEY_SCHEMA, rows, backend=backend)
     exact = Relation(KEY_SCHEMA, [rows[rng.randrange(size)] for _ in range(queries)])
     row_seconds, row_out = _timed_best(
         lambda: max_coverage_distance(exact, row_rel, KEY_SCHEMA)
     )
-    col_seconds, col_out = _timed_best(
-        lambda: max_coverage_distance(exact, col_rel, KEY_SCHEMA)
+    other_seconds, other_out = _timed_best(
+        lambda: max_coverage_distance(exact, other_rel, KEY_SCHEMA)
     )
-    assert row_out == col_out
-    return row_seconds, col_seconds
+    assert row_out == other_out
+    return row_seconds, other_seconds
 
 
-COLUMNAR = {
-    "columnar_scan": bench_columnar_scan,
-    "columnar_selection": bench_columnar_selection,
-    "columnar_join": bench_columnar_join,
-    "columnar_rc": bench_columnar_rc,
+STORAGE_OPS = {
+    "scan": bench_storage_scan,
+    "selection": bench_storage_selection,
+    "join": bench_storage_join,
+    "rc": bench_storage_rc,
 }
 
 
-def run(scales=SCALES, queries: int = QUERY_COUNT, output: Optional[Path] = OUTPUT) -> dict:
+DEFAULT_BACKENDS = ("row", "column", "sharded")
+
+
+def run(
+    scales=SCALES,
+    queries: int = QUERY_COUNT,
+    output: Optional[Path] = OUTPUT,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+) -> dict:
+    register_sharded_variants()
     results = []
     for size in scales:
         for name, bench in KERNELS.items():
@@ -296,28 +332,59 @@ def run(scales=SCALES, queries: int = QUERY_COUNT, output: Optional[Path] = OUTP
                 }
             )
     columnar_results = []
-    for size in scales:
-        for name, bench in COLUMNAR.items():
-            rng = random.Random(size)  # same data for both backends
-            row_seconds, column_seconds = bench(size, queries, rng)
-            columnar_results.append(
-                {
-                    "kernel": name,
-                    "size": size,
-                    "queries": queries,
-                    "row_seconds": round(row_seconds, 6),
-                    "column_seconds": round(column_seconds, 6),
-                    "speedup": round(row_seconds / max(column_seconds, 1e-9), 2),
-                }
-            )
+    if "column" in backends:
+        for size in scales:
+            for name, bench in STORAGE_OPS.items():
+                rng = random.Random(size)  # same data for both backends
+                row_seconds, column_seconds = bench(size, queries, rng, "column")
+                columnar_results.append(
+                    {
+                        "kernel": f"columnar_{name}",
+                        "size": size,
+                        "queries": queries,
+                        "row_seconds": round(row_seconds, 6),
+                        "column_seconds": round(column_seconds, 6),
+                        "speedup": round(row_seconds / max(column_seconds, 1e-9), 2),
+                    }
+                )
+    sharded_results = []
+    if "sharded" in backends:
+        size = max(scales)
+        for shard_count in SHARD_COUNTS:
+            for name, bench in STORAGE_OPS.items():
+                rng = random.Random(size)  # same data at every shard count
+                row_seconds, sharded_seconds = bench(
+                    size, queries, rng, f"sharded{shard_count}"
+                )
+                sharded_results.append(
+                    {
+                        "kernel": f"sharded_{name}",
+                        "size": size,
+                        "shards": shard_count,
+                        "queries": queries,
+                        "row_seconds": round(row_seconds, 6),
+                        "sharded_seconds": round(sharded_seconds, 6),
+                        "speedup": round(row_seconds / max(sharded_seconds, 1e-9), 2),
+                    }
+                )
     report = {
-        "benchmark": "distance kernels vs naive nested loops; column vs row storage",
+        "benchmark": (
+            "distance kernels vs naive nested loops; column/sharded vs row storage"
+        ),
         "query_count": queries,
         "scales": list(scales),
+        "backends": list(backends),
         "results": results,
         "columnar": columnar_results,
+        "sharded": sharded_results,
     }
     destination = "(not written)"
+    if output is not None and not set(DEFAULT_BACKENDS) <= set(backends):
+        # A restricted --backends run would clobber the tracked record with
+        # empty sections; keep partial runs from touching the file, exactly
+        # like --quick runs.
+        output = None
+        destination = "(not written: partial --backends run)"
     if output is not None:
         output.write_text(json.dumps(report, indent=2) + "\n")
         destination = output.name
@@ -331,16 +398,35 @@ def run(scales=SCALES, queries: int = QUERY_COUNT, output: Optional[Path] = OUTP
             title=f"Distance kernels vs naive ({queries} queries per scale) -> {destination}",
         )
     )
-    print(
-        format_table(
-            ["operation", "size", "row s", "column s", "speedup"],
-            [
-                [r["kernel"], r["size"], r["row_seconds"], r["column_seconds"], f"{r['speedup']}x"]
-                for r in columnar_results
-            ],
-            title=f"ColumnStore vs RowStore -> {destination}",
+    if columnar_results:
+        print(
+            format_table(
+                ["operation", "size", "row s", "column s", "speedup"],
+                [
+                    [r["kernel"], r["size"], r["row_seconds"], r["column_seconds"], f"{r['speedup']}x"]
+                    for r in columnar_results
+                ],
+                title=f"ColumnStore vs RowStore -> {destination}",
+            )
         )
-    )
+    if sharded_results:
+        print(
+            format_table(
+                ["operation", "shards", "size", "row s", "sharded s", "speedup"],
+                [
+                    [
+                        r["kernel"],
+                        r["shards"],
+                        r["size"],
+                        r["row_seconds"],
+                        r["sharded_seconds"],
+                        f"{r['speedup']}x",
+                    ]
+                    for r in sharded_results
+                ],
+                title=f"ShardedStore vs RowStore (range partitioner) -> {destination}",
+            )
+        )
     return report
 
 
@@ -349,11 +435,29 @@ def main() -> None:
     parser.add_argument(
         "--quick", action="store_true", help="small scales only (CI smoke run)"
     )
+    parser.add_argument(
+        "--backends",
+        default=",".join(DEFAULT_BACKENDS),
+        help=(
+            "comma-separated storage backends to exercise in the storage "
+            "sections (subset of row,column,sharded; the row baseline always "
+            "runs)"
+        ),
+    )
     args = parser.parse_args()
+    backends = tuple(name.strip() for name in args.backends.split(",") if name.strip())
+    unknown = set(backends) - set(DEFAULT_BACKENDS)
+    if unknown:
+        parser.error(f"unknown backends: {sorted(unknown)}")
     scales = (200, 1_000) if args.quick else SCALES
     queries = 50 if args.quick else QUERY_COUNT
     # A quick smoke run must not clobber the tracked full-scale record.
-    report = run(scales=scales, queries=queries, output=None if args.quick else OUTPUT)
+    report = run(
+        scales=scales,
+        queries=queries,
+        output=None if args.quick else OUTPUT,
+        backends=backends,
+    )
     worst = min(
         r["speedup"] for r in report["results"] if r["size"] == max(report["scales"])
     )

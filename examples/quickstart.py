@@ -8,12 +8,15 @@ answers.
 
 Also demonstrates the pluggable storage layer (``repro.relational.store``):
 every relation can live row-wise (``backend="row"``, the default — one tuple
-per row) or column-wise (``backend="column"`` — one contiguous buffer per
-attribute, ``array('d')``/``array('q')`` for pure float/int columns).  The
-whole pipeline — selection via vectorized predicate masks, hash joins,
-KD-tree construction, RC accuracy sweeps — reads through the backend and
-returns bit-identical answers either way; columnar storage is simply faster
-on scan/selection/join-heavy work (see ``benchmarks/bench_kernels.py``).
+per row), column-wise (``backend="column"`` — one contiguous buffer per
+attribute, ``array('d')``/``array('q')`` for pure float/int columns), or
+horizontally partitioned (``backend="sharded"`` — per-shard column stores
+split by a hash / round-robin / range partitioner, with shard-parallel
+selection and per-shard distance kernels / KD-trees).  The whole pipeline —
+selection via vectorized predicate masks, hash joins, KD-tree construction,
+RC accuracy sweeps — reads through the backend and returns bit-identical
+answers on every backend; columnar/sharded storage is simply faster on
+scan/selection/join-heavy work (see ``benchmarks/bench_kernels.py``).
 
 Run:  python examples/quickstart.py
 """
@@ -113,6 +116,56 @@ def main() -> None:
         "row- and column-backed BEAS agree: "
         f"{len(row_result.rows)} == {len(col_result.rows)} answer rows"
     )
+
+    # --- Sharded storage -------------------------------------------------
+    # backend="sharded" partitions each relation across per-shard column
+    # stores (4 shards, round-robin by default).  Selections fan out one
+    # vectorized mask per shard, and the distance kernels / KD-trees build
+    # one index per shard and merge — same answers, partition-parallel work.
+    from repro.relational import (
+        ShardedStore,
+        register_backend,
+        set_shard_workers,
+    )
+
+    sharded_poi = workload.database.relation("poi").with_backend("sharded")
+    sharded_hotels = sharded_poi.select(
+        Conjunction.of(
+            [
+                Comparison(AttrRef(None, "type"), CompareOp.EQ, Const("hotel")),
+                Comparison(AttrRef(None, "price"), CompareOp.LE, Const(95.0)),
+            ]
+        )
+    )
+    assert sharded_hotels == cheap_hotels
+    print()
+    print(
+        f"sharded σ over poi agrees: {len(sharded_hotels)} hotels across "
+        f"{sharded_poi.store.shard_count} shards "
+        f"(sizes {[len(s) for s in sharded_poi.store.shards]})"
+    )
+
+    # Shard count and partitioner are configurable; a configured variant can
+    # be registered as its own backend name.  Partitioner guidance: "range"
+    # keeps shards contiguous (whole-column reads concatenate typed buffers
+    # at C speed — best for scan-heavy work), "round_robin" balances load
+    # perfectly, "hash" keeps equal rows together.
+    register_backend("sharded8", ShardedStore.configured(8, "range", name="sharded8"))
+    eight = workload.database.relation("poi").with_backend("sharded8")
+    assert eight.distinct() == sharded_poi.distinct()
+    print(f"sharded8 (range) shard sizes: {[len(s) for s in eight.store.shards]}")
+
+    # Thread-pool sizing: shard work runs on one bounded process-wide pool.
+    # The default (os.cpu_count()) is right for free cores; CPU-bound pure
+    # Python gains little from threads under the GIL, so the win comes from
+    # per-shard typed buffers and smaller per-shard indexes — size the pool
+    # down (set_shard_workers(1)) to force sequential execution, or up when
+    # shard work releases the GIL (future native/mmap backends).  Per-row
+    # *callable* predicates always scan sequentially in global row order
+    # (they may be stateful); only vectorized predicates fan out per shard.
+    set_shard_workers(1)  # force the sequential fallback for all shard work
+    assert eight.select(lambda row: row[1] == "hotel").store.backend == "sharded8"
+    set_shard_workers(None)  # restore the default (os.cpu_count())
 
 
 if __name__ == "__main__":

@@ -65,17 +65,22 @@ from .relational import (
     Relation,
     RelationSchema,
     RowStore,
+    ShardedStore,
     Store,
     build_schema,
     get_default_backend,
+    get_shard_workers,
     key_attribute,
+    list_backends,
     numeric_attribute,
     numeric_scaled,
     register_backend,
+    register_partitioner,
     set_default_backend,
+    set_shard_workers,
 )
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = [
     "AccessMeter",
@@ -113,6 +118,7 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "RowStore",
+    "ShardedStore",
     "STRING_PREFIX",
     "Scan",
     "SchemaError",
@@ -125,12 +131,16 @@ __all__ = [
     "evaluate_exact",
     "f_measure",
     "get_default_backend",
+    "get_shard_workers",
     "key_attribute",
+    "list_backends",
     "mac_accuracy",
     "numeric_attribute",
     "numeric_scaled",
     "parse_query",
     "rc_accuracy",
     "register_backend",
+    "register_partitioner",
     "set_default_backend",
+    "set_shard_workers",
 ]

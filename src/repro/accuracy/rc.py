@@ -128,15 +128,20 @@ def max_coverage_distance(
         return INFINITY
     # Index straight off the approximate relation's storage backend: a
     # column-backed relation contributes its buffers without materializing
-    # row tuples.
+    # row tuples, and a sharded one is indexed shard by shard (the kernel
+    # returns the per-shard minimum, equal to the global one).
     neighbors = NearestNeighbors.from_store(approx.store, schema.attributes)
+    # The sweep over the exact answers likewise walks shard buffers directly
+    # when the exact relation is sharded (max is order-insensitive, so the
+    # shard-major visit order changes nothing).
     worst = 0.0
-    for exact_row in exact:
-        d = neighbors.min_distance(exact_row)
-        if d > worst:
-            worst = d
-        if worst == INFINITY:
-            break
+    for source in exact.store.shard_views():
+        for exact_row in source.iter_rows():
+            d = neighbors.min_distance(exact_row)
+            if d > worst:
+                worst = d
+            if worst == INFINITY:
+                return worst
     return worst
 
 

@@ -28,7 +28,7 @@ from ..relational.distance import INFINITY
 from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import DatabaseSchema, RelationSchema
-from ..relational.store import RowStore, Store, and_masks
+from ..relational.store import RowStore, Store, all_ones, and_masks
 from .ast import (
     Difference,
     GroupBy,
@@ -50,10 +50,12 @@ class Frame:
     """An intermediate result: tuples under a schema, with per-row weights.
 
     Backed by a :class:`~repro.relational.store.Store` so that column-backed
-    inputs stay columnar through scans, filters and projections.  The classic
-    ``Frame(schema, rows, weights)`` constructor adopts a row list (the shape
-    operator outputs are produced in); pass ``store=`` to adopt an existing
-    backend without materializing tuples.
+    (or shard-partitioned) inputs stay that way through scans, filters and
+    projections.  The classic ``Frame(schema, rows, weights)`` constructor
+    adopts a row list (the shape operator outputs are produced in); pass
+    ``store=`` to adopt an existing backend without materializing tuples
+    (the executor's fetch stage builds fetched frames on the base relation's
+    store class this way, so frames inherit the database's layout).
     """
 
     __slots__ = ("schema", "weights", "_store")
@@ -447,54 +449,65 @@ class Evaluator:
     def _filter(self, frame: Frame, condition: Conjunction) -> Frame:
         """Apply a (possibly relaxed) conjunction, column-at-a-time.
 
-        Each comparison is evaluated over whole column buffers into a 0/1
-        byte mask (:meth:`~repro.algebra.predicates.CompareOp.column_mask`
-        for strict comparisons, one tight loop over the column through
-        :func:`_relaxed_attr_const` / :func:`_relaxed_attr_attr` for relaxed
-        ones); masks are AND-combined and the surviving rows compressed out
-        of the backend in one pass, so no per-row tuple is materialized for
-        filtering.  Semantics are identical to the former row-at-a-time
-        ``all(check(row) ...)`` loop.
+        Each comparison compiles to a per-store *masker* (see
+        :meth:`_comparison_masker`); the whole conjunction is then evaluated
+        through :meth:`~repro.relational.store.Store.eval_mask`, which on a
+        sharded backend runs all the maskers shard-locally — over the
+        shard's typed buffers, in parallel when the shard pool allows — and
+        stitches one combined mask per shard.  Masks are AND-combined and
+        the surviving rows compressed out of the backend in one pass, so no
+        per-row tuple is materialized for filtering.  Semantics are
+        identical to the former row-at-a-time ``all(check(row) ...)`` loop
+        on every backend.
         """
         if not condition:
             return frame
         condition = condition_on(frame.schema, condition)
-        mask: Optional[bytearray] = None
-        for comparison in condition:
-            part = self._comparison_mask(frame, comparison)
-            mask = part if mask is None else and_masks(mask, part)
-            if not any(mask):
-                break  # nothing left to select; skip remaining comparisons
-        if mask is None or mask.count(1) == len(frame):
+        maskers = [
+            self._comparison_masker(frame.schema, comparison) for comparison in condition
+        ]
+
+        def combined(store: Store) -> bytearray:
+            mask: Optional[bytearray] = None
+            for masker in maskers:
+                part = masker(store)
+                mask = part if mask is None else and_masks(mask, part)
+                if not any(mask):
+                    break  # nothing left to select; skip remaining comparisons
+            return mask if mask is not None else all_ones(len(store))
+
+        mask = frame.store.eval_mask(combined)
+        if mask.count(1) == len(frame):
             return frame
         weights = list(compress(frame.weights, mask))
         return Frame(frame.schema, weights=weights, store=frame.store.select_mask(mask))
 
-    def _comparison_mask(self, frame: Frame, comparison: Comparison) -> bytearray:
-        """One comparison's 0/1 byte mask over the frame's column buffers.
+    def _comparison_masker(self, schema: RelationSchema, comparison: Comparison):
+        """Compile one comparison to a ``store -> 0/1 byte mask`` callable.
 
         Strict comparisons (no usable slack) delegate to
         :meth:`~repro.algebra.predicates.Comparison.mask` — the single
         vectorized-dispatch implementation; only the relaxed per-value loops
         live here.  An infinite resolution gives no usable relaxation: the
         accuracy bound is already 0, and relaxing by +inf would admit every
-        tuple, so it falls back to the strict condition as well.
+        tuple, so it falls back to the strict condition as well.  The
+        returned callable is applied per (sub-)store by :meth:`_filter`, so
+        it must not capture whole-frame state.
         """
-        schema = frame.schema
         comparison = comparison.normalized()
         if comparison.is_attr_const:
             ref = comparison.attributes()[0]
             name = resolve_attribute(schema, ref)
             slack = self.relaxation.get(name, 0.0)
             if slack <= 0 or slack == INFINITY:
-                return comparison.mask(frame.store, schema)
-            column = frame.column(schema.position(name))
+                return lambda store: comparison.mask(store, schema)
+            position = schema.position(name)
             constant = comparison.constant()
             distance = schema.attribute(name).distance
             op = comparison.op
-            return bytearray(
+            return lambda store: bytearray(
                 _relaxed_attr_const(value, op, constant, slack, distance)
-                for value in column
+                for value in store.column(position)
             )
         if comparison.is_attr_attr:
             left, right = comparison.attributes()
@@ -502,14 +515,14 @@ class Evaluator:
             rname = resolve_attribute(schema, right)
             slack = self.relaxation.get(lname, 0.0) + self.relaxation.get(rname, 0.0)
             if slack <= 0 or slack == INFINITY:
-                return comparison.mask(frame.store, schema)
-            lcol = frame.column(schema.position(lname))
-            rcol = frame.column(schema.position(rname))
+                return lambda store: comparison.mask(store, schema)
+            lpos = schema.position(lname)
+            rpos = schema.position(rname)
             distance = schema.attribute(lname).distance
             op = comparison.op
-            return bytearray(
+            return lambda store: bytearray(
                 _relaxed_attr_attr(lvalue, rvalue, op, slack, distance)
-                for lvalue, rvalue in zip(lcol, rcol)
+                for lvalue, rvalue in zip(store.column(lpos), store.column(rpos))
             )
         raise EvaluationError(f"cannot compile comparison {comparison}")
 

@@ -283,18 +283,28 @@ class Comparison:
 
         Pulls the referenced column buffer(s) straight from ``store`` (no
         row tuples) and applies :meth:`CompareOp.column_mask` /
-        :meth:`CompareOp.column_mask_pair`.  Semantics match per-row
-        :meth:`CompareOp.evaluate` exactly.
+        :meth:`CompareOp.column_mask_pair`.  Evaluation routes through
+        :meth:`repro.relational.store.Store.eval_mask`, so a sharded backend
+        evaluates each shard's buffers independently (in parallel when the
+        shard pool allows) and stitches the per-shard masks back into global
+        row order.  Semantics match per-row :meth:`CompareOp.evaluate`
+        exactly on every backend.
         """
         comparison = self.normalized()
         if comparison.is_attr_const:
             ref = comparison.attributes()[0]
             position = resolve_position(schema, ref)
-            return comparison.op.column_mask(store.column(position), comparison.constant())
+            constant = comparison.constant()
+            op = comparison.op
+            return store.eval_mask(lambda part: op.column_mask(part.column(position), constant))
         left, right = comparison.attributes()
-        return comparison.op.column_mask_pair(
-            store.column(resolve_position(schema, left)),
-            store.column(resolve_position(schema, right)),
+        left_position = resolve_position(schema, left)
+        right_position = resolve_position(schema, right)
+        op = comparison.op
+        return store.eval_mask(
+            lambda part: op.column_mask_pair(
+                part.column(left_position), part.column(right_position)
+            )
         )
 
     def __str__(self) -> str:  # pragma: no cover - debug helper
@@ -344,17 +354,25 @@ class Conjunction:
 
         The empty conjunction selects every row.  Masks are combined with a
         single big-int AND per comparison (see
-        :func:`repro.relational.store.and_masks`).
+        :func:`repro.relational.store.and_masks`).  The whole conjunction is
+        evaluated through :meth:`~repro.relational.store.Store.eval_mask`, so
+        a sharded backend runs all comparisons shard-locally and stitches one
+        combined mask per shard (one gather for the conjunction, not one per
+        comparison).
         """
+        if not self.comparisons:
+            return all_ones(len(store))
+        return store.eval_mask(lambda part: self._combined_mask(part, schema))
+
+    def _combined_mask(self, store: Store, schema: RelationSchema) -> bytearray:
+        """AND of the comparison masks over one (unsharded) store."""
         mask: Optional[bytearray] = None
         for comparison in self.comparisons:
             part = comparison.mask(store, schema)
             mask = part if mask is None else and_masks(mask, part)
             if not any(mask):
                 break  # already empty; skip the remaining comparisons
-        if mask is None:
-            return all_ones(len(store))
-        return mask
+        return mask if mask is not None else all_ones(len(store))
 
     def __str__(self) -> str:  # pragma: no cover - debug helper
         if not self.comparisons:

@@ -48,8 +48,10 @@ class BeasEvaluator(Evaluator):
     The within-resolution existence test runs through
     :class:`repro.relational.kernels.RadiusMatcher` (hash buckets /
     banded search / KD-tree radius queries instead of scanning every
-    ``Q̂2`` answer per ``Q1`` answer); the set of surviving rows is
-    identical to the nested-loop scan.
+    ``Q̂2`` answer per ``Q1`` answer); when the fetched frames are
+    shard-backed, the guard indexes each shard independently and merges
+    (``any_match`` over the shards).  The set of surviving rows is
+    identical to the nested-loop scan on every backend.
     """
 
     def _eval_difference(self, node: Difference) -> Frame:
@@ -154,6 +156,15 @@ class PlanExecutor:
         return combos
 
     def _run_step(self, step: FetchStep) -> Frame:
+        """Fetch one step's tuples into a frame.
+
+        The frame is bulk-built on the same storage backend as the base
+        relation it was fetched from, so a column- or shard-backed database
+        keeps its layout through the evaluation stage: relaxed selections
+        fan out per shard, and the set-difference guard / relaxed joins
+        build their distance kernels per shard instead of over one
+        monolithic buffer.
+        """
         schema = self._step_schema(step)
         rows: List[Row] = []
         weights: List[float] = []
@@ -161,7 +172,12 @@ class PlanExecutor:
             for fetched_row, count in step.accessor.fetch(x_value, self.meter):
                 rows.append(tuple(fetched_row))
                 weights.append(float(count))
-        return Frame(schema, rows, weights)
+        # Use the base relation's store *class* directly rather than looking
+        # its backend name up in the registry — a relation may be backed by
+        # an unregistered store (e.g. an unregistered ShardedStore.configured
+        # variant adopted via Relation(schema, store=...)).
+        store_cls = type(self.database.relation(step.relation).store)
+        return Frame(schema, weights=weights, store=store_cls.from_rows(len(schema), rows))
 
     # -- stage 2: per-atom frames ----------------------------------------------------
     def _build_atom_frames(self) -> Dict[str, Frame]:

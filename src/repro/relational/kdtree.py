@@ -39,6 +39,13 @@ numeric distance functions are monotone in ``|x - y|`` (true for the built-in
 absolute and scaled distances); candidate tuples at the leaves are always
 checked with the *exact* distance functions, so results are identical to a
 full nested-loop scan.
+
+For relations on the sharded backend, :class:`KDForest` builds one KD-tree
+per shard (shard-parallel when the pool allows) and merges within-radius /
+nearest-neighbour answers across the trees — the partition-parallel layout
+the distance kernels also use per shard.  A single monolithic :class:`KDTree`
+over a sharded relation still works: the store concatenates (range-partitioned
+shards) or interleaves its shard buffers into whole columns transparently.
 """
 
 from __future__ import annotations
@@ -411,3 +418,74 @@ class KDTree:
             f"KDTree({self.schema.name}, {len(self.relation)} rows, "
             f"height={self.height})"
         )
+
+
+class KDForest:
+    """Per-partition KD-trees over one relation, queried independently and merged.
+
+    For a relation on the sharded backend
+    (:class:`~repro.relational.store.ShardedStore`) the forest builds **one
+    KD-tree per shard** — each over that shard's (typed) column buffers —
+    and answers search queries by querying every tree and merging:
+
+    * :meth:`within_radius` — the union of the per-tree match sets.  The
+      shards partition the relation's rows, so the union over the partition
+      equals a single tree's answer over all rows (up to row order, which
+      the single-tree contract already leaves open).
+    * :meth:`nearest_distance` — the minimum over the per-tree minima, which
+      equals the global minimum for the same reason.
+
+    Tree construction fans out through
+    :meth:`~repro.relational.store.ShardedStore.map_shards`, so on a
+    multi-worker pool the per-shard builds run concurrently; each tree is
+    also smaller than a monolithic one (better search pruning per query).
+    On a non-sharded relation the forest degenerates to a single tree.
+
+    The level/representative API of :class:`KDTree` (access-template
+    resolutions) is deliberately *not* offered here: resolutions are a
+    whole-relation property, so access schemas keep building one tree.
+    """
+
+    def __init__(self, relation: Relation, max_leaf_size: int = 1) -> None:
+        self.relation = relation
+        self.schema: RelationSchema = relation.schema
+        store = relation.store
+        shards = getattr(store, "shards", None)
+        if shards is None:
+            self.trees: List[KDTree] = [KDTree(relation, max_leaf_size=max_leaf_size)]
+        else:
+            # Each shard is wrapped in a read-only relation view (stores are
+            # adopted, not copied — the forest never mutates them).
+            self.trees = store.map_shards(
+                lambda shard: KDTree(
+                    Relation(self.schema, store=shard), max_leaf_size=max_leaf_size
+                )
+            )
+
+    @property
+    def tree_count(self) -> int:
+        return len(self.trees)
+
+    def __len__(self) -> int:
+        return sum(len(tree.relation) for tree in self.trees)
+
+    def within_radius(self, values: Sequence[object], radii: Sequence[float]) -> List[Row]:
+        """All rows within ``radii`` of ``values`` on every attribute (merged)."""
+        out: List[Row] = []
+        for tree in self.trees:
+            out.extend(tree.within_radius(values, radii))
+        return out
+
+    def nearest_distance(self, values: Sequence[object]) -> float:
+        """Minimum tuple distance over every shard's tree (``+inf`` when empty)."""
+        best = INFINITY
+        for tree in self.trees:
+            d = tree.nearest_distance(values)
+            if d < best:
+                best = d
+            if best == 0.0:
+                break
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"KDForest({self.schema.name}, {self.tree_count} trees, {len(self)} rows)"

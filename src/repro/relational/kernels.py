@@ -37,7 +37,13 @@ rather than row tuples, and their ``from_store`` constructors borrow the
 buffers of a column-backed :class:`~repro.relational.store.Store` directly
 (typed ``array`` buffers additionally let canonicalization skip per-value
 calls — see :func:`_canonical_column`).  Row-sequence construction is still
-supported and behaves identically.
+supported and behaves identically.  For the **sharded** backend
+(:class:`~repro.relational.store.ShardedStore`), ``from_store`` builds one
+sub-kernel per shard — each with its own buckets, bands and KD-trees over
+that shard's typed buffers, fanned out through the shard pool — and merges
+per-shard answers (:class:`ShardedRadiusMatcher` re-sorts global indices,
+:class:`ShardedNearestNeighbors` takes the minimum over shards), so sharded
+queries return exactly the unsharded results.
 
 **Exact-equivalence contract.**  Every kernel returns *identical* results to
 the naive nested-loop reference implementations that this module also
@@ -312,8 +318,24 @@ class RadiusMatcher:
         positions: Sequence[int],
         distances: Sequence[DistanceFunction],
         thresholds: Sequence[float],
-    ) -> "RadiusMatcher":
-        """Index a store's rows by pulling its key column buffers directly."""
+    ):
+        """Index a store's rows by pulling its key column buffers directly.
+
+        For a sharded store (:class:`~repro.relational.store.ShardedStore`)
+        this returns a :class:`ShardedRadiusMatcher`: one sub-matcher per
+        shard, each built over that shard's typed buffers (with its own
+        hash buckets / bands / KD-trees), with per-shard match indices
+        mapped back to global row indices and merged.  Both return types
+        answer the same ``matches`` / ``any_match`` API with identical
+        results.
+        """
+        shards = getattr(store, "shards", None)
+        if shards is not None:
+            matchers = store.map_shards(
+                lambda shard: cls.from_store(shard, positions, distances, thresholds)
+            )
+            index_maps = [store.shard_indices(s) for s in range(len(shards))]
+            return ShardedRadiusMatcher(matchers, index_maps, size=len(store))
         return cls(
             None,
             positions,
@@ -466,6 +488,44 @@ class RadiusMatcher:
                 yield index
 
 
+class ShardedRadiusMatcher:
+    """Per-shard :class:`RadiusMatcher`\\s answering merged global queries.
+
+    The shards partition the indexed rows, so the union of per-shard match
+    sets (mapped through each shard's global-index table) equals the
+    unsharded matcher's answer; results are re-sorted ascending to keep the
+    emission-order contract of :meth:`RadiusMatcher.matches`.
+    """
+
+    __slots__ = ("matchers", "_index_maps", "_size")
+
+    def __init__(
+        self,
+        matchers: Sequence[RadiusMatcher],
+        index_maps: Sequence[Sequence[int]],
+        size: int,
+    ) -> None:
+        self.matchers = list(matchers)
+        self._index_maps = list(index_maps)
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def matches(self, values: Sequence[object]) -> List[int]:
+        """Global indices of all indexed rows within threshold (sorted)."""
+        out: List[int] = []
+        for matcher, index_map in zip(self.matchers, self._index_maps):
+            getter = index_map.__getitem__
+            out.extend(map(getter, matcher.matches(values)))
+        out.sort()
+        return out
+
+    def any_match(self, values: Sequence[object]) -> bool:
+        """Whether any shard holds a row within threshold of ``values``."""
+        return any(matcher.any_match(values) for matcher in self.matchers)
+
+
 # ---------------------------------------------------------------------------
 # NearestNeighbors
 # ---------------------------------------------------------------------------
@@ -525,8 +585,18 @@ class NearestNeighbors:
             self._naive = True
 
     @classmethod
-    def from_store(cls, store: Store, attributes: Sequence[Attribute]) -> "NearestNeighbors":
-        """Index a store's rows by borrowing its column buffers directly."""
+    def from_store(cls, store: Store, attributes: Sequence[Attribute]):
+        """Index a store's rows by borrowing its column buffers directly.
+
+        A sharded store yields a :class:`ShardedNearestNeighbors` — one
+        sub-index (buckets + per-bucket KD-trees) per shard, answering
+        ``min_distance`` as the minimum over the shards, which equals the
+        unsharded minimum because the shards partition the rows.
+        """
+        shards = getattr(store, "shards", None)
+        if shards is not None:
+            subs = store.map_shards(lambda shard: cls.from_store(shard, attributes))
+            return ShardedNearestNeighbors(subs, size=len(store))
         return cls(None, attributes, columns=store.columns(), size=len(store))
 
     @classmethod
@@ -607,3 +677,31 @@ class NearestNeighbors:
         if tree is not None:
             return tree.nearest_distance(sub)
         return naive_min_distance(sub, bucket, [a.distance for _, a in self._other])
+
+
+class ShardedNearestNeighbors:
+    """Per-shard :class:`NearestNeighbors` indexes answering merged queries.
+
+    ``min_distance`` is the minimum of the per-shard minima — exactly the
+    unsharded answer, since the shards partition the indexed rows.  The
+    sweep short-circuits at 0.0 (a perfect match cannot be beaten).
+    """
+
+    __slots__ = ("indexes", "_size")
+
+    def __init__(self, indexes: Sequence[NearestNeighbors], size: int) -> None:
+        self.indexes = list(indexes)
+        self._size = size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def min_distance(self, values: Sequence[object]) -> float:
+        best = INFINITY
+        for index in self.indexes:
+            d = index.min_distance(values)
+            if d < best:
+                best = d
+            if best == 0.0:
+                break
+        return best

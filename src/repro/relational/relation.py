@@ -3,9 +3,10 @@
 A :class:`Relation` is a bag of tuples positionally aligned with a
 :class:`~repro.relational.schema.RelationSchema`.  Since the storage
 redesign it is a facade over a pluggable :class:`~repro.relational.store.Store`
-backend — row-major tuples (``backend="row"``) or per-attribute column
-buffers (``backend="column"``); see :mod:`repro.relational.store` for the
-backend contract and how to pick one.  It supports the handful of operations
+backend — row-major tuples (``backend="row"``), per-attribute column
+buffers (``backend="column"``), or horizontally partitioned per-shard
+column stores (``backend="sharded"``); see :mod:`repro.relational.store`
+for the backend contract and how to pick one.  It supports the handful of operations
 the naive evaluator and the BEAS executor need: projection, selection (by
 callable or by a vectorized predicate mask), grouping, and distinct.
 
@@ -258,7 +259,13 @@ class Relation:
         ``mask(store, schema)`` method, such as
         :class:`repro.algebra.predicates.Comparison` /
         :class:`~repro.algebra.predicates.Conjunction` — which is evaluated
-        column-at-a-time over the storage backend.
+        column-at-a-time over the storage backend and, on a sharded backend,
+        fans out per shard through
+        :meth:`~repro.relational.store.Store.eval_mask`.  Per-row callables
+        deliberately stay on a sequential scan in global row order on every
+        backend: the legacy contract allows stateful predicates (budget
+        counters, first-seen dedup), which must observe the same rows in the
+        same order — and from one thread — regardless of layout.
         """
         mask_method = getattr(predicate, "mask", None)
         if callable(mask_method):
@@ -279,7 +286,13 @@ class Relation:
         return Relation(self.schema.rename(new_name), store=self._store.copy())
 
     def group_by(self, attribute_names: Sequence[str]) -> Dict[Row, List[Row]]:
-        """Group full tuples by their values on ``attribute_names``."""
+        """Group full tuples by their values on ``attribute_names``.
+
+        Group keys are extracted column-wise through
+        :meth:`~repro.relational.store.Store.key_tuples`; a sharded backend
+        extracts them per shard and interleaves back into row order, so the
+        grouping (keys, members and their order) is backend-independent.
+        """
         positions = self.schema.positions(attribute_names)
         groups: Dict[Row, List[Row]] = {}
         for key, row in zip(self._store.key_tuples(positions), self._store.iter_rows()):

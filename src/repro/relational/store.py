@@ -7,7 +7,7 @@ grouping) and every kernel (distance matching, KD-tree construction, RC
 sweeps) reads through the store API, so the layout is a tunable parameter of
 the system rather than a hard-wired representation.
 
-Two backends ship with the library:
+Three backends ship with the library:
 
 * :class:`RowStore` — the classic layout: one Python tuple per row, kept in a
   single list.  Cheap row materialization, row-at-a-time everything.
@@ -20,6 +20,24 @@ Two backends ship with the library:
   without materializing row tuples, which is what the vectorized predicate
   masks (:meth:`repro.algebra.predicates.Comparison.mask`), the hash-join key
   extraction, the distance kernels and the KD-tree builder consume.
+* :class:`ShardedStore` — horizontal partitioning: rows are split across
+  ``shard_count`` per-shard :class:`ColumnStore` instances by a partitioner
+  (``"hash"``, ``"round_robin"`` or ``"range"``), while the store still
+  presents the rows in their original insertion order.  Predicate masks,
+  selections and scans fan out per shard — optionally on a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor`
+  (:func:`set_shard_workers`), with a sequential fallback — and the distance
+  kernels / KD-tree consumers build one index per shard and merge results.
+  See :meth:`ShardedStore.configured` for fixing shard count / partitioner
+  and registering the variant as its own backend name.
+
+**Shard-aware evaluation.**  Vectorized consumers do not special-case the
+sharded backend; they route whole-store computations through
+:meth:`Store.eval_mask` (predicate byte-masks) and the per-shard accessors
+(:attr:`ShardedStore.shards`, :meth:`ShardedStore.shard_indices`,
+:meth:`ShardedStore.map_shards`).  On row/column stores ``eval_mask`` simply
+runs the computation in place; on a sharded store it fans out per shard and
+stitches the per-shard results back into global row order.
 
 **Choosing a backend.**  Per relation via
 ``Relation(schema, rows, backend="column")`` /
@@ -56,9 +74,21 @@ relation/frame for mutation purposes; derived stores are always fresh copies.
 
 from __future__ import annotations
 
+import os
+import threading
 from array import array
-from itertools import compress
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from itertools import chain, compress
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 Row = Tuple[object, ...]
 
@@ -132,6 +162,34 @@ class Store:
             n = len(self)
             return iter([()] * n)
         return zip(*(self.column(p) for p in positions))
+
+    # -- whole-store evaluation ---------------------------------------------
+    def eval_mask(self, masker: Callable[["Store"], Sequence[int]]) -> bytearray:
+        """Evaluate a 0/1 byte-mask computation over this store's rows.
+
+        ``masker`` maps a store to one mask byte per row (in row order).  The
+        default simply applies it to ``self``; partitioned backends override
+        this to run ``masker`` once per shard — possibly in parallel — and
+        stitch the per-shard masks back into global row order.  Vectorized
+        predicate evaluation (:meth:`repro.algebra.predicates.Comparison.mask`
+        and the evaluator's relaxed selections) routes through here, which is
+        what makes selection shard-parallel without the predicates knowing
+        about sharding.
+        """
+        mask = masker(self)
+        return mask if isinstance(mask, bytearray) else bytearray(mask)
+
+    def shard_views(self) -> Tuple["Store", ...]:
+        """The store as a sequence of partition views for order-insensitive sweeps.
+
+        Unsharded backends are their own single view; a sharded store
+        returns its shards.  Consumers whose computation does not depend on
+        row order (max/min/any reductions, e.g. the RC coverage sweep) can
+        iterate these views to read each partition's buffers directly
+        instead of going through the order-reconstructing whole-store
+        accessors.
+        """
+        return (self,)
 
     # -- derivation ---------------------------------------------------------
     def select_mask(self, mask: Sequence[int]) -> "Store":
@@ -408,12 +466,518 @@ class ColumnStore(Store):
 
 
 # ---------------------------------------------------------------------------
+# Sharded storage: partitioners and the bounded thread pool
+# ---------------------------------------------------------------------------
+
+# A partitioner maps (row, insertion_index, shard_count) -> shard id.
+Partitioner = Callable[[Row, int, int], int]
+
+_PARTITIONERS: Dict[str, Partitioner] = {}
+
+
+def register_partitioner(name: str, fn: Partitioner) -> None:
+    """Register a partitioning strategy usable by :class:`ShardedStore`."""
+    if not name:
+        raise ValueError("partitioner name must be non-empty")
+    _PARTITIONERS[name] = fn
+
+
+def partitioner_fn(name: str) -> Partitioner:
+    """The partitioner registered under ``name``."""
+    try:
+        return _PARTITIONERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {name!r}; available: {sorted(_PARTITIONERS)}"
+        ) from None
+
+
+def _hash_partition(row: Row, index: int, shard_count: int) -> int:
+    # Unhashable values (lists, dicts) fall back to the insertion index so
+    # the store never rejects a row the other backends would accept.
+    try:
+        return hash(row) % shard_count
+    except TypeError:
+        return index % shard_count
+
+
+def _round_robin_partition(row: Row, index: int, shard_count: int) -> int:
+    return index % shard_count
+
+
+def _range_partition(row: Row, index: int, shard_count: int) -> int:
+    # Incremental appends keep the shard sequence sorted (contiguity is what
+    # buys range-partitioned stores their C-speed buffer concatenation); bulk
+    # construction rebalances into equal contiguous chunks instead.
+    return shard_count - 1
+
+
+register_partitioner("hash", _hash_partition)
+register_partitioner("round_robin", _round_robin_partition)
+register_partitioner("range", _range_partition)
+
+
+# Shard-parallel execution: one process-wide bounded ThreadPoolExecutor,
+# created lazily.  ``None`` workers means "decide from os.cpu_count()";
+# resolving to <= 1 worker disables the pool entirely (sequential fallback).
+_shard_workers: Optional[int] = None
+_shard_pool = None  # type: Optional[object]
+_shard_pool_lock = threading.Lock()
+_PARALLEL_MIN_ROWS = 4096  # below this, pool overhead dominates
+_POOL_THREAD_PREFIX = "repro-shard"
+
+
+def get_shard_workers() -> int:
+    """The resolved worker count used for shard-parallel execution."""
+    if _shard_workers is not None:
+        return max(1, _shard_workers)
+    return max(1, os.cpu_count() or 1)
+
+
+def set_shard_workers(count: Optional[int]) -> Optional[int]:
+    """Bound the shard thread pool at ``count`` workers; returns the previous setting.
+
+    ``None`` restores the default (``os.cpu_count()``); ``0``/``1`` force the
+    sequential fallback.  The running pool (if any) is shut down so the next
+    parallel operation re-creates it at the new bound.
+    """
+    global _shard_workers, _shard_pool
+    with _shard_pool_lock:
+        previous = _shard_workers
+        _shard_workers = count if count is None else int(count)
+        stale = _shard_pool
+        _shard_pool = None
+    if stale is not None:
+        stale.shutdown(wait=True)
+    return previous
+
+
+def _pool():
+    """The lazily-created process-wide shard executor (callers checked workers > 1)."""
+    global _shard_pool
+    with _shard_pool_lock:
+        if _shard_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            _shard_pool = ThreadPoolExecutor(
+                max_workers=get_shard_workers(), thread_name_prefix=_POOL_THREAD_PREFIX
+            )
+        return _shard_pool
+
+
+def _in_pool_worker() -> bool:
+    """Whether the calling thread is one of the shard pool's own workers.
+
+    Nested shard-parallel work (a sharded store whose shards are themselves
+    sharded, or user callbacks that touch another sharded store) must not
+    re-enter the bounded pool: with every worker blocked waiting on nested
+    tasks that can never be scheduled, the pool deadlocks.  Nested levels
+    run sequentially inside the worker instead.
+    """
+    return threading.current_thread().name.startswith(_POOL_THREAD_PREFIX)
+
+
+class ShardedStore(Store):
+    """Partitioned backend: rows split across per-shard :class:`ColumnStore`\\s.
+
+    The store keeps, besides the shards themselves, one byte per row
+    (``_shard_of``) recording which shard holds it; within a shard, rows keep
+    ascending global order, so the original insertion order is always
+    reconstructible (``iter_rows``/``column`` interleave the shard buffers).
+    Range-partitioned (and more generally *contiguous*) stores skip the
+    interleave: their global order is the plain concatenation of the shard
+    buffers, so whole-column reads concatenate typed buffers at C speed.
+
+    Class attributes (fix them via :meth:`configured`):
+
+    * ``shard_count`` — number of shards (1..255; the per-row shard map is a
+      ``bytearray``).
+    * ``partitioner`` — ``"hash"``, ``"round_robin"``, ``"range"``, or any
+      name registered with :func:`register_partitioner`.
+    * ``shard_backend`` — backend name for the per-shard stores
+      (``"column"`` by default; any registered backend works).
+
+    Derived stores (``select_mask``/``take``/``project``/``head``) preserve
+    the shard structure: each surviving row stays in its shard, with
+    per-shard work fanned out through :meth:`map_shards` (thread pool when
+    the store is large and :func:`get_shard_workers` allows, sequential
+    otherwise).  The bit-identity contract is unchanged: values, types and
+    global row order match the row/column backends exactly.
+    """
+
+    backend = "sharded"
+    shard_count = 4
+    partitioner = "round_robin"
+    shard_backend = ColumnStore.backend
+
+    __slots__ = (
+        "width",
+        "_shards",
+        "_shard_of",
+        "_contiguous",
+        "_locals_cache",
+        "_positions_cache",
+        "_row_cache",
+    )
+
+    @classmethod
+    def _validate_shard_count(cls) -> None:
+        # The per-row shard map is a bytearray, so ids must fit in a byte.
+        if not 1 <= cls.shard_count <= 255:
+            raise ValueError(f"shard_count must be in 1..255, got {cls.shard_count}")
+
+    def __init__(self, width: int) -> None:
+        self._validate_shard_count()
+        self.width = width
+        shard_cls = backend_class(self.shard_backend)
+        self._shards: List[Store] = [shard_cls(width) for _ in range(self.shard_count)]
+        self._shard_of = bytearray()
+        self._contiguous = True
+        self._locals_cache: Optional[Sequence[int]] = None
+        self._positions_cache: Optional[List[Sequence[int]]] = None
+        self._row_cache: Optional[List[Row]] = None
+
+    @classmethod
+    def configured(
+        cls,
+        shard_count: Optional[int] = None,
+        partitioner: Optional[str] = None,
+        name: Optional[str] = None,
+        shard_backend: Optional[str] = None,
+    ) -> Type["ShardedStore"]:
+        """A :class:`ShardedStore` subclass with fixed configuration.
+
+        The returned class can be registered as its own backend::
+
+            register_backend("sharded8", ShardedStore.configured(8, "range"))
+            Relation(schema, rows, backend="sharded8")
+        """
+        count = shard_count if shard_count is not None else cls.shard_count
+        part = partitioner if partitioner is not None else cls.partitioner
+        partitioner_fn(part)  # validate eagerly
+        attrs = {
+            "__slots__": (),
+            "backend": name or f"{cls.backend}[{count}:{part}]",
+            "shard_count": count,
+            "partitioner": part,
+            "shard_backend": shard_backend or cls.shard_backend,
+        }
+        configured = type(f"ShardedStore_{count}_{part}", (cls,), attrs)
+        configured._validate_shard_count()  # fail here, not at first use
+        return configured
+
+    # -- shard access --------------------------------------------------------
+    @property
+    def shards(self) -> Tuple[Store, ...]:
+        """The per-shard stores, in shard order (treat as read-only)."""
+        return tuple(self._shards)
+
+    def shard_views(self) -> Tuple[Store, ...]:
+        return self.shards
+
+    def shard_indices(self, shard: int) -> Sequence[int]:
+        """Global row indices held by ``shard``, ascending (treat as read-only)."""
+        return self._positions()[shard]
+
+    def map_shards(
+        self,
+        fn: Callable[..., object],
+        *args_per_shard: Sequence[object],
+        parallel: Optional[bool] = None,
+    ) -> List[object]:
+        """Apply ``fn(shard, ...)`` to every shard, returning results in shard order.
+
+        Extra ``args_per_shard`` sequences are zipped alongside the shards
+        (one element per shard).  Runs on the bounded thread pool when the
+        store is large enough and :func:`get_shard_workers` resolves to more
+        than one worker; ``parallel=True``/``False`` forces either path.
+        """
+        shards = self._shards
+        if parallel is None:
+            parallel = (
+                len(shards) > 1
+                and len(self._shard_of) >= _PARALLEL_MIN_ROWS
+                and get_shard_workers() > 1
+            )
+        if (
+            parallel
+            and len(shards) > 1
+            and get_shard_workers() > 1
+            # Re-entrant submission from a pool worker would deadlock the
+            # bounded pool; nested shard work runs sequentially instead.
+            and not _in_pool_worker()
+        ):
+            return list(_pool().map(fn, shards, *args_per_shard))
+        return [fn(*items) for items in zip(shards, *args_per_shard)]
+
+    # -- internal bookkeeping ------------------------------------------------
+    @classmethod
+    def _adopt(
+        cls, shards: List[Store], shard_of: bytearray, contiguous: Optional[bool] = None
+    ) -> "ShardedStore":
+        out = cls.__new__(cls)
+        out.width = shards[0].width if shards else 0
+        out._shards = shards
+        out._shard_of = shard_of
+        out._contiguous = (
+            contiguous if contiguous is not None else _is_sorted(shard_of)
+        )
+        out._locals_cache = None
+        out._positions_cache = None
+        out._row_cache = None
+        return out
+
+    def _invalidate(self) -> None:
+        self._locals_cache = None
+        self._positions_cache = None
+        self._row_cache = None
+
+    def _positions(self) -> List[Sequence[int]]:
+        """Per-shard global row indices (cached; ``range`` objects when contiguous)."""
+        if self._positions_cache is None:
+            if self._contiguous:
+                positions: List[Sequence[int]] = []
+                offset = 0
+                for shard in self._shards:
+                    positions.append(range(offset, offset + len(shard)))
+                    offset += len(shard)
+            else:
+                grown: List[array] = [array("q") for _ in self._shards]
+                for index, shard in enumerate(self._shard_of):
+                    grown[shard].append(index)
+                positions = list(grown)
+            self._positions_cache = positions
+        return self._positions_cache
+
+    def _locals(self) -> Sequence[int]:
+        """Per-global-row local index within its shard (cached)."""
+        if self._locals_cache is None:
+            counters = [0] * len(self._shards)
+            out = array("q", bytes(8 * len(self._shard_of)))
+            for index, shard in enumerate(self._shard_of):
+                out[index] = counters[shard]
+                counters[shard] += 1
+            self._locals_cache = out
+        return self._locals_cache
+
+    # -- size / mutation ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._shard_of)
+
+    def append(self, row: Sequence[object]) -> None:
+        added = tuple(row)
+        index = len(self._shard_of)
+        shard = partitioner_fn(self.partitioner)(added, index, len(self._shards))
+        shard %= len(self._shards)
+        self._shards[shard].append(added)
+        if self._contiguous and self._shard_of and shard < self._shard_of[-1]:
+            self._contiguous = False
+        self._shard_of.append(shard)
+        self._invalidate()
+
+    # -- row access ---------------------------------------------------------
+    def row(self, index: int) -> Row:
+        size = len(self._shard_of)
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError(f"row index {index} out of range")
+        return self._shards[self._shard_of[index]].row(self._locals()[index])
+
+    def iter_rows(self) -> Iterator[Row]:
+        if self._row_cache is not None:
+            return iter(self._row_cache)
+        if self._contiguous:
+            return chain.from_iterable(shard.iter_rows() for shard in self._shards)
+        cursors = [shard.iter_rows() for shard in self._shards]
+        return (next(cursors[shard]) for shard in self._shard_of)
+
+    def row_list(self) -> List[Row]:
+        if self._row_cache is None:
+            self._row_cache = list(self.iter_rows())
+        return self._row_cache
+
+    # -- column access ------------------------------------------------------
+    def _stitch(self, parts: Sequence[Sequence[object]]) -> Sequence[object]:
+        """Merge per-shard sequences (in shard-local order) into global order."""
+        if len(self._shards) == 1:
+            return parts[0]
+        if self._contiguous:
+            first = parts[0]
+            if isinstance(first, array) and all(
+                isinstance(p, array) and p.typecode == first.typecode for p in parts
+            ):
+                merged = array(first.typecode)
+                for part in parts:
+                    merged.frombytes(part.tobytes())
+                return merged
+            out: List[object] = []
+            for part in parts:
+                out.extend(part)
+            return out
+        cursors = [iter(part) for part in parts]
+        return [next(cursors[shard]) for shard in self._shard_of]
+
+    def column(self, position: int) -> Sequence[object]:
+        return self._stitch([shard.column(position) for shard in self._shards])
+
+    def key_tuples(self, positions: Sequence[int]) -> Iterator[Tuple[object, ...]]:
+        parts = [shard.key_tuples(positions) for shard in self._shards]
+        if self._contiguous:
+            return chain.from_iterable(parts)
+        return (next(parts[shard]) for shard in self._shard_of)
+
+    # -- whole-store evaluation ---------------------------------------------
+    def eval_mask(self, masker: Callable[[Store], Sequence[int]]) -> bytearray:
+        parts = self.map_shards(masker)
+        if len(self._shards) == 1:
+            return bytearray(parts[0])
+        if self._contiguous:
+            merged = bytearray()
+            for part in parts:
+                merged.extend(part)
+            return merged
+        cursors = [iter(part) for part in parts]
+        return bytearray(next(cursors[shard]) for shard in self._shard_of)
+
+    # -- derivation ---------------------------------------------------------
+    def _local_masks(self, mask: Sequence[int]) -> List[Sequence[int]]:
+        """Restrict a global mask to each shard's rows (shard-local order)."""
+        if self._contiguous:
+            masks: List[Sequence[int]] = []
+            offset = 0
+            for shard in self._shards:
+                masks.append(mask[offset : offset + len(shard)])
+                offset += len(shard)
+            return masks
+        getter = mask.__getitem__
+        return [bytes(map(getter, positions)) for positions in self._positions()]
+
+    def select_mask(self, mask: Sequence[int]) -> "ShardedStore":
+        local = self._local_masks(mask)
+        shards = self.map_shards(lambda shard, m: shard.select_mask(m), local)
+        shard_of = bytearray(compress(self._shard_of, mask))
+        return self._adopt(shards, shard_of, contiguous=self._contiguous)
+
+    def take(self, indices: Sequence[int]) -> "ShardedStore":
+        shard_of = self._shard_of
+        locals_ = self._locals()
+        per_shard: List[List[int]] = [[] for _ in self._shards]
+        new_shard_of = bytearray(len(indices))
+        for position, index in enumerate(indices):
+            shard = shard_of[index]
+            new_shard_of[position] = shard
+            per_shard[shard].append(locals_[index])
+        shards = self.map_shards(lambda shard, idx: shard.take(idx), per_shard)
+        return self._adopt(shards, new_shard_of)
+
+    def project(self, positions: Sequence[int]) -> "ShardedStore":
+        shards = self.map_shards(lambda shard: shard.project(positions))
+        out = self._adopt(shards, bytearray(self._shard_of), contiguous=self._contiguous)
+        out.width = len(positions)
+        return out
+
+    def head(self, count: int) -> "ShardedStore":
+        count = max(0, min(count, len(self._shard_of)))
+        shard_of = bytearray(self._shard_of[:count])
+        counts = [shard_of.count(shard) for shard in range(len(self._shards))]
+        shards = self.map_shards(lambda shard, c: shard.head(c), counts)
+        return self._adopt(shards, shard_of, contiguous=self._contiguous)
+
+    def copy(self) -> "ShardedStore":
+        shards = self.map_shards(lambda shard: shard.copy())
+        return self._adopt(shards, bytearray(self._shard_of), contiguous=self._contiguous)
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def _bulk_assign(cls, rows: Sequence[Row]) -> bytearray:
+        # from_rows/from_columns adopt buffers without passing __init__, so
+        # the shard-count bound is re-checked on the bulk path as well.
+        cls._validate_shard_count()
+        count = len(rows)
+        shards = cls.shard_count
+        if cls.partitioner == "round_robin":
+            pattern = bytes(range(shards))
+            return bytearray((pattern * (count // shards + 1))[:count])
+        if cls.partitioner == "range":
+            # Equal contiguous chunks (the last shard absorbs the remainder).
+            chunk = max(1, -(-count // shards))  # ceil division
+            return bytearray(min(i // chunk, shards - 1) for i in range(count))
+        fn = partitioner_fn(cls.partitioner)
+        return bytearray(
+            fn(row, index, shards) % shards for index, row in enumerate(rows)
+        )
+
+    @classmethod
+    def from_rows(cls, width: int, rows: Iterable[Sequence[object]]) -> "ShardedStore":
+        materialized = [row if isinstance(row, tuple) else tuple(row) for row in rows]
+        shard_of = cls._bulk_assign(materialized)
+        shard_cls = backend_class(cls.shard_backend)
+        if cls.partitioner == "round_robin":
+            chunks: List[Sequence[Row]] = [
+                materialized[shard :: cls.shard_count] for shard in range(cls.shard_count)
+            ]
+        else:
+            grouped: List[List[Row]] = [[] for _ in range(cls.shard_count)]
+            for row, shard in zip(materialized, shard_of):
+                grouped[shard].append(row)
+            chunks = list(grouped)
+        shards: List[Store] = [shard_cls.from_rows(width, chunk) for chunk in chunks]
+        return cls._adopt(shards, shard_of)
+
+    @classmethod
+    def from_columns(cls, width: int, columns: Sequence[Sequence[object]]) -> "ShardedStore":
+        if not columns:
+            return cls._adopt(
+                [backend_class(cls.shard_backend)(width) for _ in range(cls.shard_count)],
+                bytearray(),
+                contiguous=True,
+            )
+        count = len(columns[0])
+        shard_cls = backend_class(cls.shard_backend)
+        if cls.partitioner == "round_robin":
+            shard_of = cls._bulk_assign([()] * count)
+            shards: List[Store] = [
+                shard_cls.from_columns(
+                    width, [column[shard :: cls.shard_count] for column in columns]
+                )
+                for shard in range(cls.shard_count)
+            ]
+            return cls._adopt(shards, shard_of)
+        if cls.partitioner == "range":
+            shard_of = cls._bulk_assign([()] * count)
+            chunk = max(1, -(-count // cls.shard_count))
+            bounds = [
+                (min(shard * chunk, count), min((shard + 1) * chunk, count))
+                for shard in range(cls.shard_count)
+            ]
+            bounds[-1] = (bounds[-1][0], count)
+            shards = [
+                shard_cls.from_columns(width, [column[lo:hi] for column in columns])
+                for lo, hi in bounds
+            ]
+            return cls._adopt(shards, shard_of)
+        return cls.from_rows(width, zip(*columns))
+
+
+def _is_sorted(shard_of: Sequence[int]) -> bool:
+    """Whether shard ids are non-decreasing (global order == shard concatenation)."""
+    previous = -1
+    for shard in shard_of:
+        if shard < previous:
+            return False
+        previous = shard
+    return True
+
+
+# ---------------------------------------------------------------------------
 # Backend registry and process-wide default
 # ---------------------------------------------------------------------------
 
 _BACKENDS: Dict[str, Type[Store]] = {
     RowStore.backend: RowStore,
     ColumnStore.backend: ColumnStore,
+    ShardedStore.backend: ShardedStore,
 }
 
 _default_backend = RowStore.backend
@@ -426,9 +990,19 @@ def register_backend(name: str, store_class: Type[Store]) -> None:
     _BACKENDS[name] = store_class
 
 
-def available_backends() -> Tuple[str, ...]:
-    """Names of all registered backends."""
+def list_backends() -> Tuple[str, ...]:
+    """Names of all registered backends (in registration order).
+
+    The cross-backend conformance matrix in ``tests/test_store.py``
+    parametrizes over this list, so a backend registered at import time is
+    automatically held to the bit-identity contract.
+    """
     return tuple(_BACKENDS)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends (alias of :func:`list_backends`)."""
+    return list_backends()
 
 
 def backend_class(name: str) -> Type[Store]:

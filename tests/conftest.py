@@ -1,4 +1,14 @@
-"""Shared fixtures: small deterministic datasets and BEAS instances."""
+"""Shared fixtures: small deterministic datasets, BEAS instances, and the
+cross-backend conformance machinery.
+
+Any test that takes a ``backend`` fixture argument is automatically
+parametrized over **every registered storage backend**
+(:func:`repro.relational.store.list_backends`) at collection time — row,
+column, the sharded defaults, the 1-/7-shard variants registered below, and
+any backend a later PR registers at import time.  Use
+:func:`assert_identical` / :func:`to_backend` to phrase differential
+assertions against the row-backed reference.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +19,53 @@ import pytest
 from repro import Beas, ConstraintSpec, Database, FamilySpec, Relation
 from repro.relational.distance import CATEGORICAL, NUMERIC, numeric_scaled
 from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.store import ShardedStore, list_backends, register_backend
 from repro.workloads import social, tpch
+
+# ---------------------------------------------------------------------------
+# Cross-backend conformance matrix
+# ---------------------------------------------------------------------------
+
+# The sharded backend at 1 and 7 shards (the default "sharded" is 4), with
+# partitioners chosen so the matrix exercises all three strategies: range
+# (contiguous fast paths), round_robin (the default interleave), hash.
+for _name, _cls in (
+    ("sharded1", ShardedStore.configured(1, "range", name="sharded1")),
+    ("sharded7", ShardedStore.configured(7, "hash", name="sharded7")),
+):
+    if _name not in list_backends():
+        register_backend(_name, _cls)
+
+
+def pytest_generate_tests(metafunc):
+    """Parametrize every ``backend``-taking test over all registered backends."""
+    if "backend" in metafunc.fixturenames:
+        metafunc.parametrize("backend", list(list_backends()))
+
+
+def identity_key(row):
+    """Sortable key distinguishing types and NaN (``1`` != ``1.0`` here)."""
+    return tuple(f"{type(v).__name__}:{v!r}" for v in row)
+
+
+def assert_identical(left: Relation, right: Relation):
+    """Bit-identical contents: same multiset of (typed) rows, same order."""
+    assert left.schema.attribute_names == right.schema.attribute_names
+    lrows, rrows = list(left), list(right)
+    assert [identity_key(r) for r in lrows] == [identity_key(r) for r in rrows]
+
+
+def to_backend(database: Database, backend: str) -> Database:
+    """Rebuild every relation of ``database`` on ``backend``."""
+    relations = [
+        Relation(
+            database.relation(name).schema,
+            database.relation(name).rows,
+            backend=backend,
+        )
+        for name in database.relation_names
+    ]
+    return Database.from_relations(relations)
 
 
 @pytest.fixture(scope="session")

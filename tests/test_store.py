@@ -1,16 +1,23 @@
-"""Storage backends: unit, differential and property tests.
+"""Storage backends: unit, differential and conformance-matrix tests.
 
-The contract under test (see :mod:`repro.relational.store`): row- and
-column-backed relations are **bit-identical** through every relational
-operation — same values, same types (``1`` stays ``int``, ``1.0`` stays
-``float``), same row order — including mixed int/float columns, ``None``,
-NaN, and the full ``Beas.answer()`` pipeline.
+The contract under test (see :mod:`repro.relational.store`): every
+registered backend produces **bit-identical** relations through every
+relational operation — same values, same types (``1`` stays ``int``,
+``1.0`` stays ``float``), same row order — including mixed int/float
+columns, ``None``, NaN, and the full ``Beas.answer()`` pipeline.
+
+``TestBackendConformanceMatrix`` runs the whole differential suite over
+every backend returned by :func:`repro.relational.store.list_backends` (the
+``backend`` fixture is auto-parametrized in ``conftest.py``): row, column,
+sharded at 1/4/7 shards across all three partitioners — and any backend a
+future PR registers at import time, automatically.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from conftest import assert_identical, identity_key, to_backend
 from repro import Beas, Database, Relation, parse_query
 from repro.algebra.evaluator import DatabaseProvider, Evaluator, evaluate_exact
 from repro.algebra.predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
@@ -20,29 +27,21 @@ from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.store import (
     ColumnStore,
     RowStore,
+    ShardedStore,
     and_masks,
     available_backends,
     backend_class,
     get_default_backend,
+    get_shard_workers,
+    list_backends,
     make_store,
     register_backend,
     set_default_backend,
+    set_shard_workers,
 )
 from repro.workloads import social
 
 NAN = float("nan")
-
-
-def identity_key(row):
-    """Sortable key distinguishing types and NaN (``1`` != ``1.0`` here)."""
-    return tuple(f"{type(v).__name__}:{v!r}" for v in row)
-
-
-def assert_identical(left: Relation, right: Relation):
-    """Bit-identical contents: same multiset of (typed) rows, same order."""
-    assert left.schema.attribute_names == right.schema.attribute_names
-    lrows, rrows = list(left), list(right)
-    assert [identity_key(r) for r in lrows] == [identity_key(r) for r in rrows]
 
 
 @pytest.fixture()
@@ -141,8 +140,10 @@ class TestStores:
             assert cls.from_columns(4, columns).row_list() == MIXED_ROWS
 
     def test_registry_and_default(self):
-        assert {"row", "column"} <= set(available_backends())
+        assert {"row", "column", "sharded"} <= set(available_backends())
+        assert available_backends() == list_backends()
         assert backend_class("row") is RowStore
+        assert backend_class("sharded") is ShardedStore
         with pytest.raises(ValueError):
             backend_class("no-such-backend")
         previous = set_default_backend("column")
@@ -171,6 +172,209 @@ class TestStores:
             [1, 0, 0, 1]
         )
         assert and_masks(bytearray(), bytearray()) == bytearray()
+
+
+# ---------------------------------------------------------------------------
+# ShardedStore unit tests
+# ---------------------------------------------------------------------------
+
+class TestShardedStore:
+    @pytest.mark.parametrize("partitioner", ["hash", "round_robin", "range"])
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_roundtrip_preserves_order_and_types(self, partitioner, shards):
+        cls = ShardedStore.configured(shards, partitioner)
+        store = cls.from_rows(4, MIXED_ROWS)
+        assert len(store) == len(MIXED_ROWS)
+        assert store.shard_count == shards
+        assert sum(len(s) for s in store.shards) == len(MIXED_ROWS)
+        expected = [identity_key(r) for r in MIXED_ROWS]
+        assert [identity_key(r) for r in store.row_list()] == expected
+        assert [identity_key(r) for r in store.iter_rows()] == expected
+        assert [identity_key(store.row(i)) for i in range(len(store))] == expected
+        for p in range(4):
+            got = [identity_key((v,)) for v in store.column(p)]
+            assert got == [identity_key((r[p],)) for r in MIXED_ROWS]
+        assert [identity_key(k) for k in store.key_tuples([1, 3])] == [
+            identity_key((r[1], r[3])) for r in MIXED_ROWS
+        ]
+
+    @pytest.mark.parametrize("partitioner", ["hash", "round_robin", "range"])
+    def test_derivations_preserve_global_order(self, partitioner):
+        cls = ShardedStore.configured(3, partitioner)
+        store = cls.from_rows(4, MIXED_ROWS)
+        mask = bytearray([1, 0, 1, 0, 1, 0])
+        kept = store.select_mask(mask)
+        assert [identity_key(r) for r in kept.row_list()] == [
+            identity_key(MIXED_ROWS[i]) for i in (0, 2, 4)
+        ]
+        taken = store.take([3, 1, 3])
+        assert [identity_key(r) for r in taken.row_list()] == [
+            identity_key(MIXED_ROWS[i]) for i in (3, 1, 3)
+        ]
+        assert [identity_key(r) for r in store.project([2, 0]).row_list()] == [
+            identity_key((r[2], r[0])) for r in MIXED_ROWS
+        ]
+        assert [identity_key(r) for r in store.head(3).row_list()] == [
+            identity_key(r) for r in MIXED_ROWS[:3]
+        ]
+        dup = store.copy()
+        dup.append((9, "z", 0.0, 0.0))
+        assert len(store) == len(MIXED_ROWS) and len(dup) == len(MIXED_ROWS) + 1
+
+    def test_shards_are_column_stores(self):
+        store = ShardedStore.from_rows(2, [(i, float(i)) for i in range(10)])
+        assert all(isinstance(s, ColumnStore) for s in store.shards)
+        # Per-shard typed buffers survive partitioning.
+        assert all(
+            s._kinds == ["int", "float"] for s in store.shards if len(s)
+        )  # noqa: SLF001 - layout assertion
+
+    def test_shard_indices_partition_the_rows(self):
+        cls = ShardedStore.configured(4, "hash")
+        store = cls.from_rows(2, [(i, i % 3) for i in range(50)])
+        seen = sorted(
+            i for s in range(store.shard_count) for i in store.shard_indices(s)
+        )
+        assert seen == list(range(50))
+        for s in range(store.shard_count):
+            indices = list(store.shard_indices(s))
+            assert indices == sorted(indices)  # ascending global order
+            assert len(indices) == len(store.shards[s])
+
+    def test_range_partitioner_is_contiguous(self):
+        cls = ShardedStore.configured(4, "range")
+        store = cls.from_rows(1, [(i,) for i in range(10)])
+        sizes = [len(s) for s in store.shards]
+        assert sum(sizes) == 10
+        assert store._contiguous  # noqa: SLF001 - layout assertion
+        from array import array
+
+        assert isinstance(store.column(0), array)  # typed C-speed concat
+
+    def test_eval_mask_matches_global_order(self):
+        for partitioner in ("hash", "round_robin", "range"):
+            cls = ShardedStore.configured(3, partitioner)
+            store = cls.from_rows(2, [(i, float(i % 7)) for i in range(40)])
+            mask = store.eval_mask(
+                lambda part: bytearray(
+                    1 if row[1] > 3.0 else 0 for row in part.iter_rows()
+                )
+            )
+            assert list(mask) == [1 if (i % 7) > 3 else 0 for i in range(40)]
+
+    def test_map_shards_parallel_and_sequential_agree(self):
+        cls = ShardedStore.configured(4, "round_robin")
+        store = cls.from_rows(2, [(i, float(i)) for i in range(500)])
+        sizes_seq = store.map_shards(len, parallel=False)
+        previous = set_shard_workers(4)
+        try:
+            sizes_par = store.map_shards(len, parallel=True)
+        finally:
+            set_shard_workers(previous)
+        assert sizes_seq == sizes_par == [len(s) for s in store.shards]
+
+    def test_shard_worker_configuration(self):
+        previous = set_shard_workers(3)
+        try:
+            assert get_shard_workers() == 3
+            inner = set_shard_workers(None)
+            assert inner == 3
+            assert get_shard_workers() >= 1
+        finally:
+            set_shard_workers(previous)
+
+    def test_configured_registration_and_validation(self):
+        cls = ShardedStore.configured(2, "range", name="test-sharded2")
+        assert cls.backend == "test-sharded2"
+        with pytest.raises(ValueError):
+            ShardedStore.configured(2, "no-such-partitioner")
+        with pytest.raises(ValueError):
+            ShardedStore.configured(0)  # fails eagerly, not at first use
+        with pytest.raises(ValueError):
+            ShardedStore.configured(300)  # shard ids must fit in a byte
+        register_backend("test-sharded2", cls)
+        rel = Relation(
+            RelationSchema("r", [Attribute("a")]), [(1,), (2,), (3,)],
+            backend="test-sharded2",
+        )
+        assert rel.backend == "test-sharded2"
+        assert rel.select(lambda row: row[0] >= 2).rows == ((2,), (3,))
+
+    def test_nested_sharded_shards_do_not_deadlock(self):
+        # A sharded store whose shards are themselves sharded used to
+        # deadlock: outer map_shards workers blocked on nested pool
+        # submissions that could never be scheduled.  Nested levels must run
+        # sequentially inside the worker.
+        register_backend(
+            "test-inner-sharded", ShardedStore.configured(2, "range", name="test-inner-sharded")
+        )
+        outer = ShardedStore.configured(
+            2, "range", name="test-outer-sharded", shard_backend="test-inner-sharded"
+        )
+        store = outer.from_rows(2, [(i, float(i)) for i in range(10000)])
+        previous = set_shard_workers(2)
+        try:
+            mask = bytearray((1 if i % 2 == 0 else 0) for i in range(10000))
+            kept = store.select_mask(mask)  # must not hang
+        finally:
+            set_shard_workers(previous)
+        assert kept.row_list() == [(i, float(i)) for i in range(10000) if i % 2 == 0]
+
+    def test_shard_views(self):
+        flat = ColumnStore.from_rows(2, [(1, 2.0)])
+        assert flat.shard_views() == (flat,)
+        store = ShardedStore.from_rows(2, [(i, float(i)) for i in range(10)])
+        views = store.shard_views()
+        assert views == store.shards
+        assert sum(len(v) for v in views) == 10
+
+    def test_unregistered_store_class_runs_through_beas(self, social_workload):
+        # Relations may adopt a store whose class was never registered
+        # (ShardedStore.configured without register_backend); the executor's
+        # fetch stage must not look the backend name up in the registry.
+        from repro.relational.store import list_backends
+
+        cls = ShardedStore.configured(3, "round_robin")  # auto-generated name
+        assert cls.backend not in list_backends()
+        db = Database.from_relations(
+            [
+                Relation(
+                    social_workload.database.relation(name).schema,
+                    store=cls.from_rows(
+                        len(social_workload.database.relation(name).schema),
+                        social_workload.database.relation(name).rows,
+                    ),
+                )
+                for name in social_workload.database.relation_names
+            ]
+        )
+        beas = Beas(
+            db,
+            constraints=social_workload.constraints,
+            families=social_workload.families,
+        )
+        reference = _beas_for(social_workload, "row")
+        sql = social.example_queries()[0]
+        assert_identical(reference.answer(sql, 0.02).rows, beas.answer(sql, 0.02).rows)
+
+    def test_unhashable_rows_fall_back_to_round_robin(self):
+        cls = ShardedStore.configured(3, "hash")
+        store = cls(2)
+        rows = [(1, 2), ([1], 5), ("a", {"k": 1})]
+        for row in rows:
+            store.append(row)
+        assert store.row_list() == rows
+
+    def test_empty_store_and_from_columns(self):
+        for partitioner in ("hash", "round_robin", "range"):
+            cls = ShardedStore.configured(3, partitioner)
+            empty = cls(2)
+            assert len(empty) == 0 and empty.row_list() == []
+            assert empty.select_mask(bytearray()).row_list() == []
+            by_columns = cls.from_columns(4, [list(c) for c in zip(*MIXED_ROWS)])
+            assert [identity_key(r) for r in by_columns.row_list()] == [
+                identity_key(r) for r in MIXED_ROWS
+            ]
 
 
 # ---------------------------------------------------------------------------
@@ -207,7 +411,6 @@ class TestRelationFacade:
                 schema, [[1], ["a"], [1.0], [2.0, 3.0]]
             )  # ragged lengths
 
-    @pytest.mark.parametrize("backend", ["row", "column"])
     def test_rows_view_is_immutable(self, schema, backend):
         rel = Relation(schema, MIXED_ROWS, backend=backend)
         assert isinstance(rel.rows, tuple)
@@ -234,7 +437,6 @@ PREDICATES = [
 
 
 class TestVectorizedPredicates:
-    @pytest.mark.parametrize("backend", ["row", "column"])
     @pytest.mark.parametrize("comparison", PREDICATES, ids=str)
     def test_mask_matches_row_evaluation(self, schema, backend, comparison):
         rel = Relation(schema, MIXED_ROWS, backend=backend)
@@ -253,7 +455,6 @@ class TestVectorizedPredicates:
         assert normalized.mask(rel.store, schema) == mask
         assert_identical(rel.select(comparison), rel.select(row_predicate))
 
-    @pytest.mark.parametrize("backend", ["row", "column"])
     def test_conjunction_mask(self, schema, backend):
         rel = Relation(schema, MIXED_ROWS, backend=backend)
         conj = Conjunction.of(PREDICATES[:2])
@@ -275,19 +476,38 @@ class TestVectorizedPredicates:
 
 
 # ---------------------------------------------------------------------------
-# Differential: row vs column through the algebra and BEAS
+# Cross-backend conformance matrix
+#
+# The ``backend`` fixture is parametrized over list_backends() in
+# conftest.py, so every identity below runs automatically on each registered
+# backend (including ones registered after this test was written), with the
+# row backend as the reference side.
 # ---------------------------------------------------------------------------
 
-def to_backend(database: Database, backend: str) -> Database:
-    relations = [
-        Relation(database.relation(name).schema, database.relation(name).rows, backend=backend)
-        for name in database.relation_names
-    ]
-    return Database.from_relations(relations)
+_BEAS_CACHE = {}
 
 
-class TestBackendEquivalence:
-    @pytest.mark.parametrize("backend", ["row", "column"])
+def _beas_for(social_workload, backend: str) -> Beas:
+    """One BEAS instance per backend over the shared social workload."""
+    if backend not in _BEAS_CACHE:
+        _BEAS_CACHE[backend] = Beas(
+            to_backend(social_workload.database, backend),
+            constraints=social_workload.constraints,
+            families=social_workload.families,
+        )
+    return _BEAS_CACHE[backend]
+
+
+class TestBackendConformanceMatrix:
+    def test_matrix_covers_sharded_variants(self):
+        # The matrix must include the row/column references and the sharded
+        # backend at 1, 4 (default) and 7 shards.
+        names = set(list_backends())
+        assert {"row", "column", "sharded", "sharded1", "sharded7"} <= names
+        assert backend_class("sharded").shard_count == 4
+        assert backend_class("sharded1").shard_count == 1
+        assert backend_class("sharded7").shard_count == 7
+
     def test_basic_operations(self, schema, backend):
         base = Relation(schema, MIXED_ROWS, backend="row")
         other = Relation(schema, MIXED_ROWS, backend=backend)
@@ -304,19 +524,31 @@ class TestBackendEquivalence:
         other_groups = other.group_by(["cat"])
         assert list(base_groups) == list(other_groups)
         for key in base_groups:
-            assert base_groups[key] == other_groups[key]
+            assert [identity_key(r) for r in base_groups[key]] == [
+                identity_key(r) for r in other_groups[key]
+            ]
 
-    def test_exact_evaluation_identical(self, social_db):
+    def test_vectorized_masks_identical(self, schema, backend):
+        base = Relation(schema, MIXED_ROWS, backend="row")
+        other = Relation(schema, MIXED_ROWS, backend=backend)
+        for comparison in PREDICATES:
+            assert comparison.mask(other.store, schema) == comparison.mask(
+                base.store, schema
+            )
+        conj = Conjunction.of(PREDICATES[:3])
+        assert conj.mask(other.store, schema) == conj.mask(base.store, schema)
+
+    def test_exact_evaluation_identical(self, social_db, backend):
         queries = social.example_queries()
-        db_col = to_backend(social_db, "column")
+        db_other = to_backend(social_db, backend)
         for sql in queries:
             node = parse_query(sql)
             assert_identical(
-                evaluate_exact(node, social_db), evaluate_exact(node, db_col)
+                evaluate_exact(node, social_db), evaluate_exact(node, db_other)
             )
 
-    def test_relaxed_selection_and_join_identical(self, social_db):
-        db_col = to_backend(social_db, "column")
+    def test_relaxed_selection_and_join_identical(self, social_db, backend):
+        db_other = to_backend(social_db, backend)
         sql = (
             "select h.price from poi as h, friend as f, person as p "
             "where f.pid = 3 and f.fid = p.pid and p.city = h.city "
@@ -327,28 +559,18 @@ class TestBackendEquivalence:
         row_result = Evaluator(
             social_db.schema, DatabaseProvider(social_db), relaxation=relaxation
         ).evaluate(node)
-        col_result = Evaluator(
-            db_col.schema, DatabaseProvider(db_col), relaxation=relaxation
+        other_result = Evaluator(
+            db_other.schema, DatabaseProvider(db_other), relaxation=relaxation
         ).evaluate(node)
-        assert_identical(row_result, col_result)
+        assert_identical(row_result, other_result)
 
-    def test_full_beas_answer_identical(self, social_workload):
-        db_row = social_workload.database
-        db_col = to_backend(db_row, "column")
-        beas_row = Beas(
-            db_row,
-            constraints=social_workload.constraints,
-            families=social_workload.families,
-        )
-        beas_col = Beas(
-            db_col,
-            constraints=social_workload.constraints,
-            families=social_workload.families,
-        )
+    def test_full_beas_answer_identical(self, social_workload, backend):
+        beas_row = _beas_for(social_workload, "row")
+        beas_other = _beas_for(social_workload, backend)
         for sql in social.example_queries():
             for alpha in (0.005, 0.05):
                 row_answer = beas_row.answer(sql, alpha)
-                col_answer = beas_col.answer(sql, alpha)
-                assert_identical(row_answer.rows, col_answer.rows)
-                assert row_answer.eta == pytest.approx(col_answer.eta)
-                assert row_answer.tuples_accessed == col_answer.tuples_accessed
+                other_answer = beas_other.answer(sql, alpha)
+                assert_identical(row_answer.rows, other_answer.rows)
+                assert row_answer.eta == pytest.approx(other_answer.eta)
+                assert row_answer.tuples_accessed == other_answer.tuples_accessed

@@ -1,7 +1,11 @@
-"""Tests for the workload generators and the random query generator."""
+"""Tests for the workload generators, the random query generator, and the
+end-to-end storage-backend matrix (one representative ``Beas.answer`` per
+workload under every registered backend)."""
 
 import pytest
 
+from conftest import assert_identical, to_backend
+from repro import Beas
 from repro.algebra.evaluator import evaluate_exact
 from repro.algebra.spc import classify
 from repro.experiments import build_beas
@@ -124,3 +128,68 @@ class TestQueryGenerator:
         queries = gen.workload_mix(count=8, require_nonempty=False)
         names = [q.name for q in queries]
         assert len(set(names)) == len(names)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end backend matrix: one representative query per workload through
+# Beas.answer under every registered storage backend (the ``backend`` fixture
+# is parametrized over list_backends() in conftest.py).
+# ---------------------------------------------------------------------------
+
+# (workload name, representative SQL, alpha) — each query is covered by the
+# workload's declared access schema, so BEAS produces a real bounded plan.
+WORKLOAD_QUERIES = {
+    "tpch": (
+        "select o.o_totalprice from orders as o "
+        "where o.o_orderstatus = 'F' and o.o_totalprice <= 20000",
+        0.05,
+    ),
+    "airca": (
+        "select f.dep_delay, f.distance from flights as f "
+        "where f.carrier = 'AA' and f.dep_delay <= 10",
+        0.05,
+    ),
+    "social": (social.example_queries()[0], 0.02),
+}
+
+_WORKLOAD_BEAS_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def airca_workload():
+    """A small AIRCA instance for the end-to-end backend matrix."""
+    return airca.generate(flights=600, airports=20, seed=29)
+
+
+def _workload_beas(name, workload, backend):
+    """One BEAS instance per (workload, backend), memoized for the session."""
+    key = (name, backend)
+    if key not in _WORKLOAD_BEAS_CACHE:
+        _WORKLOAD_BEAS_CACHE[key] = Beas(
+            to_backend(workload.database, backend),
+            constraints=workload.constraints,
+            families=workload.families,
+            max_level=6,
+        )
+    return _WORKLOAD_BEAS_CACHE[key]
+
+
+class TestBackendWorkloadMatrix:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_QUERIES))
+    def test_beas_answer_identical_across_backends(
+        self, name, backend, tpch_workload, airca_workload, social_workload
+    ):
+        workload = {
+            "tpch": tpch_workload,
+            "airca": airca_workload,
+            "social": social_workload,
+        }[name]
+        sql, alpha = WORKLOAD_QUERIES[name]
+        reference = _workload_beas(name, workload, "row").answer(sql, alpha)
+        answer = _workload_beas(name, workload, backend).answer(sql, alpha)
+        assert_identical(reference.rows, answer.rows)
+        assert answer.eta == pytest.approx(reference.eta)
+        assert answer.tuples_accessed == reference.tuples_accessed
+        assert answer.exact == reference.exact
+        # The matrix is only meaningful if the query actually returns data.
+        assert len(answer.rows) > 0
