@@ -27,6 +27,19 @@ column stores) at several shard counts, against the row baseline —
 ``sharded_scan`` / ``sharded_selection`` / ``sharded_join`` / ``sharded_rc``
 entries record how partition-parallel execution scales with shard count.
 
+Part 4 times the columnar-execution engine added on top of the storage
+layer:
+
+* ``fused_selection`` — the chunked fused-mask engine
+  (:class:`repro.algebra.predicates.MaskProgram`: block-wise, fused,
+  selectivity-ordered) on a column-backed relation vs. the per-row
+  :meth:`repro.algebra.predicates.CompareOp.evaluate` reference loop (the
+  semantics both must match exactly),
+* ``columnar_join_output`` — the index-pair hash join materialized by
+  per-column gather (:func:`repro.relational.store.gather_pairs`) vs. a
+  faithful reimplementation of the pre-gather tuple-building join
+  (``lrow + rrow`` per matched pair) over the same column-backed frames.
+
 ``--backends`` restricts which storage backends parts 2–3 exercise
 (comma-separated, e.g. ``--backends row,sharded``; part 1 is
 backend-independent).  Every timed run cross-checks that both sides return
@@ -306,6 +319,130 @@ STORAGE_OPS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Columnar execution engine (fused masks, gather-built join outputs)
+# ---------------------------------------------------------------------------
+
+SELECTION_CONDITION = Conjunction.of(
+    [
+        Comparison(AttrRef(None, "x"), CompareOp.LE, Const(30.0)),
+        Comparison(AttrRef(None, "y"), CompareOp.GT, Const(60.0)),
+        Comparison(AttrRef(None, "a"), CompareOp.LT, Const(35.0)),
+    ]
+)
+
+
+def bench_fused_selection(size: int, queries: int, rng: random.Random):
+    """Chunked fused-mask engine vs the per-row ``CompareOp.evaluate`` loop.
+
+    Both sides implement the same selection semantics — the differential
+    tests in ``tests/test_fused_masks.py`` hold them bit-identical — so the
+    speedup is exactly what the fused engine buys over row-at-a-time
+    predicate evaluation.
+    """
+    _, column_rel = _wide_relations(size, rng, "column")
+    schema = column_rel.schema
+    checks = [
+        (schema.position(ref.attribute), comparison.op, comparison.constant())
+        for comparison in SELECTION_CONDITION
+        for ref in [comparison.attributes()[0]]
+    ]
+
+    def per_row():
+        return [
+            column_rel.select(
+                lambda row: all(op.evaluate(row[p], c) for p, op, c in checks)
+            )
+            for _ in range(5)
+        ]
+
+    def fused():
+        return [column_rel.select(SELECTION_CONDITION) for _ in range(5)]
+
+    per_row_seconds, per_row_out = _timed_best(per_row)
+    fused_seconds, fused_out = _timed_best(fused)
+    assert per_row_out[0] == fused_out[0]
+    return per_row_seconds, fused_seconds
+
+
+def bench_columnar_join_output(size: int, queries: int, rng: random.Random):
+    """Gather-materialized index-pair join vs the PR-3 tuple-building join.
+
+    Both run over the same column-backed frames; the baseline reproduces the
+    pre-gather code path exactly (bucket probe emitting ``lrow + rrow``
+    Python tuples into a row store).  The workload is the α-bounded shape
+    BEAS evaluates: a wide probe side joined against a *small* (budget-
+    bounded fetch) build side, so most probe rows find no match — exactly
+    where materializing every probe row as a tuple is pure waste.
+    """
+    from repro.algebra.evaluator import Evaluator, Frame, MappingProvider
+    from repro.relational.schema import DatabaseSchema, RelationSchema as RS
+    from repro.relational.store import RowStore
+
+    keys = max(1, size // 2)
+    build_size = max(1, size // 10)
+    l_schema = RS(
+        "l",
+        [
+            Attribute("l.k", TRIVIAL),
+            Attribute("l.v", NUMERIC),
+            Attribute("l.u", NUMERIC),
+            Attribute("l.t", NUMERIC),
+        ],
+    )
+    r_schema = RS("r", [Attribute("r.k", TRIVIAL), Attribute("r.w", NUMERIC)])
+    l_rows = [
+        (
+            rng.randrange(keys),
+            rng.uniform(0, 100.0),
+            rng.uniform(0, 100.0),
+            rng.uniform(0, 100.0),
+        )
+        for _ in range(size)
+    ]
+    r_rows = [(rng.randrange(keys), rng.uniform(0, 100.0)) for _ in range(build_size)]
+    l_store = Relation(l_schema, l_rows, backend="column").store
+    r_store = Relation(r_schema, r_rows, backend="column").store
+    evaluator = Evaluator(DatabaseSchema([]), MappingProvider({}))
+    out_schema = RS("⋈", l_schema.attributes + r_schema.attributes)
+    width = len(l_schema) + len(r_schema)
+
+    # Every BEAS answer evaluates joins over freshly fetched frames, so
+    # neither side gets to amortize row-materialization caches across
+    # repeats: each timed call starts from cache-free copies of the stores.
+    def tuple_join():
+        # The pre-gather implementation, verbatim: materialize both row
+        # lists, emit one concatenated tuple per matched pair.
+        left = Frame(l_schema, store=l_store.copy())
+        right = Frame(r_schema, store=r_store.copy())
+        rows, weights = [], []
+        buckets = {}
+        for j, key in enumerate(right.key_tuples([0])):
+            buckets.setdefault(key, []).append(j)
+        left_rows, right_rows = left.rows, right.rows
+        for i, key in enumerate(left.key_tuples([0])):
+            for j in buckets.get(key, ()):
+                rows.append(left_rows[i] + right_rows[j])
+                weights.append(left.weights[i] * right.weights[j])
+        return Frame(out_schema, weights=weights, store=RowStore.from_rows(width, rows))
+
+    def gather_join():
+        left = Frame(l_schema, store=l_store.copy())
+        right = Frame(r_schema, store=r_store.copy())
+        return evaluator._hash_join(left, right, ["l.k"], ["r.k"])
+
+    tuple_seconds, tuple_out = _timed_best(tuple_join)
+    gather_seconds, gather_out = _timed_best(gather_join)
+    assert tuple_out.rows == gather_out.rows
+    return tuple_seconds, gather_seconds
+
+
+COLUMNAR_ENGINE_OPS = {
+    "fused_selection": bench_fused_selection,
+    "columnar_join_output": bench_columnar_join_output,
+}
+
+
 DEFAULT_BACKENDS = ("row", "column", "sharded")
 
 
@@ -367,9 +504,25 @@ def run(
                         "speedup": round(row_seconds / max(sharded_seconds, 1e-9), 2),
                     }
                 )
+    engine_results = []
+    if "column" in backends:
+        for size in scales:
+            for name, bench in COLUMNAR_ENGINE_OPS.items():
+                rng = random.Random(size)  # same data on both sides
+                baseline_seconds, engine_seconds = bench(size, queries, rng)
+                engine_results.append(
+                    {
+                        "kernel": name,
+                        "size": size,
+                        "baseline_seconds": round(baseline_seconds, 6),
+                        "engine_seconds": round(engine_seconds, 6),
+                        "speedup": round(baseline_seconds / max(engine_seconds, 1e-9), 2),
+                    }
+                )
     report = {
         "benchmark": (
-            "distance kernels vs naive nested loops; column/sharded vs row storage"
+            "distance kernels vs naive nested loops; column/sharded vs row "
+            "storage; fused masks / gather joins vs per-row baselines"
         ),
         "query_count": queries,
         "scales": list(scales),
@@ -377,6 +530,7 @@ def run(
         "results": results,
         "columnar": columnar_results,
         "sharded": sharded_results,
+        "columnar_engine": engine_results,
     }
     destination = "(not written)"
     if output is not None and not set(DEFAULT_BACKENDS) <= set(backends):
@@ -425,6 +579,23 @@ def run(
                     for r in sharded_results
                 ],
                 title=f"ShardedStore vs RowStore (range partitioner) -> {destination}",
+            )
+        )
+    if engine_results:
+        print(
+            format_table(
+                ["operation", "size", "baseline s", "engine s", "speedup"],
+                [
+                    [
+                        r["kernel"],
+                        r["size"],
+                        r["baseline_seconds"],
+                        r["engine_seconds"],
+                        f"{r['speedup']}x",
+                    ]
+                    for r in engine_results
+                ],
+                title=f"Fused masks / gather joins vs per-row baselines -> {destination}",
             )
         )
     return report

@@ -13,10 +13,13 @@ attribute, ``array('d')``/``array('q')`` for pure float/int columns), or
 horizontally partitioned (``backend="sharded"`` — per-shard column stores
 split by a hash / round-robin / range partitioner, with shard-parallel
 selection and per-shard distance kernels / KD-trees).  The whole pipeline —
-selection via vectorized predicate masks, hash joins, KD-tree construction,
-RC accuracy sweeps — reads through the backend and returns bit-identical
-answers on every backend; columnar/sharded storage is simply faster on
-scan/selection/join-heavy work (see ``benchmarks/bench_kernels.py``).
+selection via *fused chunked* predicate mask programs (configurable chunk
+size, selectivity-ordered short-circuiting), *index-pair* hash joins whose
+outputs are materialized by per-column gather (``Store.take`` /
+``Store.gather_column``), KD-tree construction, RC accuracy sweeps — reads
+through the backend and returns bit-identical answers on every backend;
+columnar/sharded storage is simply faster on scan/selection/join-heavy work
+(see ``benchmarks/bench_kernels.py``).
 
 Run:  python examples/quickstart.py
 """
@@ -166,6 +169,41 @@ def main() -> None:
     set_shard_workers(1)  # force the sequential fallback for all shard work
     assert eight.select(lambda row: row[1] == "hotel").store.backend == "sharded8"
     set_shard_workers(None)  # restore the default (os.cpu_count())
+
+    # --- Columnar execution engine ---------------------------------------
+    # Conjunctions do not evaluate one whole column at a time: they compile
+    # to a fused chunked MaskProgram that processes the store in blocks
+    # (4096 rows by default), fuses every comparison per block, orders the
+    # comparisons by their observed selectivity and short-circuits blocks
+    # that go all-zero.  The chunk size is a knob — results are bit-identical
+    # at every setting, only the cache footprint / short-circuit granularity
+    # changes.
+    from repro.algebra.predicates import get_mask_chunk_size, set_mask_chunk_size
+
+    previous = set_mask_chunk_size(1024)  # e.g. tighter blocks for small caches
+    small_chunk = poi.select(
+        Conjunction.of(
+            [
+                Comparison(AttrRef(None, "type"), CompareOp.EQ, Const("hotel")),
+                Comparison(AttrRef(None, "price"), CompareOp.LE, Const(95.0)),
+            ]
+        )
+    )
+    set_mask_chunk_size(previous)
+    assert small_chunk == cheap_hotels
+    print(
+        f"fused chunked selection agrees at chunk_size=1024 "
+        f"(default {get_mask_chunk_size()})"
+    )
+
+    # Joins and products are index-pair joins: the hash/radius kernels emit
+    # matched (left_index, right_index) pairs and the output frame is built
+    # by per-column *gather* (Store.take / Store.gather_column — indices may
+    # repeat, arrive out of order, or cross shards), so column- and
+    # shard-backed plans never materialize intermediate Python row tuples.
+    gathered = poi.store.take([2, 0, 2])  # out-of-order + duplicate gather
+    assert gathered.row_list() == [poi.rows[2], poi.rows[0], poi.rows[2]]
+    print("gather semantics: take([2, 0, 2]) returns rows 2, 0, 2 — in that order")
 
 
 if __name__ == "__main__":

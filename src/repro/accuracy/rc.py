@@ -322,10 +322,15 @@ def rc_accuracy(
         candidates = _relevance_candidate_cache(query, database, relaxation_allowed)
         index = RelevanceIndex(candidates, output_schema)
         rel_dist = 0.0
-        for row in approx:
-            d = index.distance(row)
-            if d > rel_dist:
-                rel_dist = d
+        # Like the coverage sweep, relevance is an order-insensitive max, so
+        # a sharded answer set is swept shard by shard over its own buffers.
+        for source in approx.store.shard_views():
+            for row in source.iter_rows():
+                d = index.distance(row)
+                if d > rel_dist:
+                    rel_dist = d
+                if rel_dist == INFINITY:
+                    break
             if rel_dist == INFINITY:
                 break
 
@@ -383,21 +388,26 @@ def _rc_aggregate(
     )
 
     rel_dist = 0.0
-    for row, key in zip(approx, approx.store.key_tuples(group_positions)):
-        if key in duplicate_keys:
-            rel_dist = INFINITY
-            break
-        if needs_counts:
-            if compare_schema is None:
-                # No group-by columns (global aggregate): any answer is
-                # relevant as long as the child query has candidates.
-                d = 0.0 if candidates else INFINITY
+    # Shard-view sweep (order-insensitive max, like coverage): rows and
+    # group keys are read from each partition's own column buffers.
+    for source in approx.store.shard_views():
+        for row, key in zip(source.iter_rows(), source.key_tuples(group_positions)):
+            if key in duplicate_keys:
+                rel_dist = INFINITY
+                break
+            if needs_counts:
+                if compare_schema is None:
+                    # No group-by columns (global aggregate): any answer is
+                    # relevant as long as the child query has candidates.
+                    d = 0.0 if candidates else INFINITY
+                else:
+                    d = index.distance(key)
             else:
-                d = index.distance(key)
-        else:
-            d = index.distance(row)
-        if d > rel_dist:
-            rel_dist = d
+                d = index.distance(row)
+            if d > rel_dist:
+                rel_dist = d
+            if rel_dist == INFINITY:
+                break
         if rel_dist == INFINITY:
             break
 

@@ -22,7 +22,16 @@ from .evaluator import (
     RelationProvider,
     evaluate_exact,
 )
-from .predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
+from .predicates import (
+    AttrRef,
+    CompareOp,
+    Comparison,
+    Conjunction,
+    Const,
+    MaskProgram,
+    get_mask_chunk_size,
+    set_mask_chunk_size,
+)
 from .relax import RelaxationOracle, relaxed_query, split_condition
 from .spc import SPCQuery, classify, max_spc_subqueries, maximal_induced_query, to_spc
 from .sql import parse_query
@@ -34,7 +43,10 @@ __all__ = [
     "CompareOp",
     "Comparison",
     "Conjunction",
+    "MaskProgram",
     "Const",
+    "get_mask_chunk_size",
+    "set_mask_chunk_size",
     "Constant",
     "DatabaseProvider",
     "Difference",

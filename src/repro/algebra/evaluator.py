@@ -15,6 +15,17 @@ This evaluator serves two callers:
 
 Joins are evaluated hash-join-style from the SPC canonical form so that exact
 answers over multi-million-row products stay tractable.
+
+**Columnar end to end.**  Every operator is columnar on column-backed
+inputs: selections run as fused chunked mask programs
+(:class:`~repro.algebra.predicates.MaskProgram`), joins and products collect
+matched *index pairs* and materialize outputs by per-column gather
+(:func:`repro.relational.store.gather_pairs`), union/difference keep
+survivor *indices* and gather them (:func:`~repro.relational.store.vstack_gather`
+/ :meth:`~repro.relational.store.Store.take`), and group-by emits its output
+column-by-column — no intermediate Python row tuples are built anywhere in
+the pipeline unless the output backend itself is row-major
+(:func:`~repro.relational.store.preferred_output_class`).
 """
 
 from __future__ import annotations
@@ -28,7 +39,13 @@ from ..relational.distance import INFINITY
 from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import DatabaseSchema, RelationSchema
-from ..relational.store import RowStore, Store, all_ones, and_masks
+from ..relational.store import (
+    RowStore,
+    Store,
+    gather_pairs,
+    preferred_output_class,
+    vstack_gather,
+)
 from .ast import (
     Difference,
     GroupBy,
@@ -42,7 +59,17 @@ from .ast import (
     condition_on,
     resolve_attribute,
 )
-from .predicates import AttrRef, Comparison, CompareOp, Conjunction, Const
+from .predicates import (
+    AttrRef,
+    ChunkBinder,
+    ChunkMasker,
+    Comparison,
+    CompareOp,
+    Conjunction,
+    Const,
+    MaskProgram,
+    chunk_window,
+)
 from .spc import SPCQuery, to_spc
 
 
@@ -344,6 +371,12 @@ class Evaluator:
         would, with one deliberate exception: a NaN key distance no longer
         counts as a match (the old ``not (dis > slack)`` test made a NaN
         join key cross-join with every row of the other side).
+
+        Both join variants are **index-pair joins**: the probe loop collects
+        matched ``(left_index, right_index)`` pairs, and the output frame is
+        materialized by per-column gather
+        (:func:`repro.relational.store.gather_pairs`) — on column-backed
+        inputs no intermediate ``lrow + rrow`` tuples exist at all.
         """
         slack = [
             self.relaxation.get(kl, 0.0) + self.relaxation.get(kr, 0.0)
@@ -354,41 +387,93 @@ class Evaluator:
         # noise, so such keys keep their strict equality semantics.
         slack = [0.0 if s == INFINITY else s for s in slack]
         out_schema = RelationSchema("⋈", left.schema.attributes + right.schema.attributes)
-        rows: List[Row] = []
+        left_indices: List[int] = []
+        right_indices: List[int] = []
         weights: List[float] = []
+        left_weights, right_weights = left.weights, right.weights
 
         positions_left = left.schema.positions(keys_left)
         positions_right = right.schema.positions(keys_right)
-        left_rows, right_rows = left.rows, right.rows
 
+        emit_left = left_indices.append
+        emit_right = right_indices.append
+        emit_weight = weights.append
         if all(s == 0.0 for s in slack):
-            # Join keys are extracted column-at-a-time on both sides; row
-            # tuples are only touched to emit matching pairs.
+            # Join keys are extracted column-at-a-time on both sides; rows
+            # are only ever named by index.
             buckets: Dict[Tuple[object, ...], List[int]] = {}
             for i, key in enumerate(right.key_tuples(positions_right)):
                 buckets.setdefault(key, []).append(i)
             for i, key in enumerate(left.key_tuples(positions_left)):
-                for j in buckets.get(key, ()):  # type: ignore[arg-type]
-                    rows.append(left_rows[i] + right_rows[j])
-                    weights.append(left.weights[i] * right.weights[j])
-            return Frame(out_schema, rows, weights)
+                hits = buckets.get(key)
+                if hits:
+                    weight = left_weights[i]
+                    for j in hits:
+                        emit_left(i)
+                        emit_right(j)
+                        emit_weight(weight * right_weights[j])
+        else:
+            # Relaxed join: within-slack matching through the distance
+            # kernels, indexed straight from the build side's column buffers.
+            distances = [left.schema.attribute(k).distance for k in keys_left]
+            matcher = RadiusMatcher.from_store(
+                right.store, positions_right, distances, slack
+            )
+            for i, values in enumerate(left.key_tuples(positions_left)):
+                hits = matcher.matches(values)
+                if hits:
+                    weight = left_weights[i]
+                    for j in hits:
+                        emit_left(i)
+                        emit_right(j)
+                        emit_weight(weight * right_weights[j])
 
-        # Relaxed join: within-slack matching through the distance kernels,
-        # indexed straight from the build side's column buffers.
-        distances = [left.schema.attribute(k).distance for k in keys_left]
-        matcher = RadiusMatcher.from_store(right.store, positions_right, distances, slack)
-        for i, values in enumerate(left.key_tuples(positions_left)):
-            for j in matcher.matches(values):
-                rows.append(left_rows[i] + right_rows[j])
-                weights.append(left.weights[i] * right.weights[j])
-        return Frame(out_schema, rows, weights)
+        store = gather_pairs(left.store, left_indices, right.store, right_indices)
+        return Frame(out_schema, weights=weights, store=store)
+
+    @staticmethod
+    def _paired_frame(
+        schema: RelationSchema,
+        left: Frame,
+        left_indices: Sequence[int],
+        right: Frame,
+        right_indices: Sequence[int],
+    ) -> Frame:
+        """Materialize matched index pairs as a frame by per-column gather."""
+        left_weights, right_weights = left.weights, right.weights
+        weights = [
+            left_weights[i] * right_weights[j]
+            for i, j in zip(left_indices, right_indices)
+        ]
+        store = gather_pairs(left.store, left_indices, right.store, right_indices)
+        return Frame(schema, weights=weights, store=store)
 
     # -- generic operators ----------------------------------------------------
     def _product(self, left: Frame, right: Frame) -> Frame:
         schema = RelationSchema("×", left.schema.attributes + right.schema.attributes)
-        rows = [lrow + rrow for lrow in left.rows for rrow in right.rows]
-        weights = [lw * rw for lw in left.weights for rw in right.weights]
-        return Frame(schema, rows, weights)
+        size_left, size_right = len(left), len(right)
+        if size_left == 0 or size_right == 0:
+            cls = preferred_output_class(left.store, right.store)
+            return Frame(schema, weights=[], store=cls.from_rows(len(schema), []))
+        if size_right == 1:
+            # Singleton side: the product is the other side with one row
+            # appended per tuple — a linear gather, not a quadratic loop.
+            right_weight = right.weights[0]
+            weights = [w * right_weight for w in left.weights]
+            store = gather_pairs(
+                left.store, range(size_left), right.store, [0] * size_left
+            )
+            return Frame(schema, weights=weights, store=store)
+        if size_left == 1:
+            left_weight = left.weights[0]
+            weights = [left_weight * w for w in right.weights]
+            store = gather_pairs(
+                left.store, [0] * size_right, right.store, range(size_right)
+            )
+            return Frame(schema, weights=weights, store=store)
+        left_indices = [i for i in range(size_left) for _ in range(size_right)]
+        right_indices = list(range(size_right)) * size_left
+        return self._paired_frame(schema, left, left_indices, right, right_indices)
 
     def _project_frame(self, frame: Frame, columns: Sequence[AttrRef]) -> Frame:
         names = [resolve_attribute(frame.schema, ref) for ref in columns]
@@ -405,23 +490,56 @@ class Evaluator:
     def _eval_union(self, node: Union) -> Frame:
         left = self._eval(node.left)
         right = self._eval(node.right)
-        seen: Dict[Row, float] = {}
-        for frame in (left, right):
-            for row, weight in zip(frame.rows, frame.weights):
-                if row not in seen:
-                    seen[row] = weight
-        return Frame(left.schema, list(seen.keys()), list(seen.values()))
+        # Dedup keys are whole-row tuples assembled column-wise (key_tuples);
+        # the surviving rows are then gathered per column — first-seen order
+        # and weights match the old row-dict exactly.
+        all_left = list(range(len(left.schema)))
+        all_right = list(range(len(right.schema)))
+        seen: set = set()
+        keep_left: List[int] = []
+        keep_right: List[int] = []
+        for keep, frame, positions in (
+            (keep_left, left, all_left),
+            (keep_right, right, all_right),
+        ):
+            for index, key in enumerate(frame.store.key_tuples(positions)):
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(index)
+        weights = [left.weights[i] for i in keep_left]
+        weights += [right.weights[j] for j in keep_right]
+        store = vstack_gather([(left.store, keep_left), (right.store, keep_right)])
+        return Frame(left.schema, weights=weights, store=store)
 
     def _eval_difference(self, node: Difference) -> Frame:
         left = self._eval(node.left)
         right = self._eval(node.right)
-        removed = set(right.rows)
-        rows, weights = [], []
-        for row, weight in zip(left.rows, left.weights):
-            if row not in removed:
-                rows.append(row)
-                weights.append(weight)
-        return Frame(left.schema, rows, weights)
+        return self._strict_difference(left, right)
+
+    @classmethod
+    def _strict_difference(cls, left: Frame, right: Frame) -> Frame:
+        """Exact set difference: keep-indices over column-wise row keys.
+
+        Shared by exact evaluation and the BEAS guard's zero-resolution
+        branch; the surviving rows are gathered out of the left backend.
+        """
+        removed = set(right.store.key_tuples(list(range(len(right.schema)))))
+        keep = [
+            index
+            for index, key in enumerate(
+                left.store.key_tuples(list(range(len(left.schema))))
+            )
+            if key not in removed
+        ]
+        return cls._kept_frame(left, keep)
+
+    @staticmethod
+    def _kept_frame(frame: Frame, keep: Sequence[int]) -> Frame:
+        """The sub-frame at row indices ``keep`` (backend-preserving gather)."""
+        if len(keep) == len(frame):
+            return frame
+        weights = [frame.weights[index] for index in keep]
+        return Frame(frame.schema, weights=weights, store=frame.store.take(keep))
 
     def _eval_groupby(self, node: GroupBy) -> Frame:
         child = self._eval(node.child)
@@ -439,60 +557,61 @@ class Evaluator:
         ):
             groups.setdefault(key, []).append((value, weight))
 
-        rows: List[Row] = []
+        # One output row per group, assembled column-by-column: the key
+        # columns transpose the (insertion-ordered) group keys, the last
+        # column is the aggregate.
+        key_width = len(group_positions)
+        columns: List[List[object]] = [[] for _ in range(key_width + 1)]
         for key, pairs in groups.items():
-            value = node.aggregate.apply_weighted(pairs)
-            rows.append(key + (value,))
-        return Frame(out_schema, rows, [1.0] * len(rows))
+            for position in range(key_width):
+                columns[position].append(key[position])
+            columns[key_width].append(node.aggregate.apply_weighted(pairs))
+        cls = preferred_output_class(child.store)
+        store = cls.from_columns(len(out_schema), columns)
+        return Frame(out_schema, weights=[1.0] * len(groups), store=store)
 
     # -- selection with relaxation --------------------------------------------
     def _filter(self, frame: Frame, condition: Conjunction) -> Frame:
-        """Apply a (possibly relaxed) conjunction, column-at-a-time.
+        """Apply a (possibly relaxed) conjunction through the fused engine.
 
-        Each comparison compiles to a per-store *masker* (see
-        :meth:`_comparison_masker`); the whole conjunction is then evaluated
-        through :meth:`~repro.relational.store.Store.eval_mask`, which on a
-        sharded backend runs all the maskers shard-locally — over the
-        shard's typed buffers, in parallel when the shard pool allows — and
-        stitches one combined mask per shard.  Masks are AND-combined and
-        the surviving rows compressed out of the backend in one pass, so no
-        per-row tuple is materialized for filtering.  Semantics are
-        identical to the former row-at-a-time ``all(check(row) ...)`` loop
-        on every backend.
+        Each comparison compiles to a per-store chunk binder (see
+        :meth:`_comparison_binder`); the whole conjunction then runs as one
+        :class:`~repro.algebra.predicates.MaskProgram` — chunked, fused,
+        selectivity-ordered — through
+        :meth:`~repro.relational.store.Store.eval_mask`, which on a sharded
+        backend runs the program shard-locally (over the shard's typed
+        buffers, in parallel when the shard pool allows) and stitches one
+        combined mask per shard.  The surviving rows are compressed out of
+        the backend in one pass, so no per-row tuple is materialized for
+        filtering.  Semantics are identical to the former row-at-a-time
+        ``all(check(row) ...)`` loop on every backend at every chunk size.
         """
         if not condition:
             return frame
         condition = condition_on(frame.schema, condition)
-        maskers = [
-            self._comparison_masker(frame.schema, comparison) for comparison in condition
-        ]
-
-        def combined(store: Store) -> bytearray:
-            mask: Optional[bytearray] = None
-            for masker in maskers:
-                part = masker(store)
-                mask = part if mask is None else and_masks(mask, part)
-                if not any(mask):
-                    break  # nothing left to select; skip remaining comparisons
-            return mask if mask is not None else all_ones(len(store))
-
-        mask = frame.store.eval_mask(combined)
+        program = MaskProgram(
+            [self._comparison_binder(frame.schema, comparison) for comparison in condition]
+        )
+        mask = program.mask(frame.store)
         if mask.count(1) == len(frame):
             return frame
         weights = list(compress(frame.weights, mask))
         return Frame(frame.schema, weights=weights, store=frame.store.select_mask(mask))
 
-    def _comparison_masker(self, schema: RelationSchema, comparison: Comparison):
-        """Compile one comparison to a ``store -> 0/1 byte mask`` callable.
+    def _comparison_binder(
+        self, schema: RelationSchema, comparison: Comparison
+    ) -> ChunkBinder:
+        """Compile one comparison to a fused-engine chunk binder.
 
         Strict comparisons (no usable slack) delegate to
-        :meth:`~repro.algebra.predicates.Comparison.mask` — the single
-        vectorized-dispatch implementation; only the relaxed per-value loops
-        live here.  An infinite resolution gives no usable relaxation: the
-        accuracy bound is already 0, and relaxing by +inf would admit every
-        tuple, so it falls back to the strict condition as well.  The
-        returned callable is applied per (sub-)store by :meth:`_filter`, so
-        it must not capture whole-frame state.
+        :meth:`~repro.algebra.predicates.Comparison.chunk_binder` — the
+        single vectorized-dispatch implementation; only the relaxed
+        per-value loops live here (sliced to the engine's chunk windows).
+        An infinite resolution gives no usable relaxation: the accuracy
+        bound is already 0, and relaxing by +inf would admit every tuple, so
+        it falls back to the strict condition as well.  The returned binder
+        is applied per (sub-)store by the program, so it must not capture
+        whole-frame state.
         """
         comparison = comparison.normalized()
         if comparison.is_attr_const:
@@ -500,30 +619,44 @@ class Evaluator:
             name = resolve_attribute(schema, ref)
             slack = self.relaxation.get(name, 0.0)
             if slack <= 0 or slack == INFINITY:
-                return lambda store: comparison.mask(store, schema)
+                return comparison.chunk_binder(schema)
             position = schema.position(name)
             constant = comparison.constant()
             distance = schema.attribute(name).distance
             op = comparison.op
-            return lambda store: bytearray(
-                _relaxed_attr_const(value, op, constant, slack, distance)
-                for value in store.column(position)
-            )
+
+            def bind_const(store: Store) -> ChunkMasker:
+                column = store.column(position)
+                return lambda lo, hi: bytearray(
+                    _relaxed_attr_const(value, op, constant, slack, distance)
+                    for value in chunk_window(column, lo, hi)
+                )
+
+            return bind_const
         if comparison.is_attr_attr:
             left, right = comparison.attributes()
             lname = resolve_attribute(schema, left)
             rname = resolve_attribute(schema, right)
             slack = self.relaxation.get(lname, 0.0) + self.relaxation.get(rname, 0.0)
             if slack <= 0 or slack == INFINITY:
-                return lambda store: comparison.mask(store, schema)
+                return comparison.chunk_binder(schema)
             lpos = schema.position(lname)
             rpos = schema.position(rname)
             distance = schema.attribute(lname).distance
             op = comparison.op
-            return lambda store: bytearray(
-                _relaxed_attr_attr(lvalue, rvalue, op, slack, distance)
-                for lvalue, rvalue in zip(store.column(lpos), store.column(rpos))
-            )
+
+            def bind_pair(store: Store) -> ChunkMasker:
+                left_column = store.column(lpos)
+                right_column = store.column(rpos)
+                return lambda lo, hi: bytearray(
+                    _relaxed_attr_attr(lvalue, rvalue, op, slack, distance)
+                    for lvalue, rvalue in zip(
+                        chunk_window(left_column, lo, hi),
+                        chunk_window(right_column, lo, hi),
+                    )
+                )
+
+            return bind_pair
         raise EvaluationError(f"cannot compile comparison {comparison}")
 
 

@@ -17,6 +17,23 @@ row tuples and dispatches one tight loop per comparison instead of one
 Python call per row, which is what makes column-backed selection fast;
 consumers that need arbitrary per-row callables simply keep using the row
 path (:meth:`repro.relational.relation.Relation.select` accepts both).
+
+**Fused chunked evaluation.**  A :class:`Conjunction` does not evaluate its
+comparisons one whole column at a time; it compiles to a
+:class:`MaskProgram` — one block-wise pass over the store in chunks of
+:func:`get_mask_chunk_size` rows (a cache-friendly window, configurable via
+:func:`set_mask_chunk_size` or per call) that *fuses* every comparison per
+chunk.  Within each chunk the comparisons run in ascending order of their
+*observed selectivity* (pass rates measured on the chunks evaluated so
+far), and evaluation of the remaining comparisons short-circuits the moment
+the chunk's accumulated mask goes all-zero — so a selective leading
+predicate lets the engine skip most of the work of the others.  The whole
+program routes through :meth:`repro.relational.store.Store.eval_mask`, so a
+sharded store fuses per shard (in parallel when the shard pool allows) and
+stitches per-shard masks back into global row order.  Results are
+bit-identical to per-row :meth:`CompareOp.evaluate` at every chunk size on
+every backend (AND is commutative and each comparison's chunk mask matches
+its per-value semantics exactly).
 """
 
 from __future__ import annotations
@@ -24,11 +41,123 @@ from __future__ import annotations
 import enum
 from array import array
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import QueryError
 from ..relational.schema import RelationSchema
 from ..relational.store import Store, all_ones, and_masks
+
+# Rows per block of the fused chunked evaluation.  4096 keeps the working
+# set (a handful of column slices plus masks) well inside L2 while leaving
+# per-chunk Python overhead negligible.
+DEFAULT_MASK_CHUNK_SIZE = 4096
+
+_mask_chunk_size = DEFAULT_MASK_CHUNK_SIZE
+
+
+def get_mask_chunk_size() -> int:
+    """The process-wide chunk size used by fused mask evaluation."""
+    return _mask_chunk_size
+
+
+def set_mask_chunk_size(size: Optional[int]) -> int:
+    """Set the fused-evaluation chunk size; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_MASK_CHUNK_SIZE`.  Any positive size is
+    legal — results are identical at every chunk size; only the memory /
+    short-circuit granularity changes.
+    """
+    global _mask_chunk_size
+    previous = _mask_chunk_size
+    if size is None:
+        _mask_chunk_size = DEFAULT_MASK_CHUNK_SIZE
+    else:
+        size = int(size)
+        if size <= 0:
+            raise ValueError(f"mask chunk size must be positive, got {size}")
+        _mask_chunk_size = size
+    return previous
+
+
+# A chunk masker, bound to one (sub-)store: maps a row window [lo, hi) to a
+# 0/1 byte mask of length hi-lo.
+ChunkMasker = Callable[[int, int], "bytearray"]
+
+
+def chunk_window(column: Sequence[object], lo: int, hi: int) -> Sequence[object]:
+    """``column[lo:hi]`` without copying when the window covers the whole buffer.
+
+    Chunk maskers read column windows; a single-chunk pass (small store, or
+    a single-predicate program) would otherwise duplicate every referenced
+    buffer just to evaluate it.
+    """
+    if lo == 0 and hi >= len(column):
+        return column
+    return column[lo:hi]
+# A binder compiles a predicate against one (sub-)store, typically capturing
+# the column buffer(s) it reads.
+ChunkBinder = Callable[[Store], ChunkMasker]
+
+
+class MaskProgram:
+    """A conjunction compiled to one fused, chunked, selectivity-ordered pass.
+
+    ``binders`` compile the individual predicates per (sub-)store; the
+    program evaluates all of them chunk by chunk, AND-fusing their chunk
+    masks.  Two adaptive behaviours (neither affects results):
+
+    * **Selectivity ordering** — before each chunk, predicates are ordered
+      by the pass rate observed on the chunks already evaluated (most
+      selective first), so the cheapest all-zero outcome arrives earliest.
+    * **Short-circuiting** — once a chunk's accumulated mask is all zero,
+      the remaining predicates are skipped for that chunk.
+
+    The program runs through :meth:`~repro.relational.store.Store.eval_mask`,
+    so a sharded backend executes it once per shard — each shard keeps its
+    own selectivity statistics, avoiding cross-thread races — and stitches
+    the per-shard masks into global row order.
+    """
+
+    __slots__ = ("binders", "chunk_size")
+
+    def __init__(
+        self, binders: Sequence[ChunkBinder], chunk_size: Optional[int] = None
+    ) -> None:
+        self.binders = list(binders)
+        self.chunk_size = chunk_size  # None: read the knob at run time
+
+    def mask(self, store: Store) -> bytearray:
+        """Evaluate the program over ``store``: one 0/1 byte per row."""
+        if not self.binders:
+            return all_ones(len(store))
+        return store.eval_mask(self.run_part)
+
+    def run_part(self, part: Store) -> bytearray:
+        """The chunked pass over one unsharded (sub-)store."""
+        size = len(part)
+        chunk = self.chunk_size if self.chunk_size is not None else _mask_chunk_size
+        maskers = [bind(part) for bind in self.binders]
+        if len(maskers) == 1:
+            return maskers[0](0, size)  # nothing to fuse or reorder
+        order = list(range(len(maskers)))
+        passed = [0] * len(maskers)
+        seen = [0] * len(maskers)
+        out = bytearray(size)
+        for lo in range(0, size, chunk):
+            hi = min(lo + chunk, size)
+            # Cheap running estimate; +1/+2 keeps unevaluated predicates at
+            # 0.5 so everything gets measured early on.
+            order.sort(key=lambda k: (passed[k] + 1) / (seen[k] + 2))
+            acc: Optional[bytearray] = None
+            for k in order:
+                part_mask = maskers[k](lo, hi)
+                passed[k] += part_mask.count(1)
+                seen[k] += hi - lo
+                acc = part_mask if acc is None else and_masks(acc, part_mask)
+                if not any(acc):
+                    break  # chunk already empty; skip remaining predicates
+            out[lo:hi] = acc if acc is not None else all_ones(hi - lo)
+        return out
 
 
 @dataclass(frozen=True)
@@ -307,6 +436,41 @@ class Comparison:
             )
         )
 
+    def chunk_binder(self, schema: RelationSchema) -> ChunkBinder:
+        """Compile this comparison for fused chunked evaluation.
+
+        The returned binder, applied to one (sub-)store, captures the
+        referenced column buffer(s) and yields a ``(lo, hi) -> mask``
+        chunk masker.  Buffer slices keep their type (an ``array`` slice is
+        an ``array``), so the typed fast paths of
+        :meth:`CompareOp.column_mask` apply chunk by chunk.
+        """
+        comparison = self.normalized()
+        op = comparison.op
+        if comparison.is_attr_const:
+            position = resolve_position(schema, comparison.attributes()[0])
+            constant = comparison.constant()
+
+            def bind_const(store: Store) -> ChunkMasker:
+                column = store.column(position)
+                return lambda lo, hi: op.column_mask(
+                    chunk_window(column, lo, hi), constant
+                )
+
+            return bind_const
+        left, right = comparison.attributes()
+        left_position = resolve_position(schema, left)
+        right_position = resolve_position(schema, right)
+
+        def bind_pair(store: Store) -> ChunkMasker:
+            left_column = store.column(left_position)
+            right_column = store.column(right_position)
+            return lambda lo, hi: op.column_mask_pair(
+                chunk_window(left_column, lo, hi), chunk_window(right_column, lo, hi)
+            )
+
+        return bind_pair
+
     def __str__(self) -> str:  # pragma: no cover - debug helper
         return f"{self.left} {self.op.value} {self.right}"
 
@@ -349,30 +513,38 @@ class Conjunction:
     def equality_comparisons(self) -> List[Comparison]:
         return [c for c in self.comparisons if c.op.is_equality]
 
-    def mask(self, store: Store, schema: RelationSchema) -> bytearray:
-        """Vectorized conjunction: the AND of every comparison's mask.
+    def mask(
+        self,
+        store: Store,
+        schema: RelationSchema,
+        chunk_size: Optional[int] = None,
+    ) -> bytearray:
+        """Vectorized conjunction via the fused chunked engine.
 
-        The empty conjunction selects every row.  Masks are combined with a
-        single big-int AND per comparison (see
-        :func:`repro.relational.store.and_masks`).  The whole conjunction is
-        evaluated through :meth:`~repro.relational.store.Store.eval_mask`, so
-        a sharded backend runs all comparisons shard-locally and stitches one
-        combined mask per shard (one gather for the conjunction, not one per
-        comparison).
+        The empty conjunction selects every row.  Everything else compiles
+        to a :class:`MaskProgram` (see the module docstring): the
+        comparisons are fused block-wise in chunks of ``chunk_size`` rows
+        (default: the :func:`set_mask_chunk_size` knob), ordered per chunk
+        by observed selectivity, short-circuiting once a chunk's mask is all
+        zero.  The program runs through
+        :meth:`~repro.relational.store.Store.eval_mask`, so a sharded
+        backend fuses shard-locally and stitches one combined mask per shard
+        (one gather for the conjunction, not one per comparison).  Results
+        equal the per-row AND of :meth:`CompareOp.evaluate` at every chunk
+        size on every backend.
         """
         if not self.comparisons:
             return all_ones(len(store))
-        return store.eval_mask(lambda part: self._combined_mask(part, schema))
+        return self.program(schema, chunk_size).mask(store)
 
-    def _combined_mask(self, store: Store, schema: RelationSchema) -> bytearray:
-        """AND of the comparison masks over one (unsharded) store."""
-        mask: Optional[bytearray] = None
-        for comparison in self.comparisons:
-            part = comparison.mask(store, schema)
-            mask = part if mask is None else and_masks(mask, part)
-            if not any(mask):
-                break  # already empty; skip the remaining comparisons
-        return mask if mask is not None else all_ones(len(store))
+    def program(
+        self, schema: RelationSchema, chunk_size: Optional[int] = None
+    ) -> MaskProgram:
+        """Compile this conjunction to a reusable :class:`MaskProgram`."""
+        return MaskProgram(
+            [comparison.chunk_binder(schema) for comparison in self.comparisons],
+            chunk_size,
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debug helper
         if not self.comparisons:

@@ -30,6 +30,7 @@ from ..relational.database import AccessMeter, Database
 from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import Attribute, RelationSchema
+from ..relational.store import Store, gather_columns
 from .plan import BoundedPlan, FetchPlan, FetchStep
 
 
@@ -57,17 +58,12 @@ class BeasEvaluator(Evaluator):
     def _eval_difference(self, node: Difference) -> Frame:
         left = self._eval(node.left)
         right_exact = self._eval(node.right)
+        positions = list(range(len(left.schema)))
         thresholds_exact = [
             self.relaxation.get(name, 0.0) for name in right_exact.schema.attribute_names
         ]
         if all(t == 0.0 for t in thresholds_exact):
-            removed = set(right_exact.rows)
-            rows, weights = [], []
-            for row, weight in zip(left.rows, left.weights):
-                if row not in removed:
-                    rows.append(row)
-                    weights.append(weight)
-            return Frame(left.schema, rows, weights)
+            return self._strict_difference(left, right_exact)
 
         induced = maximal_induced_query(node.right)
         right = self._eval(induced)
@@ -78,12 +74,14 @@ class BeasEvaluator(Evaluator):
         guard = RadiusMatcher.from_store(
             right.store, list(range(len(distances))), distances, thresholds
         )
-        rows, weights = [], []
-        for row, weight in zip(left.rows, left.weights):
-            if not guard.any_match(row):
-                rows.append(row)
-                weights.append(weight)
-        return Frame(left.schema, rows, weights)
+        # Survivors are collected as indices (rows assembled column-wise for
+        # the guard probes) and gathered out of the backend in one take.
+        keep = [
+            index
+            for index, row in enumerate(left.store.key_tuples(positions))
+            if not guard.any_match(row)
+        ]
+        return self._kept_frame(left, keep)
 
 
 class PlanExecutor:
@@ -231,8 +229,13 @@ class PlanExecutor:
                 )
                 extra_values.append(constants[attribute])
             schema = RelationSchema(alias, frame.schema.attributes + tuple(extra_attrs))
-            rows = [row + tuple(extra_values) for row in frame.rows]
-            frame = Frame(schema, rows, list(frame.weights))
+            # Constant columns are appended column-wise on the frame's own
+            # backend — the fetched buffers are reused, no row is rebuilt.
+            columns = list(frame.store.columns()) + [
+                [value] * len(frame) for value in extra_values
+            ]
+            store = type(frame.store).from_columns(len(schema), columns)
+            frame = Frame(schema, weights=list(frame.weights), store=store)
         return frame
 
     @staticmethod
@@ -244,27 +247,51 @@ class PlanExecutor:
             left.schema.attributes
             + tuple(right.schema.attribute(name) for name in right_only),
         )
+        left_indices: List[int] = []
+        right_indices: List[int] = []
         if not common:
-            rows = [l + tuple(r[right.schema.position(n)] for n in right_only)
-                    for l in left.rows for r in right.rows]
-            weights = [lw * rw for lw in left.weights for rw in right.weights]
-            return Frame(out_schema, rows, weights)
-        left_positions = left.schema.positions(common)
-        right_positions = right.schema.positions(common)
-        right_extra_positions = right.schema.positions(right_only)
-        # Join keys and the right side's carried columns are read column-wise.
-        buckets: Dict[Tuple[object, ...], List[int]] = {}
-        for index, key in enumerate(right.key_tuples(right_positions)):
-            buckets.setdefault(key, []).append(index)
-        right_extras = list(right.key_tuples(right_extra_positions))
-        left_rows = left.rows
-        rows: List[Row] = []
-        weights: List[float] = []
-        for index, key in enumerate(left.key_tuples(left_positions)):
-            for other_index in buckets.get(key, ()):  # type: ignore[arg-type]
-                rows.append(left_rows[index] + right_extras[other_index])
-                weights.append(left.weights[index] * right.weights[other_index])
-        return Frame(out_schema, rows, weights)
+            # Cross product, with the same empty/singleton fast paths as
+            # Evaluator._product (no quadratic index lists for trivial sides).
+            size_left, size_right = len(left), len(right)
+            if size_left and size_right:
+                if size_right == 1:
+                    left_indices = list(range(size_left))
+                    right_indices = [0] * size_left
+                elif size_left == 1:
+                    left_indices = [0] * size_right
+                    right_indices = list(range(size_right))
+                else:
+                    left_indices = [
+                        i for i in range(size_left) for _ in range(size_right)
+                    ]
+                    right_indices = list(range(size_right)) * size_left
+        else:
+            # Join keys are read column-wise; matches are index pairs.
+            left_positions = left.schema.positions(common)
+            right_positions = right.schema.positions(common)
+            buckets: Dict[Tuple[object, ...], List[int]] = {}
+            for index, key in enumerate(right.key_tuples(right_positions)):
+                buckets.setdefault(key, []).append(index)
+            for index, key in enumerate(left.key_tuples(left_positions)):
+                hits = buckets.get(key)
+                if hits:
+                    left_indices.extend([index] * len(hits))
+                    right_indices.extend(hits)
+        weights = [
+            left.weights[i] * right.weights[j]
+            for i, j in zip(left_indices, right_indices)
+        ]
+        # Output columns: all of the left side, then the right side's carried
+        # columns, each gathered at its side's matched indices.
+        sources: List[Tuple[Store, int, Sequence[int]]] = [
+            (left.store, position, left_indices) for position in range(len(left.schema))
+        ]
+        sources += [
+            (right.store, right.schema.position(name), right_indices)
+            for name in right_only
+        ]
+        store = gather_columns(sources)
+        return Frame(out_schema, weights=weights, store=store)
 
     # -- stage 3: evaluation ------------------------------------------------------------
     def evaluate(self, query: Optional[QueryNode] = None) -> Relation:

@@ -324,21 +324,24 @@ class KDTree:
                 lower[position] = self.schema.attributes[position].distance(value, hi)
         return lower
 
-    def within_radius(self, values: Sequence[object], radii: Sequence[float]) -> List[Row]:
-        """All rows within ``radii[A]`` of ``values[A]`` on *every* attribute.
+    def within_radius_indices(
+        self, values: Sequence[object], radii: Sequence[float]
+    ) -> List[int]:
+        """Indices (into the relation's row order) of all rows within radius.
 
-        Identical to the nested-loop filter
-        ``[row for row in rows if all(dis_A(values[A], row[A]) <= radii[A])]``
-        (up to row order); the tree only prunes subtrees that provably
-        contain no matching row.  Leaf candidates are checked per attribute
-        against the column buffers; only matching rows are materialized.
+        The index-returning variant of :meth:`within_radius`: consumers that
+        map matches onward (the distance kernels' bucket trees, gather-based
+        join outputs) get storage-order row indices straight from the column
+        buffers, without a single row tuple being materialized.  Candidate
+        leaves are checked with the exact distance functions, so the index
+        set equals the nested-loop filter's (in tree-traversal order, as
+        before).
         """
         if self.root is None:
             return []
         distances = [a.distance for a in self.schema.attributes]
         checks = list(zip(values, radii, distances, self._columns))
-        master = self._master_rows()
-        out: List[Row] = []
+        out: List[int] = []
         stack = [self.root]
         while stack:
             node = stack.pop()
@@ -351,11 +354,27 @@ class KDTree:
                         dist(value, column[index]) <= radius
                         for value, radius, dist, column in checks
                     ):
-                        out.append(master[index])
+                        out.append(index)
             else:
                 stack.append(node.left)
                 stack.append(node.right)
         return out
+
+    def within_radius(self, values: Sequence[object], radii: Sequence[float]) -> List[Row]:
+        """All rows within ``radii[A]`` of ``values[A]`` on *every* attribute.
+
+        Identical to the nested-loop filter
+        ``[row for row in rows if all(dis_A(values[A], row[A]) <= radii[A])]``
+        (up to row order); the tree only prunes subtrees that provably
+        contain no matching row.  Matching rows are gathered from the master
+        row list by :meth:`within_radius_indices` — only matches are ever
+        materialized.
+        """
+        indices = self.within_radius_indices(values, radii)
+        if not indices:
+            return []
+        master = self._master_rows()
+        return [master[index] for index in indices]
 
     def nearest_distance(self, values: Sequence[object]) -> float:
         """``min_row max_A dis_A(values[A], row[A])`` — branch-and-bound NN.
@@ -474,6 +493,29 @@ class KDForest:
         out: List[Row] = []
         for tree in self.trees:
             out.extend(tree.within_radius(values, radii))
+        return out
+
+    def within_radius_indices(
+        self, values: Sequence[object], radii: Sequence[float]
+    ) -> List[int]:
+        """Global row indices (in the relation's order) of all matches.
+
+        Per-tree indices are shard-local; each is mapped through the sharded
+        store's :meth:`~repro.relational.store.ShardedStore.shard_indices`
+        table back to the relation's global row order, so the result is
+        interchangeable with :meth:`KDTree.within_radius_indices` over an
+        unsharded copy (as an index *set* — traversal order differs).
+        """
+        store = self.relation.store
+        if getattr(store, "shards", None) is None:
+            return self.trees[0].within_radius_indices(values, radii)
+        out: List[int] = []
+        for shard, tree in enumerate(self.trees):
+            index_map = store.shard_indices(shard)
+            out.extend(
+                index_map[index]
+                for index in tree.within_radius_indices(values, radii)
+            )
         return out
 
     def nearest_distance(self, values: Sequence[object]) -> float:

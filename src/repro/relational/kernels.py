@@ -239,7 +239,7 @@ def naive_min_distance(
 class _Bucket:
     """Rows sharing one canonical exact-key value, plus band/check structure."""
 
-    __slots__ = ("indices", "band_values", "band_indices", "linear", "tree", "tree_map")
+    __slots__ = ("indices", "band_values", "band_indices", "linear", "tree", "tree_entries")
 
     def __init__(self) -> None:
         self.indices: List[int] = []  # all row indices in this bucket
@@ -247,7 +247,9 @@ class _Bucket:
         self.band_indices: List[int] = []  # aligned with band_values
         self.linear: List[int] = []  # rows needing exhaustive checks
         self.tree: Optional[KDTree] = None
-        self.tree_map: Optional[Dict[Tuple[object, ...], List[int]]] = None
+        # Row indices per distinct band sub-tuple, aligned with the tree
+        # relation's row order (KDTree.within_radius_indices points here).
+        self.tree_entries: Optional[List[List[int]]] = None
 
 
 class RadiusMatcher:
@@ -387,17 +389,28 @@ class RadiusMatcher:
                 bucket.linear = list(bucket.indices)
 
     def _plant_tree(self, bucket: _Bucket) -> None:
-        """Index a bucket's band-key sub-tuples in a KD-tree."""
+        """Index a bucket's band-key sub-tuples in a KD-tree.
+
+        Each distinct sub-tuple becomes one tree row; ``tree_entries[k]``
+        holds the bucket row indices sharing the tree's k-th sub-tuple, so
+        :meth:`~repro.relational.kdtree.KDTree.within_radius_indices`
+        answers map straight to row indices without re-keying tuples.
+        """
         attrs = [Attribute(f"k{slot}", dist) for slot, dist, _ in self._band]
         schema = RelationSchema("kernel", attrs)
         band_columns = [self._key_columns[slot] for slot, _, _ in self._band]
-        tree_map: Dict[Tuple[object, ...], List[int]] = {}
+        slots: Dict[Tuple[object, ...], int] = {}
+        entries: List[List[int]] = []
         for index in bucket.indices:
             sub = tuple(column[index] for column in band_columns)
-            tree_map.setdefault(sub, []).append(index)
-        bucket.tree_map = tree_map
+            slot = slots.setdefault(sub, len(entries))
+            if slot == len(entries):
+                entries.append([index])
+            else:
+                entries[slot].append(index)
+        bucket.tree_entries = entries
         bucket.tree = KDTree(
-            Relation(schema, tree_map.keys()), max_leaf_size=_TREE_LEAF_SIZE
+            Relation(schema, slots.keys()), max_leaf_size=_TREE_LEAF_SIZE
         )
 
     # -- queries -------------------------------------------------------------
@@ -447,8 +460,8 @@ class RadiusMatcher:
         if bucket.tree is not None:
             sub = tuple(values[slot] for slot, _, _ in self._band)
             radii = [t for _, _, t in self._band]
-            for match in bucket.tree.within_radius(sub, radii):
-                for index in bucket.tree_map[match]:
+            for match in bucket.tree.within_radius_indices(sub, radii):
+                for index in bucket.tree_entries[match]:
                     if self._pair_ok(values, index, self._check):
                         yield index
             return

@@ -49,8 +49,9 @@ inherit their source's backend.
 abstract core (``__len__``, ``append``, ``row``, ``iter_rows``, ``row_list``,
 ``column``, ``select_mask``, ``take``, ``project``, ``head``, ``copy`` and
 the ``from_rows`` / ``from_columns`` constructors — the docstrings below are
-the contract), set a unique ``backend`` class attribute, and register it with
-:func:`register_backend`::
+the contract; ``gather_column`` has a generic default worth overriding for
+layouts with typed buffers), set a unique ``backend`` class attribute, and
+register it with :func:`register_backend`::
 
     class MmapStore(Store):
         backend = "mmap"
@@ -91,6 +92,24 @@ from typing import (
 )
 
 Row = Tuple[object, ...]
+
+
+def _uniform_typecode(parts: Sequence[Sequence[object]]) -> Optional[str]:
+    """The shared ``array`` typecode of ``parts``, or ``None``.
+
+    The one rule deciding whether per-part buffers (shard columns, gathered
+    slices) can recombine into a typed buffer: every non-empty part must be
+    an ``array`` of the same typecode.  Empty parts are ignored — an empty
+    buffer may be a plain list regardless of its column's kind.
+    """
+    first = next((part for part in parts if len(part)), None)
+    if not isinstance(first, array):
+        return None
+    typecode = first.typecode
+    for part in parts:
+        if len(part) and not (isinstance(part, array) and part.typecode == typecode):
+            return None
+    return typecode
 
 # ColumnStore buffer kinds.
 _KIND_EMPTY = "empty"  # no values yet: becomes typed on first append
@@ -162,6 +181,23 @@ class Store:
             n = len(self)
             return iter([()] * n)
         return zip(*(self.column(p) for p in positions))
+
+    def gather_column(self, position: int, indices: Sequence[int]) -> Sequence[object]:
+        """One attribute's values at ``indices``, in that order (the *gather*
+        primitive).
+
+        This is the column-level half of :meth:`take`: operators that compute
+        matched row indices (index-pair joins, products, union/difference
+        survivors) materialize their outputs by gathering each source column
+        at those indices instead of building Python row tuples.  Indices may
+        repeat, arrive out of order, or be empty.  Column backends gather
+        straight from their typed buffers (returning a typed buffer again);
+        partitioned backends gather per shard and stitch the results back
+        into the requested order.  The returned buffer is always fresh —
+        callers may adopt it.
+        """
+        column = self.column(position)
+        return list(map(column.__getitem__, indices))
 
     # -- whole-store evaluation ---------------------------------------------
     def eval_mask(self, masker: Callable[["Store"], Sequence[int]]) -> bytearray:
@@ -254,6 +290,12 @@ class RowStore(Store):
     def column(self, position: int) -> Sequence[object]:
         return [row[position] for row in self._rows]
 
+    def gather_column(self, position: int, indices: Sequence[int]) -> Sequence[object]:
+        # Straight off the row tuples: O(len(indices)), not the default's
+        # O(store size) whole-column materialization followed by a gather.
+        rows = self._rows
+        return [rows[index][position] for index in indices]
+
     def key_tuples(self, positions: Sequence[int]) -> Iterator[Tuple[object, ...]]:
         # Row-major: one pass over the rows beats zipping per-column scans.
         return (tuple(row[p] for p in positions) for row in self._rows)
@@ -288,7 +330,17 @@ class RowStore(Store):
 
 
 def _typed_buffer(values: Sequence[object]) -> Tuple[str, Sequence[object]]:
-    """Choose the tightest buffer for ``values`` without changing any value."""
+    """Choose the tightest buffer for ``values`` without changing any value.
+
+    Always returns a fresh buffer.  An input that is already a typed
+    ``array`` (e.g. a :meth:`Store.gather_column` result) is adopted by a
+    C-speed copy without re-scanning its element types.
+    """
+    if isinstance(values, array):
+        if values.typecode == "d":
+            return (_KIND_FLOAT, values[:]) if values else (_KIND_EMPTY, [])
+        if values.typecode == "q":
+            return (_KIND_INT, values[:]) if values else (_KIND_EMPTY, [])
     if not values:
         return _KIND_EMPTY, []
     if all(type(v) is float for v in values):
@@ -398,6 +450,17 @@ class ColumnStore(Store):
     def columns(self) -> List[Sequence[object]]:
         return list(self._cols)
 
+    def gather_column(self, position: int, indices: Sequence[int]) -> Sequence[object]:
+        # Typed buffers gather into typed buffers: one C-speed map per
+        # column, no per-value boxing beyond what the array stores.
+        kind = self._kinds[position]
+        getter = self._cols[position].__getitem__
+        if kind is _KIND_FLOAT:
+            return array("d", map(getter, indices))
+        if kind is _KIND_INT:
+            return array("q", map(getter, indices))
+        return list(map(getter, indices))
+
     # -- derivation ---------------------------------------------------------
     def select_mask(self, mask: Sequence[int]) -> "ColumnStore":
         # Compress the *index space* once (C-speed, no value boxing), then
@@ -408,14 +471,8 @@ class ColumnStore(Store):
     def take(self, indices: Sequence[int]) -> "ColumnStore":
         kinds: List[str] = []
         cols: List[Sequence[object]] = []
-        for kind, col in zip(self._kinds, self._cols):
-            getter = col.__getitem__
-            if kind is _KIND_FLOAT:
-                kept: Sequence[object] = array("d", map(getter, indices))
-            elif kind is _KIND_INT:
-                kept = array("q", map(getter, indices))
-            else:
-                kept = list(map(getter, indices))
+        for position, kind in enumerate(self._kinds):
+            kept = self.gather_column(position, indices)
             # An emptied column reverts to the undecided state, which
             # requires a plain-list buffer (appends re-specialize it).
             cols.append(kept if kept else [])
@@ -456,12 +513,43 @@ class ColumnStore(Store):
         kinds: List[str] = []
         cols: List[Sequence[object]] = []
         for column in columns:
-            kind, buf = _typed_buffer(list(column))
+            kind, buf = _typed_buffer(
+                column if isinstance(column, (array, list)) else list(column)
+            )
             kinds.append(kind)
             cols.append(buf)
         store._kinds = kinds
         store._cols = cols
         store._length = len(cols[0]) if cols else 0
+        return store
+
+    @classmethod
+    def adopt_columns(cls, columns: Sequence[Sequence[object]]) -> "ColumnStore":
+        """Adopt freshly-built buffers **without copying** (ownership transfer).
+
+        The zero-copy construction path for the gather builders: callers
+        hand over buffers they built themselves (typed ``array``\\s or plain
+        lists of equal length) and must not touch them afterwards.  Use
+        :meth:`from_columns` for caller-owned data.
+        """
+        store = cls(len(columns))
+        if not columns:
+            return store
+        kinds: List[str] = []
+        cols: List[Sequence[object]] = []
+        for column in columns:
+            if isinstance(column, array) and column.typecode in ("d", "q") and len(column):
+                kinds.append(_KIND_FLOAT if column.typecode == "d" else _KIND_INT)
+                cols.append(column)
+            elif len(column):
+                kinds.append(_KIND_OBJECT)
+                cols.append(column if isinstance(column, list) else list(column))
+            else:
+                kinds.append(_KIND_EMPTY)
+                cols.append([])
+        store._kinds = kinds
+        store._cols = cols
+        store._length = len(cols[0])
         return store
 
 
@@ -803,13 +891,12 @@ class ShardedStore(Store):
         if len(self._shards) == 1:
             return parts[0]
         if self._contiguous:
-            first = parts[0]
-            if isinstance(first, array) and all(
-                isinstance(p, array) and p.typecode == first.typecode for p in parts
-            ):
-                merged = array(first.typecode)
+            typecode = _uniform_typecode(parts)
+            if typecode is not None:
+                merged = array(typecode)
                 for part in parts:
-                    merged.frombytes(part.tobytes())
+                    if len(part):  # empty parts may be plain lists
+                        merged.frombytes(part.tobytes())
                 return merged
             out: List[object] = []
             for part in parts:
@@ -826,6 +913,37 @@ class ShardedStore(Store):
         if self._contiguous:
             return chain.from_iterable(parts)
         return (next(parts[shard]) for shard in self._shard_of)
+
+    def gather_column(self, position: int, indices: Sequence[int]) -> Sequence[object]:
+        if len(self._shards) == 1:
+            return self._shards[0].gather_column(position, indices)
+        # Split the requested indices per shard (remembering each one's
+        # output slot), gather within each shard, then scatter the per-shard
+        # results back into the requested order.
+        shard_of = self._shard_of
+        locals_ = self._locals()
+        per_shard: List[List[int]] = [[] for _ in self._shards]
+        slots: List[List[int]] = [[] for _ in self._shards]
+        for slot, index in enumerate(indices):
+            shard = shard_of[index]
+            per_shard[shard].append(locals_[index])
+            slots[shard].append(slot)
+        parts = self.map_shards(
+            lambda shard, local: shard.gather_column(position, local), per_shard
+        )
+        # Scatter the per-shard gathers back into request order — into a
+        # typed buffer when every (non-empty) part is one, so sharded
+        # gathers keep the same buffer kinds as unsharded ones.
+        typecode = _uniform_typecode(parts)
+        out: Sequence[object]
+        if typecode is not None:
+            out = array(typecode, bytes(array(typecode).itemsize * len(indices)))
+        else:
+            out = [None] * len(indices)
+        for shard_slots, part in zip(slots, parts):
+            for slot, value in zip(shard_slots, part):
+                out[slot] = value
+        return out
 
     # -- whole-store evaluation ---------------------------------------------
     def eval_mask(self, masker: Callable[[Store], Sequence[int]]) -> bytearray:
@@ -1033,6 +1151,130 @@ def make_store(width: int, backend: Optional[str] = None) -> Store:
     """An empty store of ``width`` columns using ``backend`` (or the default)."""
     cls = backend_class(backend if backend is not None else _default_backend)
     return cls(width)
+
+
+# ---------------------------------------------------------------------------
+# Gather-based output builders (columnar operator outputs)
+# ---------------------------------------------------------------------------
+
+# One output column: (source store, source column position, row indices).
+GatherSource = Tuple[Store, int, Sequence[int]]
+
+
+def preferred_output_class(*stores: Store) -> Type[Store]:
+    """The store class operator outputs should be built on.
+
+    Row-backed inputs keep producing row stores (the legacy layout, cheapest
+    when rows will be materialized anyway); as soon as any input is
+    column-backed — including the per-shard column stores of a partitioned
+    input, whose join/product outputs have no natural shard layout — the
+    output is a :class:`ColumnStore`, so columnar pipelines stay columnar
+    end to end.
+    """
+    if all(isinstance(store, RowStore) for store in stores):
+        return RowStore
+    return ColumnStore
+
+
+def gather_columns(
+    sources: Sequence[GatherSource], backend_cls: Optional[Type[Store]] = None
+) -> Store:
+    """Build one store column-by-column from per-column gathers.
+
+    Each element of ``sources`` describes one output column as a gather of
+    ``store``'s column ``position`` at ``indices`` — the column-builder the
+    index-pair joins materialize through: no intermediate row tuples exist
+    unless the chosen output backend itself is row-major.
+    """
+    if backend_cls is None:
+        backend_cls = preferred_output_class(*{source[0] for source in sources})
+    columns = [
+        store.gather_column(position, indices) for store, position, indices in sources
+    ]
+    if issubclass(backend_cls, ColumnStore):
+        # Gathered buffers are fresh by contract; adopt them without a copy.
+        return backend_cls.adopt_columns(columns)
+    return backend_cls.from_columns(len(sources), columns)
+
+
+def gather_pairs(
+    left: Store,
+    left_indices: Sequence[int],
+    right: Store,
+    right_indices: Sequence[int],
+    backend_cls: Optional[Type[Store]] = None,
+) -> Store:
+    """Join-output builder: ``left``'s columns gathered at ``left_indices``
+    beside ``right``'s columns gathered at ``right_indices``.
+
+    ``(left_indices[k], right_indices[k])`` is the k-th matched index pair;
+    the output row k is their concatenation, but it is assembled one column
+    at a time.  Row-backed inputs short-circuit to direct tuple
+    concatenation (cheaper than transposing a row store twice).
+    """
+    if backend_cls is None:
+        backend_cls = preferred_output_class(left, right)
+    if backend_cls is RowStore:
+        left_rows, right_rows = left.row_list(), right.row_list()
+        return RowStore(
+            left.width + right.width,
+            [left_rows[i] + right_rows[j] for i, j in zip(left_indices, right_indices)],
+        )
+    sources: List[GatherSource] = [
+        (left, position, left_indices) for position in range(left.width)
+    ]
+    sources += [(right, position, right_indices) for position in range(right.width)]
+    return gather_columns(sources, backend_cls)
+
+
+def vstack_gather(
+    parts: Sequence[Tuple[Store, Sequence[int]]],
+    backend_cls: Optional[Type[Store]] = None,
+) -> Store:
+    """Vertical stack of per-part gathers: the rows of each ``(store,
+    indices)`` gather, in part order (union-style outputs).
+
+    Column buffers are gathered per part and concatenated — typed buffers
+    concatenate at C speed — so no row tuples are materialized for
+    column-backed inputs.
+    """
+    if backend_cls is None:
+        backend_cls = preferred_output_class(*(store for store, _ in parts))
+    if not parts:
+        raise ValueError("vstack_gather needs at least one (store, indices) part")
+    width = parts[0][0].width
+    if backend_cls is RowStore:
+        # Row-major output: gather whole row tuples directly (cheaper than
+        # transposing through per-column gathers and back).
+        out_rows: List[Row] = []
+        for store, indices in parts:
+            rows = store.row_list()
+            out_rows.extend(rows[index] for index in indices)
+        return RowStore(width, out_rows)
+    columns: List[Sequence[object]] = []
+    for position in range(width):
+        gathered = [store.gather_column(position, indices) for store, indices in parts]
+        columns.append(_concat_buffers(gathered))
+    if issubclass(backend_cls, ColumnStore):
+        return backend_cls.adopt_columns(columns)  # fresh buffers by contract
+    return backend_cls.from_columns(width, columns)
+
+
+def _concat_buffers(buffers: Sequence[Sequence[object]]) -> Sequence[object]:
+    """Concatenate column buffers, staying typed when every part is."""
+    if len(buffers) == 1:
+        return buffers[0]
+    typecode = _uniform_typecode(buffers)
+    if typecode is not None:
+        merged = array(typecode)
+        for buf in buffers:
+            if len(buf):  # empty parts may be plain lists; skip them
+                merged.frombytes(buf.tobytes())
+        return merged
+    out: List[object] = []
+    for buf in buffers:
+        out.extend(buf)
+    return out
 
 
 # ---------------------------------------------------------------------------

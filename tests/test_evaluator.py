@@ -176,3 +176,119 @@ class TestMeterAndRelaxation:
         for (eid,) in relaxed:
             salary = dict((r[0], r[2]) for r in tiny_db.relation("emp").rows)[eid]
             assert abs(salary - 30) / 100.0 <= 0.05 + 1e-9
+
+
+class TestColumnarOperatorOutputs:
+    """Index-pair joins / gather-built outputs stay columnar end to end."""
+
+    @staticmethod
+    def _frames(backend):
+        from repro.algebra.evaluator import Frame, MappingProvider
+        from repro.relational.distance import NUMERIC, TRIVIAL
+        from repro.relational.relation import Relation
+        from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+
+        l_schema = RelationSchema("l", [Attribute("l.k", TRIVIAL), Attribute("l.v", NUMERIC)])
+        r_schema = RelationSchema("r", [Attribute("r.k", TRIVIAL), Attribute("r.w", NUMERIC)])
+        left = Frame.from_relation(
+            Relation(l_schema, [(1, 1.0), (2, 2.0), (1, 3.0)], backend=backend),
+            weights=[1.0, 2.0, 3.0],
+        )
+        right = Frame.from_relation(
+            Relation(r_schema, [(1, 9.0), (3, 8.0), (1, 7.0)], backend=backend),
+            weights=[0.5, 1.0, 2.0],
+        )
+        evaluator = Evaluator(DatabaseSchema([]), MappingProvider({}))
+        return evaluator, left, right
+
+    @pytest.mark.parametrize("backend_name", ["column", "sharded", "sharded7"])
+    def test_join_output_is_column_backed(self, backend_name):
+        from repro.relational.store import ColumnStore
+
+        evaluator, left, right = self._frames(backend_name)
+        joined = evaluator._hash_join(left, right, ["l.k"], ["r.k"])
+        assert type(joined.store) is ColumnStore
+        assert joined.rows == [
+            (1, 1.0, 1, 9.0),
+            (1, 1.0, 1, 7.0),
+            (1, 3.0, 1, 9.0),
+            (1, 3.0, 1, 7.0),
+        ]
+        assert joined.weights == [0.5, 2.0, 1.5, 6.0]
+
+    def test_join_output_stays_row_backed_for_row_inputs(self):
+        from repro.relational.store import RowStore
+
+        evaluator, left, right = self._frames("row")
+        joined = evaluator._hash_join(left, right, ["l.k"], ["r.k"])
+        assert type(joined.store) is RowStore
+
+    @pytest.mark.parametrize("backend_name", ["row", "column", "sharded"])
+    def test_product_pairs_and_weights(self, backend_name):
+        evaluator, left, right = self._frames(backend_name)
+        product = evaluator._product(left, right)
+        assert len(product) == 9
+        assert product.rows[0] == (1, 1.0, 1, 9.0)
+        assert product.rows[-1] == (1, 3.0, 1, 7.0)
+        expected_weights = [lw * rw for lw in left.weights for rw in right.weights]
+        assert product.weights == expected_weights
+
+    @pytest.mark.parametrize("backend_name", ["row", "column", "sharded"])
+    def test_product_fast_paths(self, backend_name):
+        from repro.algebra.evaluator import Frame
+
+        from repro.relational.distance import NUMERIC, TRIVIAL
+        from repro.relational.schema import Attribute, RelationSchema
+
+        evaluator, left, right = self._frames(backend_name)
+        s_schema = RelationSchema(
+            "s", [Attribute("s.k", TRIVIAL), Attribute("s.w", NUMERIC)]
+        )
+        nothing = evaluator._product(left, Frame(s_schema, []))
+        assert len(nothing) == 0 and nothing.weights == []
+        assert evaluator._product(Frame(s_schema, []), right).weights == []
+        single = Frame(s_schema, [(7, 1.5)], weights=[4.0])
+        one = evaluator._product(left, single)
+        assert one.rows == [
+            (1, 1.0, 7, 1.5),
+            (2, 2.0, 7, 1.5),
+            (1, 3.0, 7, 1.5),
+        ]
+        assert one.weights == [4.0, 8.0, 12.0]
+        flipped = evaluator._product(single, right)
+        assert flipped.rows[0] == (7, 1.5, 1, 9.0)
+        assert flipped.weights == [2.0, 4.0, 8.0]
+
+    @pytest.mark.parametrize("backend_name", ["column", "sharded"])
+    def test_union_difference_groupby_column_backed(self, backend_name, tiny_db):
+        from repro.relational.relation import Relation
+        from repro.relational.store import ColumnStore
+
+        database = type(tiny_db)(
+            tiny_db.schema,
+            {
+                name: Relation(
+                    tiny_db.relation(name).schema,
+                    tiny_db.relation(name).rows,
+                    backend=backend_name,
+                )
+                for name in tiny_db.relation_names
+            },
+        )
+        evaluator = Evaluator(database.schema, DatabaseProvider(database))
+        union = parse_query(
+            "select e.eid from emp as e where e.salary <= 40 "
+            "union select e.eid from emp as e where e.salary >= 90"
+        )
+        frame = evaluator.evaluate_frame(union)
+        assert type(frame.store) is ColumnStore
+        diff = parse_query(
+            "select e.eid from emp as e "
+            "except select e.eid from emp as e where e.salary <= 40"
+        )
+        diff_frame = evaluator.evaluate_frame(diff)
+        # Difference keeps the left side's backend via Store.take.
+        assert diff_frame.store.backend in (backend_name, "column")
+        agg = parse_query("select e.dept, sum(e.salary) from emp as e group by e.dept")
+        agg_frame = evaluator.evaluate_frame(agg)
+        assert type(agg_frame.store) is ColumnStore

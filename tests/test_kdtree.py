@@ -164,3 +164,46 @@ def test_property_level_frontier_covers_relation(rows, level):
             for position, attribute in enumerate(tree.schema.attributes):
                 assert attribute.distance(rep[position], row[position]) <= resolution[attribute.name] + 1e-9
     assert covered == len(rows)
+
+
+class TestIndexQueries:
+    """Index-returning search variants (consumed by the distance kernels)."""
+
+    def test_within_radius_indices_match_rows(self, tree):
+        rng = random.Random(11)
+        master = tree.relation.store.row_list()
+        for _ in range(20):
+            query = (rng.uniform(0, 100), rng.uniform(0, 10), f"t{rng.randrange(4)}")
+            radii = [rng.uniform(0, 20), rng.uniform(0, 3), 0.5]
+            indices = tree.within_radius_indices(query, radii)
+            # Same traversal: the row view is exactly the gathered indices.
+            assert tree.within_radius(query, radii) == [master[i] for i in indices]
+            # Indices are storage-order positions and hold the predicate.
+            distances = [a.distance for a in tree.schema.attributes]
+            expected = [
+                i
+                for i, row in enumerate(master)
+                if all(d(q, v) <= r for q, v, d, r in zip(query, row, distances, radii))
+            ]
+            assert sorted(indices) == expected
+
+    def test_within_radius_indices_empty_tree(self):
+        tree = KDTree(make_relation([]))
+        assert tree.within_radius_indices((0.0, 0.0, "t0"), [1.0, 1.0, 1.0]) == []
+
+    def test_forest_indices_are_global(self):
+        from repro.relational.kdtree import KDForest
+
+        rng = random.Random(5)
+        rows = [(rng.uniform(0, 50), rng.uniform(0, 10), f"t{i % 3}") for i in range(90)]
+        schema = make_relation([]).schema
+        plain = Relation(schema, rows)
+        sharded = Relation(schema, rows, backend="sharded")
+        forest = KDForest(sharded, max_leaf_size=2)
+        reference = KDTree(plain, max_leaf_size=2)
+        for _ in range(10):
+            query = (rng.uniform(0, 50), rng.uniform(0, 10), f"t{rng.randrange(3)}")
+            radii = [rng.uniform(0, 10), rng.uniform(0, 2), 0.5]
+            assert sorted(forest.within_radius_indices(query, radii)) == sorted(
+                reference.within_radius_indices(query, radii)
+            )

@@ -31,13 +31,17 @@ from repro.relational.store import (
     and_masks,
     available_backends,
     backend_class,
+    gather_columns,
+    gather_pairs,
     get_default_backend,
     get_shard_workers,
     list_backends,
     make_store,
+    preferred_output_class,
     register_backend,
     set_default_backend,
     set_shard_workers,
+    vstack_gather,
 )
 from repro.workloads import social
 
@@ -574,3 +578,178 @@ class TestBackendConformanceMatrix:
                 assert_identical(row_answer.rows, other_answer.rows)
                 assert row_answer.eta == pytest.approx(other_answer.eta)
                 assert row_answer.tuples_accessed == other_answer.tuples_accessed
+
+
+# ---------------------------------------------------------------------------
+# Gather/take primitive: cross-backend conformance
+# ---------------------------------------------------------------------------
+
+# Index patterns the gather contract must honour: out-of-order, duplicated,
+# empty, reversed, and (on partitioned backends) shard-crossing stride reads.
+GATHER_PATTERNS = [
+    [],
+    [0],
+    [5, 2, 4, 0],
+    [1, 1, 3, 1, 1],
+    [5, 4, 3, 2, 1, 0],
+    [0, 5, 1, 4, 2, 3, 0, 5],
+    [2] * 7,
+]
+
+
+class TestGatherConformance:
+    """``Store.take`` / ``Store.gather_column`` across every backend.
+
+    The row backend is the reference; every other backend — including the
+    sharded variants, whose gathers split per shard and stitch back — must
+    return bit-identical values in the requested order.
+    """
+
+    def test_take_matches_row_reference(self, backend):
+        reference = RowStore.from_rows(4, MIXED_ROWS)
+        store = backend_class(backend).from_rows(4, MIXED_ROWS)
+        for indices in GATHER_PATTERNS:
+            expected = reference.take(indices).row_list()
+            got = store.take(indices).row_list()
+            assert [identity_key(r) for r in got] == [
+                identity_key(r) for r in expected
+            ], (backend, indices)
+            # A gathered store stays fully functional (derives, appends).
+            taken = store.take(indices)
+            assert len(taken) == len(indices)
+            taken.append((9, "z", 0.5, 7))
+            assert len(taken) == len(indices) + 1
+
+    def test_gather_column_matches_row_reference(self, backend):
+        reference = RowStore.from_rows(4, MIXED_ROWS)
+        store = backend_class(backend).from_rows(4, MIXED_ROWS)
+        for indices in GATHER_PATTERNS:
+            for position in range(4):
+                expected = list(reference.gather_column(position, indices))
+                got = list(store.gather_column(position, indices))
+                assert [identity_key((v,)) for v in got] == [
+                    identity_key((v,)) for v in expected
+                ], (backend, position, indices)
+
+    def test_cross_shard_gather(self, backend):
+        # Wide stride pattern over a larger store so that every shard of
+        # every sharded variant contributes to (and interleaves within) one
+        # gather call.
+        rows = [(i, f"s{i % 5}", float(i) / 3.0, i * 7) for i in range(101)]
+        reference = RowStore.from_rows(4, rows)
+        store = backend_class(backend).from_rows(4, rows)
+        indices = list(range(100, -1, -3)) + list(range(0, 101, 7)) + [50] * 5
+        assert store.take(indices).row_list() == reference.take(indices).row_list()
+        for position in range(4):
+            assert list(store.gather_column(position, indices)) == list(
+                reference.gather_column(position, indices)
+            )
+
+    def test_gathered_relation_through_operators(self, schema, backend):
+        # A gather result must behave like any store: run a selection and a
+        # projection over it and compare against the row reference.
+        indices = [4, 1, 3, 3, 0]
+        base = Relation(schema, MIXED_ROWS, backend="row")
+        other = Relation(schema, MIXED_ROWS, backend=backend)
+        base_taken = Relation(schema, store=base.store.take(indices))
+        other_taken = Relation(schema, store=other.store.take(indices))
+        assert_identical(base_taken, other_taken)
+        assert_identical(
+            base_taken.project(["cat", "x"], distinct=False),
+            other_taken.project(["cat", "x"], distinct=False),
+        )
+        for comparison in PREDICATES[:2]:
+            assert_identical(base_taken.select(comparison), other_taken.select(comparison))
+
+
+class TestGatherBuilders:
+    """The gather-based output builders joins/products materialize through."""
+
+    def test_preferred_output_class(self):
+        row = RowStore.from_rows(4, MIXED_ROWS)
+        column = ColumnStore.from_rows(4, MIXED_ROWS)
+        sharded = ShardedStore.from_rows(4, MIXED_ROWS)
+        assert preferred_output_class(row, row) is RowStore
+        assert preferred_output_class(row, column) is ColumnStore
+        assert preferred_output_class(sharded) is ColumnStore
+        assert preferred_output_class(column, sharded) is ColumnStore
+
+    @pytest.mark.parametrize("backend_name", ["row", "column", "sharded7"])
+    def test_gather_pairs_equals_tuple_concatenation(self, backend_name):
+        cls = backend_class(backend_name)
+        left = cls.from_rows(4, MIXED_ROWS)
+        right = cls.from_rows(4, list(reversed(MIXED_ROWS)))
+        left_indices = [0, 0, 3, 5, 2]
+        right_indices = [1, 4, 2, 0, 2]
+        out = gather_pairs(left, left_indices, right, right_indices)
+        expected = [
+            MIXED_ROWS[i] + list(reversed(MIXED_ROWS))[j]
+            for i, j in zip(left_indices, right_indices)
+        ]
+        assert [identity_key(r) for r in out.row_list()] == [
+            identity_key(r) for r in expected
+        ]
+        assert out.width == 8
+        # Empty pair lists build a valid empty store.
+        empty = gather_pairs(left, [], right, [])
+        assert len(empty) == 0 and empty.width == 8
+
+    def test_gather_columns_reorders_and_mixes_sources(self):
+        column = ColumnStore.from_rows(4, MIXED_ROWS)
+        sharded = ShardedStore.configured(3, "hash").from_rows(4, MIXED_ROWS)
+        out = gather_columns(
+            [(column, 2, [0, 1, 2]), (sharded, 0, [2, 1, 0]), (column, 1, [3, 3, 3])]
+        )
+        assert out.width == 3
+        assert [identity_key(r) for r in out.row_list()] == [
+            identity_key(r)
+            for r in [
+                (MIXED_ROWS[0][2], MIXED_ROWS[2][0], MIXED_ROWS[3][1]),
+                (MIXED_ROWS[1][2], MIXED_ROWS[1][0], MIXED_ROWS[3][1]),
+                (MIXED_ROWS[2][2], MIXED_ROWS[0][0], MIXED_ROWS[3][1]),
+            ]
+        ]
+
+    @pytest.mark.parametrize("backend_name", ["row", "column", "sharded"])
+    def test_vstack_gather_stacks_parts_in_order(self, backend_name):
+        cls = backend_class(backend_name)
+        first = cls.from_rows(4, MIXED_ROWS)
+        second = cls.from_rows(4, list(reversed(MIXED_ROWS)))
+        out = vstack_gather([(first, [5, 0]), (second, [1]), (first, [])])
+        expected = [MIXED_ROWS[5], MIXED_ROWS[0], list(reversed(MIXED_ROWS))[1]]
+        assert [identity_key(r) for r in out.row_list()] == [
+            identity_key(r) for r in expected
+        ]
+
+    def test_vstack_gather_keeps_typed_buffers(self):
+        from array import array
+
+        first = ColumnStore.from_rows(2, [(1.0, 1), (2.0, 2)])
+        second = ColumnStore.from_rows(2, [(3.0, 3)])
+        out = vstack_gather([(first, [1, 0]), (second, [0])])
+        assert isinstance(out, ColumnStore)
+        assert isinstance(out.column(0), array) and out.column(0).typecode == "d"
+        assert isinstance(out.column(1), array) and out.column(1).typecode == "q"
+        assert out.row_list() == [(2.0, 2), (1.0, 1), (3.0, 3)]
+
+    def test_sharded_gather_keeps_typed_buffers(self):
+        from array import array
+
+        cls = ShardedStore.configured(4, "hash")
+        store = cls.from_rows(2, [(float(i), i) for i in range(40)])
+        indices = [37, 2, 2, 19, 0, 31]
+        floats = store.gather_column(0, indices)
+        ints = store.gather_column(1, indices)
+        assert isinstance(floats, array) and floats.typecode == "d"
+        assert isinstance(ints, array) and ints.typecode == "q"
+        assert list(floats) == [37.0, 2.0, 2.0, 19.0, 0.0, 31.0]
+        assert list(ints) == [37, 2, 2, 19, 0, 31]
+        # Join-shaped gather output of two sharded inputs keeps typed kinds.
+        out = gather_pairs(store, indices, store, list(reversed(indices)))
+        assert isinstance(out, ColumnStore)
+        assert out._kinds == ["float", "int", "float", "int"]  # noqa: SLF001
+        # Mixed-kind shards (one shard demoted to object) fall back to lists
+        # without losing any value's type.
+        mixed = cls.from_rows(1, [(i,) for i in range(10)] + [("s",)])
+        gathered = mixed.gather_column(0, [10, 3, 0])
+        assert list(gathered) == ["s", 3, 0]
