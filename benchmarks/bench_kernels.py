@@ -27,7 +27,19 @@ column stores) at several shard counts, against the row baseline —
 ``sharded_scan`` / ``sharded_selection`` / ``sharded_join`` / ``sharded_rc``
 entries record how partition-parallel execution scales with shard count.
 
-Part 4 times the columnar-execution engine added on top of the storage
+Part 4 sweeps the **shard executors** (`repro.relational.store.set_shard_executor`)
+at several worker counts over a large range-partitioned sharded relation:
+``parallel_mask_eval`` (the fused-mask engine through ``Store.eval_mask``)
+and ``parallel_radius_batch`` (the radius kernel's ``matches_many`` batch
+API) each record serial / thread / process seconds per worker count —
+process mode publishes the shard buffers to shared memory once and ships
+only programs/parameters per query.  Every record carries an
+``executor_config`` block (executor, workers, cpu_count) so entries from
+different modes stay distinguishable across PRs; a single-core machine
+cannot show real multi-worker speedups, which is exactly what the recorded
+``cpu_count`` makes visible.
+
+Part 5 times the columnar-execution engine added on top of the storage
 layer:
 
 * ``fused_selection`` — the chunked fused-mask engine
@@ -443,6 +455,158 @@ COLUMNAR_ENGINE_OPS = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Shard executors: serial vs thread vs process over shared-memory buffers
+# ---------------------------------------------------------------------------
+
+PARALLEL_SCALE = 100_000
+PARALLEL_SHARDS = 4
+PARALLEL_WORKER_COUNTS = (1, 2, 4)
+PARALLEL_QUERY_COUNT = 1_000
+EXECUTOR_SWEEP = ("serial", "thread", "process")
+
+
+def executor_config() -> dict:
+    """The pinned executor/worker configuration a record was measured under."""
+    import os
+
+    from repro.relational.store import get_shard_executor, get_shard_workers
+
+    return {
+        "executor": get_shard_executor(),
+        "workers": get_shard_workers(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _parallel_relation(size: int, rng: random.Random):
+    from repro.relational.store import ShardedStore
+
+    backend_cls = ShardedStore.configured(PARALLEL_SHARDS, "range")
+    rows = [
+        (
+            rng.randrange(max(1, size // 100)),
+            rng.uniform(0, 100.0),
+            rng.uniform(0, 100.0),
+            rng.uniform(0, 100.0),
+            rng.uniform(0, 100.0),
+        )
+        for _ in range(size)
+    ]
+    store = backend_cls.from_rows(len(WIDE_SCHEMA), rows)
+    return Relation(WIDE_SCHEMA, store=store), rows
+
+
+def bench_parallel_section(size: int, queries: int, worker_counts) -> list:
+    """Time mask evaluation and radius-kernel batches per executor × workers.
+
+    Process mode is timed *warm*: the first (untimed) query publishes the
+    shard buffers to shared memory and spawns the pool, so the timed runs
+    measure the steady state the executor is designed for — per query, only
+    the compiled program / the query parameters cross the process boundary.
+    Every executor's results are cross-checked against the serial reference,
+    so the sweep doubles as a three-way differential test.
+    """
+    from repro.relational import parallel
+    from repro.relational.kernels import RadiusMatcher
+    from repro.relational.store import (
+        get_shard_executor,
+        set_shard_executor,
+        set_shard_workers,
+    )
+
+    rng = random.Random(size)
+    relation, rows = _parallel_relation(size, rng)
+    store = relation.store
+    schema = relation.schema
+    # The radius workload carries slack on one numeric key, so every probe
+    # is a banded sort-merge walk over each shard's sorted column: the
+    # per-shard index is cheap to build (one C-speed sort, so a worker
+    # seeing a shard for the first time pays milliseconds, not seconds)
+    # while the per-query distance walks dominate the pool round-trip —
+    # the regime where executor differences mean something.  (A
+    # hash-bucketed key would answer in microseconds and time nothing but
+    # IPC; a multi-key KD workload times worker-side index builds.)
+    radius_positions = [1]
+    radius_distances = [NUMERIC]
+    radius_slack = [1.0]
+    probes = [(rng.uniform(0, 100.0),) for _ in range(queries)]
+
+    records = []
+    previous_mode = get_shard_executor()
+    # set_shard_workers returns the *raw* previous setting (None = default),
+    # captured before the sweep so the finally block can restore an
+    # environment-derived bound even if the sweep fails early.
+    previous_workers = set_shard_workers(worker_counts[0])
+    try:
+        for workers in worker_counts:
+            set_shard_workers(workers)
+            mask_seconds: dict = {}
+            radius_seconds: dict = {}
+            reference_mask = None
+            reference_hits = None
+            configs = {}
+            for mode in EXECUTOR_SWEEP:
+                set_shard_executor(mode)
+                configs[mode] = executor_config()
+                # Warm-up: publishes shared-memory segments / spawns the
+                # pool in process mode; a no-op cost-wise for the others.
+                warm_mask = bytes(SELECTION_CONDITION.mask(store, schema))
+                seconds, masks = _timed_best(
+                    lambda: [
+                        SELECTION_CONDITION.mask(store, schema) for _ in range(3)
+                    ]
+                )
+                mask_seconds[mode] = seconds
+                if reference_mask is None:
+                    reference_mask = warm_mask
+                assert bytes(masks[0]) == reference_mask  # three-way differential
+
+                matcher = RadiusMatcher.from_store(
+                    store, radius_positions, radius_distances, radius_slack
+                )
+                matcher.matches_many(probes[:2])  # warm-up (publish/index)
+                seconds, hits = _timed_best(lambda: matcher.matches_many(probes))
+                radius_seconds[mode] = seconds
+                if reference_hits is None:
+                    reference_hits = hits
+                assert hits == reference_hits
+            for name, seconds in (
+                ("parallel_mask_eval", mask_seconds),
+                ("parallel_radius_batch", radius_seconds),
+            ):
+                records.append(
+                    {
+                        "kernel": name,
+                        "size": size,
+                        "shards": PARALLEL_SHARDS,
+                        "workers": workers,
+                        "queries": queries,
+                        "serial_seconds": round(seconds["serial"], 6),
+                        "thread_seconds": round(seconds["thread"], 6),
+                        "process_seconds": round(seconds["process"], 6),
+                        "process_vs_thread": round(
+                            seconds["thread"] / max(seconds["process"], 1e-9), 2
+                        ),
+                        "process_vs_serial": round(
+                            seconds["serial"] / max(seconds["process"], 1e-9), 2
+                        ),
+                        # At 1 worker, process (and thread) mode falls back
+                        # to the sequential path by design; flag whether the
+                        # process pool genuinely executed the timed leg so
+                        # cross-record comparisons don't read a fallback
+                        # measurement as a real process data point.
+                        "process_engaged": workers > 1,
+                        "executor_config": configs["process"],
+                    }
+                )
+    finally:
+        set_shard_executor(previous_mode)
+        set_shard_workers(previous_workers)
+        parallel.shutdown()
+    return records
+
+
 DEFAULT_BACKENDS = ("row", "column", "sharded")
 
 
@@ -451,6 +615,8 @@ def run(
     queries: int = QUERY_COUNT,
     output: Optional[Path] = OUTPUT,
     backends: Sequence[str] = DEFAULT_BACKENDS,
+    parallel_scale: int = PARALLEL_SCALE,
+    parallel_workers: Sequence[int] = PARALLEL_WORKER_COUNTS,
 ) -> dict:
     register_sharded_variants()
     results = []
@@ -466,6 +632,7 @@ def run(
                     "naive_seconds": round(naive_seconds, 6),
                     "kernel_seconds": round(kernel_seconds, 6),
                     "speedup": round(naive_seconds / max(kernel_seconds, 1e-9), 2),
+                    "executor_config": executor_config(),
                 }
             )
     columnar_results = []
@@ -482,6 +649,7 @@ def run(
                         "row_seconds": round(row_seconds, 6),
                         "column_seconds": round(column_seconds, 6),
                         "speedup": round(row_seconds / max(column_seconds, 1e-9), 2),
+                        "executor_config": executor_config(),
                     }
                 )
     sharded_results = []
@@ -502,8 +670,15 @@ def run(
                         "row_seconds": round(row_seconds, 6),
                         "sharded_seconds": round(sharded_seconds, 6),
                         "speedup": round(row_seconds / max(sharded_seconds, 1e-9), 2),
+                        "executor_config": executor_config(),
                     }
                 )
+    parallel_results = []
+    if "sharded" in backends:
+        parallel_queries = min(PARALLEL_QUERY_COUNT, 4 * queries)
+        parallel_results = bench_parallel_section(
+            parallel_scale, parallel_queries, parallel_workers
+        )
     engine_results = []
     if "column" in backends:
         for size in scales:
@@ -517,6 +692,7 @@ def run(
                         "baseline_seconds": round(baseline_seconds, 6),
                         "engine_seconds": round(engine_seconds, 6),
                         "speedup": round(baseline_seconds / max(engine_seconds, 1e-9), 2),
+                        "executor_config": executor_config(),
                     }
                 )
     report = {
@@ -530,6 +706,7 @@ def run(
         "results": results,
         "columnar": columnar_results,
         "sharded": sharded_results,
+        "parallel": parallel_results,
         "columnar_engine": engine_results,
     }
     destination = "(not written)"
@@ -581,6 +758,37 @@ def run(
                 title=f"ShardedStore vs RowStore (range partitioner) -> {destination}",
             )
         )
+    if parallel_results:
+        print(
+            format_table(
+                [
+                    "operation",
+                    "workers",
+                    "size",
+                    "serial s",
+                    "thread s",
+                    "process s",
+                    "proc/thread",
+                ],
+                [
+                    [
+                        r["kernel"],
+                        r["workers"],
+                        r["size"],
+                        r["serial_seconds"],
+                        r["thread_seconds"],
+                        r["process_seconds"],
+                        f"{r['process_vs_thread']}x",
+                    ]
+                    for r in parallel_results
+                ],
+                title=(
+                    "Shard executors: serial vs thread vs process "
+                    f"(cpu_count={parallel_results[0]['executor_config']['cpu_count']}) "
+                    f"-> {destination}"
+                ),
+            )
+        )
     if engine_results:
         print(
             format_table(
@@ -628,6 +836,8 @@ def main() -> None:
         queries=queries,
         output=None if args.quick else OUTPUT,
         backends=backends,
+        parallel_scale=20_000 if args.quick else PARALLEL_SCALE,
+        parallel_workers=(1, 2) if args.quick else PARALLEL_WORKER_COUNTS,
     )
     worst = min(
         r["speedup"] for r in report["results"] if r["size"] == max(report["scales"])

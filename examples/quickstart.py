@@ -158,15 +158,53 @@ def main() -> None:
     assert eight.distinct() == sharded_poi.distinct()
     print(f"sharded8 (range) shard sizes: {[len(s) for s in eight.store.shards]}")
 
-    # Thread-pool sizing: shard work runs on one bounded process-wide pool.
-    # The default (os.cpu_count()) is right for free cores; CPU-bound pure
-    # Python gains little from threads under the GIL, so the win comes from
-    # per-shard typed buffers and smaller per-shard indexes — size the pool
-    # down (set_shard_workers(1)) to force sequential execution, or up when
-    # shard work releases the GIL (future native/mmap backends).  Per-row
-    # *callable* predicates always scan sequentially in global row order
-    # (they may be stateful); only vectorized predicates fan out per shard.
-    set_shard_workers(1)  # force the sequential fallback for all shard work
+    # --- Shard executors: serial / thread / process -----------------------
+    # How per-shard work actually runs is a knob, orthogonal to the layout:
+    #
+    #   set_shard_executor("serial")   every shard on the calling thread
+    #   set_shard_executor("thread")   bounded ThreadPoolExecutor (default)
+    #   set_shard_executor("process")  process pool over shared memory
+    #
+    # "process" is the one that buys real CPU parallelism for pure-Python
+    # work: the first query publishes each shard's column buffers into
+    # multiprocessing.shared_memory once, worker processes decode and cache
+    # them, and every later query ships only the compiled mask program / the
+    # kernel query parameters — never the data.  Routing is automatic and
+    # conservative: only picklable whole-store computations (fused mask
+    # programs, kernel batch queries like RadiusMatcher.matches_many, KD
+    # radius batches) cross the boundary; per-row callables, small stores
+    # (below get_process_min_rows(), default 4096 rows — under that, the
+    # round-trip costs more than the work) and anything unpicklable fall
+    # back to the thread path with bit-identical results.  Mutating a store
+    # retires its shared-memory segments; the next query republishes.
+    #
+    # Pool sizing: set_shard_workers(n) bounds BOTH pools (values < 1 raise;
+    # None restores os.cpu_count()).  Environment overrides at import time:
+    # REPRO_SHARD_WORKERS=4 REPRO_SHARD_EXECUTOR=process python app.py
+    #
+    # Rule of thumb: "process" pays off once per-shard work dominates the
+    # ~millisecond task round-trip — i.e. shards of >= ~25k rows under
+    # selective masks, or kernel batches of hundreds of probes — and only
+    # with real spare cores ("thread" and "process" tie on one CPU).
+    from repro.relational import set_shard_executor
+
+    previous_executor = set_shard_executor("process")
+    process_hotels = sharded_poi.select(
+        Conjunction.of(
+            [
+                Comparison(AttrRef(None, "type"), CompareOp.EQ, Const("hotel")),
+                Comparison(AttrRef(None, "price"), CompareOp.LE, Const(95.0)),
+            ]
+        )
+    )
+    set_shard_executor(previous_executor)
+    assert process_hotels == cheap_hotels
+    print("process-executor σ over poi agrees with the thread/serial paths")
+
+    # Per-row *callable* predicates always scan sequentially in global row
+    # order (they may be stateful); only vectorized predicates fan out per
+    # shard.  set_shard_workers(1) forces the sequential fallback everywhere.
+    set_shard_workers(1)
     assert eight.select(lambda row: row[1] == "hotel").store.backend == "sharded8"
     set_shard_workers(None)  # restore the default (os.cpu_count())
 

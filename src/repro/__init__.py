@@ -69,6 +69,8 @@ from .relational import (
     Store,
     build_schema,
     get_default_backend,
+    get_process_min_rows,
+    get_shard_executor,
     get_shard_workers,
     key_attribute,
     list_backends,
@@ -77,6 +79,8 @@ from .relational import (
     register_backend,
     register_partitioner,
     set_default_backend,
+    set_process_min_rows,
+    set_shard_executor,
     set_shard_workers,
 )
 
@@ -131,6 +135,8 @@ __all__ = [
     "evaluate_exact",
     "f_measure",
     "get_default_backend",
+    "get_process_min_rows",
+    "get_shard_executor",
     "get_shard_workers",
     "key_attribute",
     "list_backends",
@@ -142,5 +148,7 @@ __all__ = [
     "register_backend",
     "register_partitioner",
     "set_default_backend",
+    "set_process_min_rows",
+    "set_shard_executor",
     "set_shard_workers",
 ]

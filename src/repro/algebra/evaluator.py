@@ -30,6 +30,7 @@ the pipeline unless the output backend itself is row-major
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import compress
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -415,12 +416,17 @@ class Evaluator:
         else:
             # Relaxed join: within-slack matching through the distance
             # kernels, indexed straight from the build side's column buffers.
+            # The probe side goes through the *batch* API: on a sharded
+            # build side under the process executor, all probe keys ship to
+            # the worker processes in one round per shard (the workers hold
+            # the shard buffers and build the matchers there); otherwise the
+            # batch is the same per-query loop as before.
             distances = [left.schema.attribute(k).distance for k in keys_left]
             matcher = RadiusMatcher.from_store(
                 right.store, positions_right, distances, slack
             )
-            for i, values in enumerate(left.key_tuples(positions_left)):
-                hits = matcher.matches(values)
+            all_hits = matcher.matches_many(list(left.key_tuples(positions_left)))
+            for i, hits in enumerate(all_hits):
                 if hits:
                     weight = left_weights[i]
                     for j in hits:
@@ -620,19 +626,13 @@ class Evaluator:
             slack = self.relaxation.get(name, 0.0)
             if slack <= 0 or slack == INFINITY:
                 return comparison.chunk_binder(schema)
-            position = schema.position(name)
-            constant = comparison.constant()
-            distance = schema.attribute(name).distance
-            op = comparison.op
-
-            def bind_const(store: Store) -> ChunkMasker:
-                column = store.column(position)
-                return lambda lo, hi: bytearray(
-                    _relaxed_attr_const(value, op, constant, slack, distance)
-                    for value in chunk_window(column, lo, hi)
-                )
-
-            return bind_const
+            return _RelaxedConstBinder(
+                comparison.op,
+                schema.position(name),
+                comparison.constant(),
+                slack,
+                schema.attribute(name).distance,
+            )
         if comparison.is_attr_attr:
             left, right = comparison.attributes()
             lname = resolve_attribute(schema, left)
@@ -640,24 +640,63 @@ class Evaluator:
             slack = self.relaxation.get(lname, 0.0) + self.relaxation.get(rname, 0.0)
             if slack <= 0 or slack == INFINITY:
                 return comparison.chunk_binder(schema)
-            lpos = schema.position(lname)
-            rpos = schema.position(rname)
-            distance = schema.attribute(lname).distance
-            op = comparison.op
-
-            def bind_pair(store: Store) -> ChunkMasker:
-                left_column = store.column(lpos)
-                right_column = store.column(rpos)
-                return lambda lo, hi: bytearray(
-                    _relaxed_attr_attr(lvalue, rvalue, op, slack, distance)
-                    for lvalue, rvalue in zip(
-                        chunk_window(left_column, lo, hi),
-                        chunk_window(right_column, lo, hi),
-                    )
-                )
-
-            return bind_pair
+            return _RelaxedPairBinder(
+                comparison.op,
+                schema.position(lname),
+                schema.position(rname),
+                slack,
+                schema.attribute(lname).distance,
+            )
         raise EvaluationError(f"cannot compile comparison {comparison}")
+
+
+@dataclass(frozen=True)
+class _RelaxedConstBinder:
+    """Picklable fused-engine binder for a relaxed ``A op c`` comparison.
+
+    The former closure form could not cross a process boundary; as a frozen
+    dataclass the binder rides inside compiled
+    :class:`~repro.algebra.predicates.MaskProgram`\\s to the process-parallel
+    shard executor's workers (op enums, constants and the built-in distance
+    functions all pickle).
+    """
+
+    op: CompareOp
+    position: int
+    constant: object
+    slack: float
+    distance: object
+
+    def __call__(self, store: Store) -> ChunkMasker:
+        column = store.column(self.position)
+        op, constant, slack, distance = self.op, self.constant, self.slack, self.distance
+        return lambda lo, hi: bytearray(
+            _relaxed_attr_const(value, op, constant, slack, distance)
+            for value in chunk_window(column, lo, hi)
+        )
+
+
+@dataclass(frozen=True)
+class _RelaxedPairBinder:
+    """Picklable fused-engine binder for a relaxed ``A op B`` comparison."""
+
+    op: CompareOp
+    left_position: int
+    right_position: int
+    slack: float
+    distance: object
+
+    def __call__(self, store: Store) -> ChunkMasker:
+        left_column = store.column(self.left_position)
+        right_column = store.column(self.right_position)
+        op, slack, distance = self.op, self.slack, self.distance
+        return lambda lo, hi: bytearray(
+            _relaxed_attr_attr(lvalue, rvalue, op, slack, distance)
+            for lvalue, rvalue in zip(
+                chunk_window(left_column, lo, hi),
+                chunk_window(right_column, lo, hi),
+            )
+        )
 
 
 def _relaxed_attr_const(value, op: CompareOp, constant, slack: float, distance) -> bool:

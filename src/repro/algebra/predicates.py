@@ -99,6 +99,45 @@ def chunk_window(column: Sequence[object], lo: int, hi: int) -> Sequence[object]
 ChunkBinder = Callable[[Store], ChunkMasker]
 
 
+@dataclass(frozen=True)
+class ConstChunkBinder:
+    """Picklable binder for ``column[position] op constant`` chunk masks.
+
+    Binders used to be closures; the process-parallel shard executor
+    (:mod:`repro.relational.parallel`) ships compiled :class:`MaskProgram`
+    objects to worker processes, so every binder a program holds must be a
+    plain picklable value.  Applying the binder to one (sub-)store captures
+    that store's column buffer and yields the ``(lo, hi) -> mask`` chunk
+    masker, exactly as the closure form did.
+    """
+
+    op: "CompareOp"
+    position: int
+    constant: object
+
+    def __call__(self, store: Store) -> ChunkMasker:
+        column = store.column(self.position)
+        op, constant = self.op, self.constant
+        return lambda lo, hi: op.column_mask(chunk_window(column, lo, hi), constant)
+
+
+@dataclass(frozen=True)
+class PairChunkBinder:
+    """Picklable binder for ``column[left] op column[right]`` chunk masks."""
+
+    op: "CompareOp"
+    left_position: int
+    right_position: int
+
+    def __call__(self, store: Store) -> ChunkMasker:
+        left_column = store.column(self.left_position)
+        right_column = store.column(self.right_position)
+        op = self.op
+        return lambda lo, hi: op.column_mask_pair(
+            chunk_window(left_column, lo, hi), chunk_window(right_column, lo, hi)
+        )
+
+
 class MaskProgram:
     """A conjunction compiled to one fused, chunked, selectivity-ordered pass.
 
@@ -419,22 +458,12 @@ class Comparison:
         row order.  Semantics match per-row :meth:`CompareOp.evaluate`
         exactly on every backend.
         """
-        comparison = self.normalized()
-        if comparison.is_attr_const:
-            ref = comparison.attributes()[0]
-            position = resolve_position(schema, ref)
-            constant = comparison.constant()
-            op = comparison.op
-            return store.eval_mask(lambda part: op.column_mask(part.column(position), constant))
-        left, right = comparison.attributes()
-        left_position = resolve_position(schema, left)
-        right_position = resolve_position(schema, right)
-        op = comparison.op
-        return store.eval_mask(
-            lambda part: op.column_mask_pair(
-                part.column(left_position), part.column(right_position)
-            )
-        )
+        # A one-binder program: run_part short-circuits to a single
+        # whole-(sub-)store masker call, so this is exactly the former
+        # closure-per-shard evaluation — but the masker shipped through
+        # ``eval_mask`` is picklable, which lets a process-mode sharded
+        # store evaluate it in worker processes.
+        return MaskProgram([self.chunk_binder(schema)]).mask(store)
 
     def chunk_binder(self, schema: RelationSchema) -> ChunkBinder:
         """Compile this comparison for fused chunked evaluation.
@@ -443,33 +472,20 @@ class Comparison:
         referenced column buffer(s) and yields a ``(lo, hi) -> mask``
         chunk masker.  Buffer slices keep their type (an ``array`` slice is
         an ``array``), so the typed fast paths of
-        :meth:`CompareOp.column_mask` apply chunk by chunk.
+        :meth:`CompareOp.column_mask` apply chunk by chunk.  Binders are
+        plain picklable values (:class:`ConstChunkBinder` /
+        :class:`PairChunkBinder`), so a compiled program can be shipped to
+        the process-parallel shard executor's workers.
         """
         comparison = self.normalized()
         op = comparison.op
         if comparison.is_attr_const:
             position = resolve_position(schema, comparison.attributes()[0])
-            constant = comparison.constant()
-
-            def bind_const(store: Store) -> ChunkMasker:
-                column = store.column(position)
-                return lambda lo, hi: op.column_mask(
-                    chunk_window(column, lo, hi), constant
-                )
-
-            return bind_const
+            return ConstChunkBinder(op, position, comparison.constant())
         left, right = comparison.attributes()
-        left_position = resolve_position(schema, left)
-        right_position = resolve_position(schema, right)
-
-        def bind_pair(store: Store) -> ChunkMasker:
-            left_column = store.column(left_position)
-            right_column = store.column(right_position)
-            return lambda lo, hi: op.column_mask_pair(
-                chunk_window(left_column, lo, hi), chunk_window(right_column, lo, hi)
-            )
-
-        return bind_pair
+        return PairChunkBinder(
+            op, resolve_position(schema, left), resolve_position(schema, right)
+        )
 
     def __str__(self) -> str:  # pragma: no cover - debug helper
         return f"{self.left} {self.op.value} {self.right}"

@@ -76,11 +76,12 @@ class BeasEvaluator(Evaluator):
         )
         # Survivors are collected as indices (rows assembled column-wise for
         # the guard probes) and gathered out of the backend in one take.
-        keep = [
-            index
-            for index, row in enumerate(left.store.key_tuples(positions))
-            if not guard.any_match(row)
-        ]
+        # The probes go through the guard's batch API: when the induced
+        # query's answers are shard-backed and the process executor is
+        # active, the whole probe set ships to the worker processes in one
+        # round per shard instead of one ``any_match`` call per row.
+        hits = guard.any_match_many(list(left.store.key_tuples(positions)))
+        keep = [index for index, hit in enumerate(hits) if not hit]
         return self._kept_frame(left, keep)
 
 

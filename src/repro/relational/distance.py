@@ -49,6 +49,23 @@ def absolute_difference(x: object, y: object) -> float:
     return abs(float(x) - float(y))  # type: ignore[arg-type]
 
 
+@dataclass(frozen=True)
+class ScaledDifference:
+    """``|x - y| / scale`` as a picklable callable.
+
+    A plain closure would tie the distance to the process that created it;
+    distance functions ride inside :class:`DistanceFunction` objects that the
+    process-parallel shard executor ships to worker processes
+    (:mod:`repro.relational.parallel`), so the scaled variant is a small
+    frozen dataclass instead.
+    """
+
+    scale: float
+
+    def __call__(self, x: object, y: object) -> float:
+        return absolute_difference(x, y) / self.scale
+
+
 def scaled_difference(scale: float) -> DistanceCallable:
     """Numeric distance divided by a positive ``scale``.
 
@@ -57,11 +74,7 @@ def scaled_difference(scale: float) -> DistanceCallable:
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
-
-    def _dist(x: object, y: object) -> float:
-        return absolute_difference(x, y) / scale
-
-    return _dist
+    return ScaledDifference(scale)
 
 
 def hamming_prefix_distance(x: object, y: object) -> float:

@@ -57,6 +57,12 @@ from .relation import Relation, Row, value_sort_key
 from .schema import RelationSchema
 
 
+def _shard_executor_is_process() -> bool:
+    from .store import get_shard_executor
+
+    return get_shard_executor() == "process"
+
+
 class KDNode:
     """One node of the KD-tree.
 
@@ -468,25 +474,41 @@ class KDForest:
     def __init__(self, relation: Relation, max_leaf_size: int = 1) -> None:
         self.relation = relation
         self.schema: RelationSchema = relation.schema
-        store = relation.store
-        shards = getattr(store, "shards", None)
-        if shards is None:
-            self.trees: List[KDTree] = [KDTree(relation, max_leaf_size=max_leaf_size)]
-        else:
-            # Each shard is wrapped in a read-only relation view (stores are
-            # adopted, not copied — the forest never mutates them).
-            self.trees = store.map_shards(
-                lambda shard: KDTree(
-                    Relation(self.schema, store=shard), max_leaf_size=max_leaf_size
+        self.max_leaf_size = max_leaf_size
+        self._trees: Optional[List[KDTree]] = None
+
+    @property
+    def trees(self) -> List[KDTree]:
+        """The parent-side per-shard trees (built lazily on first local query).
+
+        Under the process executor the batch radius queries never touch
+        these — the workers build their own tree per shard — so a forest
+        used purely through :meth:`within_radius_indices_many` costs the
+        parent nothing to construct.
+        """
+        if self._trees is None:
+            store = self.relation.store
+            if getattr(store, "shards", None) is None:
+                self._trees = [
+                    KDTree(self.relation, max_leaf_size=self.max_leaf_size)
+                ]
+            else:
+                # Each shard is wrapped in a read-only relation view (stores
+                # are adopted, not copied — the forest never mutates them).
+                schema, max_leaf_size = self.schema, self.max_leaf_size
+                self._trees = store.map_shards(
+                    lambda shard: KDTree(
+                        Relation(schema, store=shard), max_leaf_size=max_leaf_size
+                    )
                 )
-            )
+        return self._trees
 
     @property
     def tree_count(self) -> int:
         return len(self.trees)
 
     def __len__(self) -> int:
-        return sum(len(tree.relation) for tree in self.trees)
+        return len(self.relation)
 
     def within_radius(self, values: Sequence[object], radii: Sequence[float]) -> List[Row]:
         """All rows within ``radii`` of ``values`` on every attribute (merged)."""
@@ -506,16 +528,48 @@ class KDForest:
         interchangeable with :meth:`KDTree.within_radius_indices` over an
         unsharded copy (as an index *set* — traversal order differs).
         """
+        return self.within_radius_indices_many([(values, radii)])[0]
+
+    def within_radius_indices_many(
+        self, queries: Sequence[Tuple[Sequence[object], Sequence[float]]]
+    ) -> List[List[int]]:
+        """:meth:`within_radius_indices` for a batch of ``(values, radii)`` queries.
+
+        Under the process executor
+        (:func:`repro.relational.store.set_shard_executor`), a batch of two
+        or more queries ships to the worker processes holding the shard
+        buffers — each worker builds (and caches) one KD-tree per shard and
+        answers every query, so only the query parameters cross the process
+        boundary.  Single-query calls (and therefore
+        :meth:`within_radius_indices` / :meth:`within_radius`) stay on the
+        parent-side trees, like the radius matcher's per-query path — one
+        query cannot amortize a pool round trip per shard.  Results are
+        identical either way.
+        """
+        queries = list(queries)
         store = self.relation.store
         if getattr(store, "shards", None) is None:
-            return self.trees[0].within_radius_indices(values, radii)
-        out: List[int] = []
-        for shard, tree in enumerate(self.trees):
-            index_map = store.shard_indices(shard)
-            out.extend(
-                index_map[index]
-                for index in tree.within_radius_indices(values, radii)
+            tree = self.trees[0]
+            return [tree.within_radius_indices(v, r) for v, r in queries]
+        parts: Optional[List[List[List[int]]]] = None
+        if len(queries) > 1 and _shard_executor_is_process():
+            from . import parallel
+
+            parts = parallel.kd_within_radius_many(
+                store, self.schema, self.max_leaf_size, queries
             )
+        if parts is None:
+            parts = [
+                [tree.within_radius_indices(v, r) for v, r in queries]
+                for tree in self.trees
+            ]
+        out: List[List[int]] = []
+        for position in range(len(queries)):
+            merged: List[int] = []
+            for shard, per_query in enumerate(parts):
+                index_map = store.shard_indices(shard)
+                merged.extend(index_map[index] for index in per_query[position])
+            out.append(merged)
         return out
 
     def nearest_distance(self, values: Sequence[object]) -> float:

@@ -79,7 +79,7 @@ from .distance import INFINITY, DistanceFunction, is_real_number
 from .kdtree import KDTree
 from .relation import Relation, Row
 from .schema import Attribute, RelationSchema
-from .store import Store
+from .store import Store, get_shard_executor
 
 # Key kinds (see classify_key).
 KIND_DROP = "drop"  # threshold admits every pair: key can be ignored
@@ -331,13 +331,10 @@ class RadiusMatcher:
         answer the same ``matches`` / ``any_match`` API with identical
         results.
         """
-        shards = getattr(store, "shards", None)
-        if shards is not None:
-            matchers = store.map_shards(
-                lambda shard: cls.from_store(shard, positions, distances, thresholds)
+        if getattr(store, "shards", None) is not None:
+            return ShardedRadiusMatcher(
+                store, positions, distances, thresholds, matcher_cls=cls
             )
-            index_maps = [store.shard_indices(s) for s in range(len(shards))]
-            return ShardedRadiusMatcher(matchers, index_maps, size=len(store))
         return cls(
             None,
             positions,
@@ -424,6 +421,20 @@ class RadiusMatcher:
             return True
         return False
 
+    def matches_many(self, queries: Sequence[Sequence[object]]) -> List[List[int]]:
+        """:meth:`matches` for a whole query batch.
+
+        The batch form is what loop-shaped consumers (the relaxed join, the
+        benchmark probes) should call: on this unsharded matcher it is the
+        plain per-query loop, but the sharded variant overrides it to ship
+        the entire batch to the process pool in one round per shard.
+        """
+        return [self.matches(values) for values in queries]
+
+    def any_match_many(self, queries: Sequence[Sequence[object]]) -> List[bool]:
+        """:meth:`any_match` for a whole query batch (see :meth:`matches_many`)."""
+        return [self.any_match(values) for values in queries]
+
     def _pair_ok(self, values: Sequence[object], index: int, keys) -> bool:
         columns = self._key_columns
         for slot, dist, threshold in keys:
@@ -508,22 +519,64 @@ class ShardedRadiusMatcher:
     sets (mapped through each shard's global-index table) equals the
     unsharded matcher's answer; results are re-sorted ascending to keep the
     emission-order contract of :meth:`RadiusMatcher.matches`.
+
+    Sub-matchers are built **lazily**: under the process executor
+    (:func:`repro.relational.store.set_shard_executor`) the batch queries
+    (:meth:`matches_many` / :meth:`any_match_many`) ship ``(positions,
+    distances, thresholds)`` plus the query values to worker processes that
+    hold the shard buffers and build one matcher per shard there — the
+    parent never indexes anything.  Per-query calls, small stores, and
+    unpicklable distance functions fall back to parent-side sub-matchers on
+    the thread path, with identical results.
     """
 
-    __slots__ = ("matchers", "_index_maps", "_size")
+    __slots__ = (
+        "_store",
+        "positions",
+        "distances",
+        "thresholds",
+        "_matcher_cls",
+        "_matchers",
+        "_index_maps",
+        "_size",
+    )
 
     def __init__(
         self,
-        matchers: Sequence[RadiusMatcher],
-        index_maps: Sequence[Sequence[int]],
-        size: int,
+        store: Store,
+        positions: Sequence[int],
+        distances: Sequence[DistanceFunction],
+        thresholds: Sequence[float],
+        matcher_cls: type = None,
     ) -> None:
-        self.matchers = list(matchers)
-        self._index_maps = list(index_maps)
-        self._size = size
+        self._store = store
+        self.positions = list(positions)
+        self.distances = list(distances)
+        self.thresholds = list(thresholds)
+        self._matcher_cls = matcher_cls if matcher_cls is not None else RadiusMatcher
+        self._matchers: Optional[List[RadiusMatcher]] = None
+        self._index_maps = [
+            store.shard_indices(shard) for shard in range(len(store.shards))
+        ]
+        self._size = len(store)
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def matchers(self) -> List[RadiusMatcher]:
+        """The parent-side per-shard matchers (built on first local query)."""
+        if self._matchers is None:
+            cls = self._matcher_cls
+            positions, distances, thresholds = (
+                self.positions,
+                self.distances,
+                self.thresholds,
+            )
+            self._matchers = self._store.map_shards(
+                lambda shard: cls.from_store(shard, positions, distances, thresholds)
+            )
+        return self._matchers
 
     def matches(self, values: Sequence[object]) -> List[int]:
         """Global indices of all indexed rows within threshold (sorted)."""
@@ -537,6 +590,52 @@ class ShardedRadiusMatcher:
     def any_match(self, values: Sequence[object]) -> bool:
         """Whether any shard holds a row within threshold of ``values``."""
         return any(matcher.any_match(values) for matcher in self.matchers)
+
+    def _process_batch(
+        self, queries: Sequence[Sequence[object]], want_indices: bool
+    ) -> Optional[List[List[object]]]:
+        """Per-shard batch answers from the process pool (``None`` = fall back)."""
+        if get_shard_executor() != "process" or not queries:
+            return None
+        # Workers build plain RadiusMatchers; a subclass with overridden
+        # behavior must keep its answers, so it stays on the local path.
+        if self._matcher_cls is not RadiusMatcher:
+            return None
+        from . import parallel
+
+        return parallel.radius_matches_many(
+            self._store,
+            self.positions,
+            self.distances,
+            self.thresholds,
+            queries,
+            want_indices=want_indices,
+        )
+
+    def matches_many(self, queries: Sequence[Sequence[object]]) -> List[List[int]]:
+        """:meth:`matches` for a whole query batch (one pool round per shard)."""
+        queries = list(queries)
+        parts = self._process_batch(queries, want_indices=True)
+        if parts is None:
+            return [self.matches(values) for values in queries]
+        out: List[List[int]] = []
+        for position in range(len(queries)):
+            merged: List[int] = []
+            for index_map, part in zip(self._index_maps, parts):
+                merged.extend(map(index_map.__getitem__, part[position]))
+            merged.sort()
+            out.append(merged)
+        return out
+
+    def any_match_many(self, queries: Sequence[Sequence[object]]) -> List[bool]:
+        """:meth:`any_match` for a whole query batch (see :meth:`matches_many`)."""
+        queries = list(queries)
+        parts = self._process_batch(queries, want_indices=False)
+        if parts is None:
+            return [self.any_match(values) for values in queries]
+        return [
+            any(part[position] for part in parts) for position in range(len(queries))
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -606,10 +705,8 @@ class NearestNeighbors:
         ``min_distance`` as the minimum over the shards, which equals the
         unsharded minimum because the shards partition the rows.
         """
-        shards = getattr(store, "shards", None)
-        if shards is not None:
-            subs = store.map_shards(lambda shard: cls.from_store(shard, attributes))
-            return ShardedNearestNeighbors(subs, size=len(store))
+        if getattr(store, "shards", None) is not None:
+            return ShardedNearestNeighbors(store, attributes, index_cls=cls)
         return cls(None, attributes, columns=store.columns(), size=len(store))
 
     @classmethod
@@ -691,6 +788,10 @@ class NearestNeighbors:
             return tree.nearest_distance(sub)
         return naive_min_distance(sub, bucket, [a.distance for _, a in self._other])
 
+    def min_distance_many(self, queries: Sequence[Sequence[object]]) -> List[float]:
+        """:meth:`min_distance` for a whole query batch (see the sharded variant)."""
+        return [self.min_distance(values) for values in queries]
+
 
 class ShardedNearestNeighbors:
     """Per-shard :class:`NearestNeighbors` indexes answering merged queries.
@@ -698,16 +799,39 @@ class ShardedNearestNeighbors:
     ``min_distance`` is the minimum of the per-shard minima — exactly the
     unsharded answer, since the shards partition the indexed rows.  The
     sweep short-circuits at 0.0 (a perfect match cannot be beaten).
+
+    Like :class:`ShardedRadiusMatcher`, the per-shard indexes are built
+    lazily: :meth:`min_distance_many` under the process executor ships the
+    attribute list and the query batch to the workers holding the shard
+    buffers, and the parent only takes the per-shard minima.
     """
 
-    __slots__ = ("indexes", "_size")
+    __slots__ = ("_store", "attributes", "_index_cls", "_indexes", "_size")
 
-    def __init__(self, indexes: Sequence[NearestNeighbors], size: int) -> None:
-        self.indexes = list(indexes)
-        self._size = size
+    def __init__(
+        self,
+        store: Store,
+        attributes: Sequence[Attribute],
+        index_cls: type = None,
+    ) -> None:
+        self._store = store
+        self.attributes = list(attributes)
+        self._index_cls = index_cls if index_cls is not None else NearestNeighbors
+        self._indexes: Optional[List[NearestNeighbors]] = None
+        self._size = len(store)
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def indexes(self) -> List[NearestNeighbors]:
+        """The parent-side per-shard indexes (built on first local query)."""
+        if self._indexes is None:
+            cls, attributes = self._index_cls, self.attributes
+            self._indexes = self._store.map_shards(
+                lambda shard: cls.from_store(shard, attributes)
+            )
+        return self._indexes
 
     def min_distance(self, values: Sequence[object]) -> float:
         best = INFINITY
@@ -718,3 +842,23 @@ class ShardedNearestNeighbors:
             if best == 0.0:
                 break
         return best
+
+    def min_distance_many(self, queries: Sequence[Sequence[object]]) -> List[float]:
+        """:meth:`min_distance` for a whole batch (one pool round per shard)."""
+        queries = list(queries)
+        # Subclassed indexes keep their overridden behavior: workers build
+        # plain NearestNeighbors, so only the base class ships batches.
+        if (
+            get_shard_executor() == "process"
+            and queries
+            and self._index_cls is NearestNeighbors
+        ):
+            from . import parallel
+
+            parts = parallel.nn_min_distance_many(self._store, self.attributes, queries)
+            if parts is not None:
+                return [
+                    min(part[position] for part in parts)
+                    for position in range(len(queries))
+                ]
+        return [self.min_distance(values) for values in queries]

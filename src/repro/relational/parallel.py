@@ -1,0 +1,847 @@
+"""Process-parallel shard execution over shared-memory buffers.
+
+The sharded backend's fan-out seam (:meth:`ShardedStore.map_shards` /
+:meth:`ShardedStore.eval_mask`) ran on a GIL-bound thread pool, so
+pure-Python chunk masks and distance kernels gained concurrency but no real
+CPU parallelism.  This module adds the third execution mode behind
+:func:`repro.relational.store.set_shard_executor`: a lazily spawned, bounded
+**process pool** whose workers hold each shard's column buffers, decoded
+once from :mod:`multiprocessing.shared_memory` segments.
+
+The contract that makes this fast is *publish once, query many*:
+
+* **Publication** — the first process-mode query against a sharded store
+  encodes every shard's column buffers (typed ``array`` buffers as raw
+  bytes, object columns by pickle) into one shared-memory segment per shard
+  (:class:`ShardPublication`).  Workers attach by segment name, decode into
+  a private :class:`~repro.relational.store.ColumnStore`, close the mapping,
+  and keep the decoded store in a per-process LRU cache keyed by the segment
+  name — so a shard's payload crosses the process boundary **once per
+  worker**, not once per query.
+* **Queries** — subsequent calls ship only small picklable descriptions of
+  the work: a compiled :class:`~repro.algebra.predicates.MaskProgram` (or
+  any picklable masker) for :func:`process_eval_mask`, ``(position,
+  indices)`` for :func:`process_gather`, ``(positions, distances,
+  thresholds, query batch)`` for the radius kernel, attribute lists for
+  nearest-neighbour batches, and ``(schema, leaf size, query batch)`` for
+  KD-tree radius queries.  Workers answer with masks / gathered buffers /
+  index lists / distances; shard buffers never re-cross the boundary.
+* **Invalidation** — mutating a sharded store retires its publication
+  (segments are unlinked; see :meth:`ShardedStore._retire_publication`), and
+  the next query publishes fresh segments under new names.  Worker caches
+  are keyed by segment name, so stale entries can never answer a query; they
+  simply age out of the LRU.
+
+**Fallbacks.**  Everything here degrades gracefully to the thread path: the
+parent returns ``None`` (and the caller falls back) when the store is
+smaller than :func:`get_process_min_rows`, when the work or its parameters
+fail to pickle, when the platform cannot create shared memory or process
+pools (the payload then ships inline inside the task, still cached by
+token), when called from inside a worker (no nested pools), or after
+repeated pool failures.  Results are bit-identical across ``"serial"``,
+``"thread"`` and ``"process"`` modes — the cross-backend conformance matrix
+and the hypothesis properties in ``tests/test_parallel.py`` enforce this.
+
+**Lifecycle.**  One cleanup hook, registered on first use, shuts the pool
+down and unlinks every live segment at interpreter exit, so test runs and
+the benchmark harness terminate without ``resource_tracker`` warnings;
+:func:`reset_process_pool` (called by
+:func:`~repro.relational.store.set_shard_workers`) retires the pool early so
+the next query re-creates it at the new bound.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+import uuid
+import weakref
+from array import array
+from collections import OrderedDict
+from concurrent.futures import CancelledError
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .store import (
+    ColumnStore,
+    Store,
+    _KIND_EMPTY,
+    _KIND_FLOAT,
+    _KIND_INT,
+    _KIND_OBJECT,
+    get_shard_workers,
+)
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+# A shard payload handle: ("shm", token, payload_size) for a shared-memory
+# segment named ``token``, or ("inline", token, payload_bytes) when shared
+# memory is unavailable (the payload rides inside the task; workers still
+# cache the decoded store under the token).
+Handle = Tuple[str, str, object]
+
+DEFAULT_PROCESS_MIN_ROWS = 4096
+
+_process_min_rows = DEFAULT_PROCESS_MIN_ROWS
+
+
+def get_process_min_rows() -> int:
+    """Stores smaller than this stay on the thread path in process mode."""
+    return _process_min_rows
+
+
+def set_process_min_rows(count: Optional[int]) -> int:
+    """Set the process-mode size threshold; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_PROCESS_MIN_ROWS`; values below 1 raise
+    :exc:`ValueError`.  Shipping work to another process costs task pickling
+    and a result round-trip, so it only pays off once per-shard work
+    dominates — lower the threshold in tests to force tiny stores through
+    the worker machinery.
+    """
+    global _process_min_rows
+    previous = _process_min_rows
+    if count is None:
+        _process_min_rows = DEFAULT_PROCESS_MIN_ROWS
+        return previous
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"process min rows must be >= 1, got {count}")
+    _process_min_rows = count
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Shard payload codec
+# ---------------------------------------------------------------------------
+
+_TYPECODE_KINDS = {"d": _KIND_FLOAT, "q": _KIND_INT}
+
+
+def encode_store(store: Store) -> bytes:
+    """Serialize one shard's payload for the worker-side cache.
+
+    Column stores are encoded column-by-column — typed buffers as
+    ``(typecode, raw bytes)`` at C speed, object columns by value — without
+    dragging along derived caches.  Any other shard backend (row stores,
+    nested sharded layouts) falls back to pickling the store itself.  Either
+    way :func:`decode_store` rebuilds a store whose values are bit-identical
+    to the original's.
+    """
+    if isinstance(store, ColumnStore):
+        columns: List[Tuple[str, Optional[str], object]] = []
+        for column in store.columns():
+            if isinstance(column, array):
+                columns.append(("arr", column.typecode, column.tobytes()))
+            else:
+                columns.append(("obj", None, list(column)))
+        spec = ("columns", store.width, len(store), columns)
+    else:
+        spec = ("pickled", store)
+    return pickle.dumps(spec, _PICKLE_PROTOCOL)
+
+
+def decode_store(payload: bytes) -> Store:
+    """Rebuild a shard store from :func:`encode_store` output."""
+    spec = pickle.loads(payload)
+    if spec[0] == "pickled":
+        return spec[1]
+    _, width, length, columns = spec
+    kinds: List[str] = []
+    cols: List[Sequence[object]] = []
+    for tag, typecode, data in columns:
+        if tag == "arr":
+            buf = array(typecode)
+            buf.frombytes(data)
+            if len(buf):
+                kinds.append(_TYPECODE_KINDS.get(typecode, _KIND_OBJECT))
+                cols.append(buf if typecode in _TYPECODE_KINDS else list(buf))
+            else:
+                kinds.append(_KIND_EMPTY)
+                cols.append([])
+        else:
+            values = list(data)
+            kinds.append(_KIND_OBJECT if values else _KIND_EMPTY)
+            cols.append(values)
+    shell = ColumnStore(width)
+    out = shell._adopt(kinds, cols, length)
+    out.width = width  # _adopt infers width from the buffers; keep 0-column stores honest
+    return out
+
+
+def _encode_buffer(buffer: Sequence[object]) -> Tuple[str, Optional[str], object]:
+    """Encode one gathered column buffer for the result trip back."""
+    if isinstance(buffer, array):
+        return ("arr", buffer.typecode, buffer.tobytes())
+    return ("obj", None, list(buffer))
+
+
+def _decode_buffer(encoded: Tuple[str, Optional[str], object]) -> Sequence[object]:
+    tag, typecode, data = encoded
+    if tag == "arr":
+        buf = array(typecode)
+        buf.frombytes(data)
+        return buf
+    return list(data)
+
+
+# ---------------------------------------------------------------------------
+# Publication: parent-side shared-memory segments, one per shard
+# ---------------------------------------------------------------------------
+
+# Every live segment, by name.  The single atexit hook unlinks whatever is
+# still here; publications remove their own names when retired, so releases
+# are idempotent no matter which cleanup path fires first.
+_SEGMENT_REGISTRY: Dict[str, object] = {}
+_publish_lock = threading.Lock()
+_shared_memory_broken = False
+
+
+def _release_segments(names: Sequence[str]) -> None:
+    for name in names:
+        segment = _SEGMENT_REGISTRY.pop(name, None)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def _publish_payload(payload: bytes) -> Handle:
+    """Copy one shard payload into a fresh shared-memory segment.
+
+    Falls back to an inline handle (payload shipped inside each task until a
+    worker caches it) when the platform cannot provide shared memory.
+    """
+    global _shared_memory_broken
+    if not _shared_memory_broken:
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+            segment.buf[: len(payload)] = payload
+            _SEGMENT_REGISTRY[segment.name] = segment
+            return ("shm", segment.name, len(payload))
+        except (ImportError, OSError, ValueError):
+            _shared_memory_broken = True
+    return ("inline", uuid.uuid4().hex, payload)
+
+
+class ShardPublication:
+    """A sharded store's per-shard payloads, published for worker processes.
+
+    Created lazily by :func:`publication_for` on the first process-mode
+    query; owned by the store (``ShardedStore._publication``) and retired —
+    segments unlinked, names dropped from the registry — when the store
+    mutates, is garbage collected, or the process exits.
+    """
+
+    __slots__ = ("handles", "_finalizer", "__weakref__")
+
+    def __init__(self, store: Store) -> None:
+        handles: List[Handle] = []
+        names: List[str] = []
+        try:
+            for shard in store.shards:
+                handle = _publish_payload(encode_store(shard))
+                handles.append(handle)
+                if handle[0] == "shm":
+                    names.append(handle[1])
+        except Exception:
+            # A shard that cannot be encoded (e.g. an unpicklable value in
+            # an object column) must not leak the siblings already
+            # published before the failure surfaced.
+            _release_segments(names)
+            raise
+        self.handles = handles
+        # GC of an unretired publication must not leak segments; the
+        # finalizer shares the idempotent release path with retire() and
+        # the atexit hook.
+        self._finalizer = weakref.finalize(self, _release_segments, names)
+
+    def retire(self) -> None:
+        """Unlink this publication's segments (idempotent)."""
+        self._finalizer()
+
+
+class _Unpublishable:
+    """Sentinel publication for stores whose payloads cannot be encoded.
+
+    Remembered on the store so every later process-mode query skips
+    straight to the thread path instead of re-attempting (and re-failing)
+    the per-shard encode.  Mutation clears it like any publication, so a
+    store that sheds its unpicklable values becomes publishable again.
+    """
+
+    handles: Tuple[Handle, ...] = ()
+
+    def retire(self) -> None:
+        pass
+
+
+_UNPUBLISHABLE = _Unpublishable()
+
+
+def _publication_live(publication: ShardPublication) -> bool:
+    """Whether every shared-memory segment of ``publication`` still exists.
+
+    :func:`shutdown` unlinks all live segments without knowing which stores
+    hold publications over them; a store queried again afterwards must
+    republish rather than hand workers names that no longer resolve.
+    """
+    return all(
+        handle[0] != "shm" or handle[1] in _SEGMENT_REGISTRY
+        for handle in publication.handles
+    )
+
+
+def publication_for(store: Store) -> Optional[ShardPublication]:
+    """The store's live publication, created (or re-created) on first use.
+
+    Returns ``None`` — the caller falls back to the thread path — when the
+    store's payloads cannot be published (unpicklable object-column
+    values); the failure is remembered until the next mutation.  A
+    publication whose segments were unlinked behind the store's back (a
+    :func:`shutdown` between queries) is replaced with a fresh one.
+    """
+    publication = getattr(store, "_publication", None)
+    if publication is not None and publication is not _UNPUBLISHABLE:
+        if _publication_live(publication):
+            return publication
+    with _publish_lock:
+        publication = store._publication
+        if publication is _UNPUBLISHABLE:
+            return None
+        if publication is None or not _publication_live(publication):
+            if publication is not None:
+                publication.retire()
+            _register_cleanup()
+            try:
+                publication = ShardPublication(store)
+            except Exception:
+                store._publication = _UNPUBLISHABLE
+                return None
+            store._publication = publication
+    return publication
+
+
+# ---------------------------------------------------------------------------
+# Process pool lifecycle
+# ---------------------------------------------------------------------------
+
+_pool = None
+_pool_workers: Optional[int] = None
+_pool_lock = threading.Lock()
+_pool_failures = 0
+_MAX_POOL_FAILURES = 3
+_cleanup_registered = False
+
+# Set by the worker initializer: worker processes must never publish or
+# spawn nested pools.
+_IN_PROCESS_WORKER = False
+
+
+def _register_cleanup() -> None:
+    """Register the single process-wide cleanup hook (pool + segments)."""
+    global _cleanup_registered
+    if not _cleanup_registered:
+        _cleanup_registered = True
+        atexit.register(shutdown)
+
+
+def shutdown() -> None:
+    """Shut the process pool down and unlink every live segment.
+
+    Registered once with :mod:`atexit` on first use; safe to call directly
+    (e.g. by a benchmark harness) — the next process-mode query starts
+    fresh.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        stale, _pool, _pool_workers = _pool, None, None
+    if stale is not None:
+        stale.shutdown(wait=True, cancel_futures=True)
+    _release_segments(list(_SEGMENT_REGISTRY))
+
+
+def reset_process_pool() -> None:
+    """Retire the pool so the next query re-creates it at the current bound.
+
+    Called by :func:`repro.relational.store.set_shard_workers`; published
+    segments stay alive (they are sized by the data, not the pool).
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        stale, _pool, _pool_workers = _pool, None, None
+    if stale is not None:
+        stale.shutdown(wait=False, cancel_futures=True)
+
+
+def _mp_context():
+    import multiprocessing
+
+    # fork keeps worker start cheap and inherits the imported package, but
+    # forking a process that already runs threads (the shard thread pool,
+    # a server's request threads) can deadlock the children and trips
+    # CPython 3.12+'s fork-in-threaded-process warning — so fork is only
+    # preferred while the process is still single-threaded (e.g. the pool
+    # probe at session start); otherwise forkserver (children fork from a
+    # single-threaded server) and spawn come first.  Workers never rely on
+    # inherited state either way (_worker_init resets it).
+    if threading.active_count() == 1:
+        preferred = ("fork", "forkserver", "spawn")
+    else:
+        preferred = ("forkserver", "spawn", "fork")
+    for method in preferred:
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover - platform-dependent
+            continue
+    return multiprocessing  # pragma: no cover - no start methods at all
+
+
+def _context_method(context) -> str:
+    try:
+        return context.get_start_method()
+    except Exception:  # pragma: no cover - bare multiprocessing module
+        return "fork"
+
+
+_pool_create_lock = threading.Lock()
+
+
+def _ensure_pool():
+    """The lazily-created bounded process pool (or ``None`` when unavailable)."""
+    global _pool, _pool_workers, _pool_failures
+    workers = get_shard_workers()
+    with _pool_lock:
+        if _pool is not None and _pool_workers == workers:
+            return _pool
+    # Serialize creation: two threads racing on first use must end up
+    # sharing one pool, not each spawning a full set of worker processes
+    # with one of them silently leaked.
+    with _pool_create_lock:
+        with _pool_lock:
+            if _pool is not None and _pool_workers == workers:
+                return _pool
+            stale, _pool, _pool_workers = _pool, None, None
+        if stale is not None:
+            stale.shutdown(wait=False, cancel_futures=True)
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            context = _mp_context()
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(_context_method(context),),
+            )
+        except (ImportError, OSError, ValueError):  # pragma: no cover - platform
+            _pool_failures = _MAX_POOL_FAILURES
+            return None
+        _register_cleanup()
+        with _pool_lock:
+            _pool, _pool_workers = pool, workers
+        return pool
+
+
+def _pool_failed() -> None:
+    """Record a broken pool; the breaker trips after consecutive failures.
+
+    A successful submission round resets the counter, so transient races
+    (a store mutated between publish and worker attach, a worker killed by
+    the OS) cost one retired pool each but can never permanently disable
+    process mode in a long-lived session.
+    """
+    global _pool_failures
+    _pool_failures += 1
+    reset_process_pool()
+
+
+def process_eligible(store: Store) -> bool:
+    """Whether a whole-store computation on ``store`` should try the pool."""
+    return (
+        not _IN_PROCESS_WORKER
+        and _pool_failures < _MAX_POOL_FAILURES
+        and len(getattr(store, "shards", ())) > 1
+        and len(store) >= _process_min_rows
+        and get_shard_workers() > 1
+    )
+
+
+def probe_process_executor() -> bool:
+    """Whether a worker round-trip actually works on this platform.
+
+    Spawns the pool (if needed) and runs one trivial task; used by test
+    harnesses to decide whether process-mode legs are meaningful.
+    """
+    if _IN_PROCESS_WORKER or _pool_failures >= _MAX_POOL_FAILURES:
+        return False
+    pool = _ensure_pool()
+    if pool is None:
+        return False
+    try:
+        return pool.submit(_worker_ping).result(timeout=60)
+    except Exception:
+        _pool_failed()
+        return False
+
+
+def _submit_per_shard(
+    store: Store, fn: Callable, args_per_shard: Sequence[Tuple]
+) -> Optional[List[object]]:
+    """Run ``fn(handle, *args)`` for every shard on the pool; ``None`` on failure.
+
+    Infrastructure failures (a broken pool, a segment that vanished under a
+    concurrent mutation) trigger the thread-path fallback; genuine
+    application errors raised by the shipped computation propagate to the
+    caller exactly as they would on the thread path.
+    """
+    publication = publication_for(store)
+    if publication is None:  # unpublishable payloads: thread fallback
+        return None
+    pool = _ensure_pool()
+    if pool is None:
+        return None
+    from concurrent.futures.process import BrokenProcessPool
+
+    global _pool_failures
+    try:
+        futures = [
+            pool.submit(fn, handle, *args)
+            for handle, args in zip(publication.handles, args_per_shard)
+        ]
+    except RuntimeError:  # pool shut down under us (concurrent reset)
+        _pool_failed()
+        return None
+    try:
+        results = [future.result() for future in futures]
+    except CancelledError:
+        # A concurrent reset cancelled our pending futures; the resetter
+        # already replaced the pool, so this is neither an application
+        # error nor a strike against the breaker — just fall back.
+        return None
+    except (BrokenProcessPool, FileNotFoundError):
+        # Dead workers or segments unlinked mid-flight are infrastructure
+        # failures; anything else a worker raises is the computation's own
+        # error and propagates exactly as on the thread path.
+        _pool_failed()
+        return None
+    _pool_failures = 0  # the breaker counts *consecutive* failures only
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Parent-side operations
+# ---------------------------------------------------------------------------
+
+def _dumps(obj: object) -> Optional[bytes]:
+    """Pickle ``obj`` for the trip to a worker; ``None`` when it cannot go."""
+    try:
+        return pickle.dumps(obj, _PICKLE_PROTOCOL)
+    except Exception:
+        return None
+
+
+def process_eval_mask(
+    store: Store, masker: Callable[[Store], Sequence[int]]
+) -> Optional[List[bytearray]]:
+    """Evaluate a picklable masker once per shard on the process pool.
+
+    Returns per-shard masks in shard order, or ``None`` (thread fallback)
+    when the store is too small, the masker does not pickle, or the pool is
+    unavailable.  The masker is typically a compiled
+    :class:`~repro.algebra.predicates.MaskProgram`'s bound ``run_part`` —
+    per query only that program crosses the process boundary.
+    """
+    if not process_eligible(store):
+        return None
+    payload = _dumps(masker)
+    if payload is None:
+        return None
+    results = _submit_per_shard(
+        store, _worker_eval_mask, [(payload,)] * len(store.shards)
+    )
+    if results is None:
+        return None
+    return [bytearray(result) for result in results]
+
+
+def process_gather(
+    store: Store, position: int, per_shard_indices: Sequence[Sequence[int]]
+) -> Optional[List[Sequence[object]]]:
+    """Gather one column's per-shard index lists on the process pool.
+
+    Ships ``(position, local indices)`` per shard and receives the gathered
+    buffers (typed arrays stay typed); ``None`` falls back to the thread
+    path.  Only worth the round-trip for large gathers, so the eligibility
+    threshold applies to the number of gathered rows as well.
+    """
+    if not process_eligible(store):
+        return None
+    if sum(len(indices) for indices in per_shard_indices) < _process_min_rows:
+        return None
+    results = _submit_per_shard(
+        store,
+        _worker_gather,
+        [(position, list(indices)) for indices in per_shard_indices],
+    )
+    if results is None:
+        return None
+    return [_decode_buffer(result) for result in results]
+
+
+def radius_matches_many(
+    store: Store,
+    positions: Sequence[int],
+    distances: Sequence[object],
+    thresholds: Sequence[float],
+    queries: Sequence[Sequence[object]],
+    want_indices: bool = True,
+) -> Optional[List[List[object]]]:
+    """Batch radius-kernel queries per shard on the process pool.
+
+    Each worker builds (once, keyed by segment + spec) a
+    :class:`~repro.relational.kernels.RadiusMatcher` over its shard's
+    buffers and answers the whole query batch; per query only the key
+    values cross the boundary.  Returns per-shard lists of per-query
+    shard-local match indices (``want_indices``) or booleans (the
+    ``any_match`` variant); ``None`` falls back to the local path.
+    """
+    if not process_eligible(store):
+        return None
+    spec = _dumps((list(positions), list(distances), list(thresholds)))
+    if spec is None:
+        return None
+    batch = _dumps(list(queries))
+    if batch is None:
+        return None
+    return _submit_per_shard(
+        store,
+        _worker_radius_matches,
+        [(spec, batch, want_indices)] * len(store.shards),
+    )
+
+
+def nn_min_distance_many(
+    store: Store,
+    attributes: Sequence[object],
+    queries: Sequence[Sequence[object]],
+) -> Optional[List[List[float]]]:
+    """Batch nearest-neighbour minima per shard on the process pool.
+
+    Returns per-shard lists of per-query minimum tuple distances (the
+    global minimum is the min over shards); ``None`` falls back.
+    """
+    if not process_eligible(store):
+        return None
+    spec = _dumps(list(attributes))
+    if spec is None:
+        return None
+    batch = _dumps(list(queries))
+    if batch is None:
+        return None
+    return _submit_per_shard(
+        store, _worker_nn_min, [(spec, batch)] * len(store.shards)
+    )
+
+
+def kd_within_radius_many(
+    store: Store,
+    schema: object,
+    max_leaf_size: int,
+    queries: Sequence[Tuple[Sequence[object], Sequence[float]]],
+) -> Optional[List[List[List[int]]]]:
+    """Batch KD-tree within-radius queries per shard on the process pool.
+
+    Each worker builds (and caches) one KD-tree over its shard and answers
+    every ``(values, radii)`` query with shard-local row indices; ``None``
+    falls back to the local forest.
+    """
+    if not process_eligible(store):
+        return None
+    spec = _dumps((schema, int(max_leaf_size)))
+    if spec is None:
+        return None
+    batch = _dumps([(list(values), list(radii)) for values, radii in queries])
+    if batch is None:
+        return None
+    return _submit_per_shard(
+        store, _worker_kd_radius, [(spec, batch)] * len(store.shards)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_STORE_CACHE: "OrderedDict[str, Store]" = OrderedDict()
+_INDEX_CACHE: "OrderedDict[Tuple[str, str, bytes], object]" = OrderedDict()
+_STORE_CACHE_LIMIT = 64
+_INDEX_CACHE_LIMIT = 64
+
+
+_WORKER_START_METHOD = "fork"
+
+
+def _worker_init(start_method: str = "fork") -> None:
+    """Initializer run in every worker process.
+
+    Marks the process as a worker (no nested pools, no publications) and
+    neutralizes any executor state inherited across ``fork`` — the parent's
+    pools do not exist here, and per-shard work inside a worker is small by
+    construction, so workers always run sequentially.
+    """
+    global _IN_PROCESS_WORKER, _WORKER_START_METHOD
+    _IN_PROCESS_WORKER = True
+    _WORKER_START_METHOD = start_method
+    _STORE_CACHE.clear()
+    _INDEX_CACHE.clear()
+    from . import store as store_module
+
+    store_module._shard_pool = None
+    store_module._shard_workers = 1
+    store_module._shard_executor = "thread"
+
+
+def _worker_ping() -> bool:
+    return True
+
+
+def _untrack_segment(shm: object) -> None:
+    """Drop a worker-side attach from the resource tracker (spawn only).
+
+    Attaching registers the segment with the attaching process's tracker;
+    under ``spawn`` that is a *different* tracker from the parent's, which
+    would try to unlink the segment again when the worker exits (the
+    well-known ``resource_tracker`` warning).  The worker only ever reads
+    and copies, so it forgets the registration immediately.  Under ``fork``
+    the tracker process is *shared* with the parent — unregistering here
+    would strip the parent's own registration and make the parent's final
+    ``unlink`` trip a KeyError inside the tracker — so forked workers leave
+    the registration alone.
+    """
+    if _WORKER_START_METHOD == "fork":
+        return
+    try:  # pragma: no cover - depends on CPython internals staying put
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _read_segment(name: str, size: int) -> bytes:
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:size])
+    finally:
+        shm.close()
+        _untrack_segment(shm)
+
+
+def _resolve_store(handle: Handle) -> Store:
+    """The decoded shard store for ``handle`` (worker-side LRU cache)."""
+    kind, token, extra = handle
+    cached = _STORE_CACHE.get(token)
+    if cached is not None:
+        _STORE_CACHE.move_to_end(token)
+        return cached
+    payload = _read_segment(token, extra) if kind == "shm" else extra
+    store = decode_store(payload)
+    _STORE_CACHE[token] = store
+    while len(_STORE_CACHE) > _STORE_CACHE_LIMIT:
+        stale, _ = _STORE_CACHE.popitem(last=False)
+        for key in [k for k in _INDEX_CACHE if k[0] == stale]:
+            del _INDEX_CACHE[key]
+    return store
+
+
+def _cached_index(token: str, kind: str, spec: bytes, build: Callable[[], object]):
+    key = (token, kind, spec)
+    index = _INDEX_CACHE.get(key)
+    if index is None:
+        index = build()
+        _INDEX_CACHE[key] = index
+        while len(_INDEX_CACHE) > _INDEX_CACHE_LIMIT:
+            _INDEX_CACHE.popitem(last=False)
+    else:
+        _INDEX_CACHE.move_to_end(key)
+    return index
+
+
+def _worker_eval_mask(handle: Handle, masker_payload: bytes) -> bytes:
+    store = _resolve_store(handle)
+    masker = pickle.loads(masker_payload)
+    return bytes(masker(store))
+
+
+def _worker_gather(
+    handle: Handle, position: int, indices: Sequence[int]
+) -> Tuple[str, Optional[str], object]:
+    store = _resolve_store(handle)
+    return _encode_buffer(store.gather_column(position, indices))
+
+
+def _worker_radius_matches(
+    handle: Handle, spec: bytes, batch: bytes, want_indices: bool
+) -> List[object]:
+    store = _resolve_store(handle)
+
+    def build():
+        from .kernels import RadiusMatcher
+
+        positions, distances, thresholds = pickle.loads(spec)
+        return RadiusMatcher(
+            None,
+            positions,
+            distances,
+            thresholds,
+            key_columns=[store.column(p) for p in positions],
+            size=len(store),
+        )
+
+    matcher = _cached_index(handle[1], "radius", spec, build)
+    queries = pickle.loads(batch)
+    if want_indices:
+        return [matcher.matches(values) for values in queries]
+    return [matcher.any_match(values) for values in queries]
+
+
+def _worker_nn_min(handle: Handle, spec: bytes, batch: bytes) -> List[float]:
+    store = _resolve_store(handle)
+
+    def build():
+        from .kernels import NearestNeighbors
+
+        attributes = pickle.loads(spec)
+        return NearestNeighbors(
+            None, attributes, columns=store.columns(), size=len(store)
+        )
+
+    index = _cached_index(handle[1], "nn", spec, build)
+    return [index.min_distance(values) for values in pickle.loads(batch)]
+
+
+def _worker_kd_radius(handle: Handle, spec: bytes, batch: bytes) -> List[List[int]]:
+    store = _resolve_store(handle)
+
+    def build():
+        from .kdtree import KDTree
+        from .relation import Relation
+
+        schema, max_leaf_size = pickle.loads(spec)
+        return KDTree(Relation(schema, store=store), max_leaf_size=max_leaf_size)
+
+    tree = _cached_index(handle[1], "kd", spec, build)
+    return [
+        tree.within_radius_indices(values, radii)
+        for values, radii in pickle.loads(batch)
+    ]

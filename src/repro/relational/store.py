@@ -24,11 +24,15 @@ Three backends ship with the library:
   ``shard_count`` per-shard :class:`ColumnStore` instances by a partitioner
   (``"hash"``, ``"round_robin"`` or ``"range"``), while the store still
   presents the rows in their original insertion order.  Predicate masks,
-  selections and scans fan out per shard — optionally on a bounded
-  :class:`~concurrent.futures.ThreadPoolExecutor`
-  (:func:`set_shard_workers`), with a sequential fallback — and the distance
-  kernels / KD-tree consumers build one index per shard and merge results.
-  See :meth:`ShardedStore.configured` for fixing shard count / partitioner
+  selections and scans fan out per shard on the configured **shard
+  executor** (:func:`set_shard_executor`): sequentially (``"serial"``), on
+  a bounded :class:`~concurrent.futures.ThreadPoolExecutor`
+  (``"thread"``, the default; :func:`set_shard_workers` bounds it), or —
+  for picklable whole-store computations — on the process pool of
+  :mod:`repro.relational.parallel` (``"process"``), whose workers hold the
+  shard buffers decoded once from shared memory.  The distance kernels /
+  KD-tree consumers build one index per shard and merge results.  See
+  :meth:`ShardedStore.configured` for fixing shard count / partitioner
   and registering the variant as its own backend name.
 
 **Shard-aware evaluation.**  Vectorized consumers do not special-case the
@@ -607,12 +611,50 @@ register_partitioner("range", _range_partition)
 
 # Shard-parallel execution: one process-wide bounded ThreadPoolExecutor,
 # created lazily.  ``None`` workers means "decide from os.cpu_count()";
-# resolving to <= 1 worker disables the pool entirely (sequential fallback).
-_shard_workers: Optional[int] = None
+# resolving to 1 worker disables the pool entirely (sequential fallback).
+# Both knobs accept environment overrides at import time:
+# ``REPRO_SHARD_WORKERS`` (an integer >= 1) and ``REPRO_SHARD_EXECUTOR``
+# (one of the :data:`EXECUTOR_MODES`).
+EXECUTOR_MODES = ("serial", "thread", "process")
+DEFAULT_SHARD_EXECUTOR = "thread"
+
 _shard_pool = None  # type: Optional[object]
 _shard_pool_lock = threading.Lock()
 _PARALLEL_MIN_ROWS = 4096  # below this, pool overhead dominates
 _POOL_THREAD_PREFIX = "repro-shard"
+
+
+def _env_worker_count(name: str) -> Optional[int]:
+    """Parse a worker-count environment override (unset/blank means None)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"{name} must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def _env_executor_mode(name: str) -> str:
+    """Parse an executor-mode environment override (unset means the default)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return DEFAULT_SHARD_EXECUTOR
+    mode = raw.strip().lower()
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(
+            f"{name} must be one of {EXECUTOR_MODES}, got {raw!r}"
+        )
+    return mode
+
+
+_shard_workers: Optional[int] = _env_worker_count("REPRO_SHARD_WORKERS")
+_shard_executor: str = _env_executor_mode("REPRO_SHARD_EXECUTOR")
 
 
 def get_shard_workers() -> int:
@@ -623,21 +665,75 @@ def get_shard_workers() -> int:
 
 
 def set_shard_workers(count: Optional[int]) -> Optional[int]:
-    """Bound the shard thread pool at ``count`` workers; returns the previous setting.
+    """Bound the shard pools at ``count`` workers; returns the previous setting.
 
-    ``None`` restores the default (``os.cpu_count()``); ``0``/``1`` force the
-    sequential fallback.  The running pool (if any) is shut down so the next
-    parallel operation re-creates it at the new bound.
+    ``None`` restores the default (``os.cpu_count()``); ``1`` forces the
+    sequential fallback; anything below 1 raises :exc:`ValueError`.  The
+    running pools (thread *and* process, if any) are shut down so the next
+    parallel operation re-creates them at the new bound; setting the current
+    value again is a no-op that keeps warm pools alive.
     """
     global _shard_workers, _shard_pool
+    if count is not None:
+        count = int(count)
+        if count < 1:
+            raise ValueError(f"shard worker count must be >= 1, got {count}")
     with _shard_pool_lock:
         previous = _shard_workers
-        _shard_workers = count if count is None else int(count)
+        if count == previous:
+            return previous
+        _shard_workers = count
         stale = _shard_pool
         _shard_pool = None
     if stale is not None:
         stale.shutdown(wait=True)
+    _reset_process_pool()
     return previous
+
+
+def get_shard_executor() -> str:
+    """The execution mode used for shard-parallel work (see :data:`EXECUTOR_MODES`)."""
+    return _shard_executor
+
+
+def set_shard_executor(mode: Optional[str]) -> str:
+    """Choose how per-shard work is executed; returns the previous mode.
+
+    * ``"serial"`` — every shard runs sequentially on the calling thread.
+    * ``"thread"`` — the bounded process-wide :class:`ThreadPoolExecutor`
+      (the default; real parallelism only for work that releases the GIL).
+    * ``"process"`` — picklable whole-store computations (fused
+      :class:`~repro.algebra.predicates.MaskProgram`\\s, kernel batch
+      queries) run on the process pool of
+      :mod:`repro.relational.parallel`, whose workers hold each shard's
+      column buffers decoded from shared memory; everything else — and any
+      computation that fails to pickle or any store below the
+      :func:`repro.relational.parallel.get_process_min_rows` threshold —
+      falls back to the thread path automatically.
+
+    ``None`` restores the default (``"thread"``).  An unknown mode raises
+    :exc:`ValueError`.  ``REPRO_SHARD_EXECUTOR`` overrides the default at
+    import time.
+    """
+    global _shard_executor
+    if mode is None:
+        mode = DEFAULT_SHARD_EXECUTOR
+    if mode not in EXECUTOR_MODES:
+        raise ValueError(
+            f"shard executor must be one of {EXECUTOR_MODES}, got {mode!r}"
+        )
+    previous = _shard_executor
+    _shard_executor = mode
+    return previous
+
+
+def _reset_process_pool() -> None:
+    """Shut down the process pool if the parallel module is loaded (lazy import)."""
+    import sys
+
+    parallel = sys.modules.get(__package__ + ".parallel")
+    if parallel is not None:
+        parallel.reset_process_pool()
 
 
 def _pool():
@@ -706,6 +802,7 @@ class ShardedStore(Store):
         "_locals_cache",
         "_positions_cache",
         "_row_cache",
+        "_publication",
     )
 
     @classmethod
@@ -724,6 +821,7 @@ class ShardedStore(Store):
         self._locals_cache: Optional[Sequence[int]] = None
         self._positions_cache: Optional[List[Sequence[int]]] = None
         self._row_cache: Optional[List[Row]] = None
+        self._publication = None  # shared-memory publication (parallel.py)
 
     @classmethod
     def configured(
@@ -777,13 +875,17 @@ class ShardedStore(Store):
 
         Extra ``args_per_shard`` sequences are zipped alongside the shards
         (one element per shard).  Runs on the bounded thread pool when the
-        store is large enough and :func:`get_shard_workers` resolves to more
-        than one worker; ``parallel=True``/``False`` forces either path.
+        store is large enough, :func:`get_shard_workers` resolves to more
+        than one worker and :func:`get_shard_executor` is not ``"serial"``;
+        ``parallel=True``/``False`` forces either path.  (Process-mode
+        execution does not route through here — arbitrary per-shard
+        callables cannot cross a process boundary; see :meth:`eval_mask`.)
         """
         shards = self._shards
         if parallel is None:
             parallel = (
-                len(shards) > 1
+                _shard_executor != "serial"
+                and len(shards) > 1
                 and len(self._shard_of) >= _PARALLEL_MIN_ROWS
                 and get_shard_workers() > 1
             )
@@ -813,12 +915,48 @@ class ShardedStore(Store):
         out._locals_cache = None
         out._positions_cache = None
         out._row_cache = None
+        out._publication = None
         return out
 
     def _invalidate(self) -> None:
         self._locals_cache = None
         self._positions_cache = None
         self._row_cache = None
+        self._retire_publication()
+
+    def _retire_publication(self) -> None:
+        """Drop the shared-memory publication after a mutation.
+
+        Worker processes cache decoded shard payloads by segment name, so
+        invalidation is by *replacement*: the old segments are unlinked here
+        and the next process-mode query publishes fresh ones under new names
+        (stale worker cache entries age out of the workers' LRU).
+        """
+        publication = self._publication
+        if publication is not None:
+            self._publication = None
+            publication.retire()
+
+    # Pickling a sharded store (e.g. as the shard payload of a *nested*
+    # sharded layout crossing into a worker process) must not drag the
+    # process-local shared-memory publication along.
+    def __getstate__(self):
+        return {
+            "width": self.width,
+            "shards": self._shards,
+            "shard_of": bytes(self._shard_of),
+            "contiguous": self._contiguous,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.width = state["width"]
+        self._shards = state["shards"]
+        self._shard_of = bytearray(state["shard_of"])
+        self._contiguous = state["contiguous"]
+        self._locals_cache = None
+        self._positions_cache = None
+        self._row_cache = None
+        self._publication = None
 
     def _positions(self) -> List[Sequence[int]]:
         """Per-shard global row indices (cached; ``range`` objects when contiguous)."""
@@ -928,9 +1066,18 @@ class ShardedStore(Store):
             shard = shard_of[index]
             per_shard[shard].append(locals_[index])
             slots[shard].append(slot)
-        parts = self.map_shards(
-            lambda shard, local: shard.gather_column(position, local), per_shard
-        )
+        parts: Optional[List[Sequence[object]]] = None
+        if _shard_executor == "process":
+            from . import parallel
+
+            # Ships only (position, per-shard local indices); the gathered
+            # buffers come back — the shard payloads themselves never
+            # re-cross the boundary.
+            parts = parallel.process_gather(self, position, per_shard)
+        if parts is None:
+            parts = self.map_shards(
+                lambda shard, local: shard.gather_column(position, local), per_shard
+            )
         # Scatter the per-shard gathers back into request order — into a
         # typed buffer when every (non-empty) part is one, so sharded
         # gathers keep the same buffer kinds as unsharded ones.
@@ -947,7 +1094,18 @@ class ShardedStore(Store):
 
     # -- whole-store evaluation ---------------------------------------------
     def eval_mask(self, masker: Callable[[Store], Sequence[int]]) -> bytearray:
-        parts = self.map_shards(masker)
+        parts: Optional[List[Sequence[int]]] = None
+        if _shard_executor == "process":
+            from . import parallel
+
+            # Ships the pickled masker (a compiled MaskProgram's bound
+            # ``run_part``, typically) to the worker processes holding this
+            # store's shard buffers; returns None — falling through to the
+            # thread path — for small stores, unpicklable maskers, or when
+            # process execution is unavailable.
+            parts = parallel.process_eval_mask(self, masker)
+        if parts is None:
+            parts = self.map_shards(masker)
         if len(self._shards) == 1:
             return bytearray(parts[0])
         if self._contiguous:

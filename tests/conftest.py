@@ -5,7 +5,12 @@ Any test that takes a ``backend`` fixture argument is automatically
 parametrized over **every registered storage backend**
 (:func:`repro.relational.store.list_backends`) at collection time — row,
 column, the sharded defaults, the 1-/7-shard variants registered below, and
-any backend a later PR registers at import time.  Use
+any backend a later PR registers at import time — **crossed with the shard
+executors** that matter for that platform: every backend case runs under
+the default ``"thread"`` executor and again under ``"process"`` (the
+process-pool/shared-memory executor of :mod:`repro.relational.parallel`),
+with the process-mode size threshold forced to 1 so even the small test
+relations genuinely round-trip through worker processes.  Use
 :func:`assert_identical` / :func:`to_backend` to phrase differential
 assertions against the row-backed reference.
 """
@@ -17,9 +22,17 @@ import random
 import pytest
 
 from repro import Beas, ConstraintSpec, Database, FamilySpec, Relation
+from repro.relational import parallel
 from repro.relational.distance import CATEGORICAL, NUMERIC, numeric_scaled
 from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
-from repro.relational.store import ShardedStore, list_backends, register_backend
+from repro.relational.store import (
+    ShardedStore,
+    get_shard_workers,
+    list_backends,
+    register_backend,
+    set_shard_executor,
+    set_shard_workers,
+)
 from repro.workloads import social, tpch
 
 # ---------------------------------------------------------------------------
@@ -36,11 +49,53 @@ for _name, _cls in (
     if _name not in list_backends():
         register_backend(_name, _cls)
 
+# Shard-parallel execution needs more than one worker to engage; single-core
+# CI boxes would otherwise silently test the sequential fallback only.
+if get_shard_workers() < 2:
+    set_shard_workers(2)
+
+# One process pool for the whole session (probing spawns it); when the
+# platform cannot run worker processes at all, the matrix collapses to the
+# thread executor instead of failing every process leg.
+SHARD_EXECUTORS = (
+    ("thread", "process") if parallel.probe_process_executor() else ("thread",)
+)
+
+
+@pytest.fixture
+def backend(request):
+    """One (storage backend, shard executor) conformance-matrix cell.
+
+    Yields the backend name (what tests pass to ``Relation(...,
+    backend=...)``); the executor half is applied process-wide for the
+    test's duration.  Process legs drop the size threshold to 1 so the tiny
+    test relations actually cross into the worker processes.
+    """
+    name, executor = request.param
+    previous_executor = set_shard_executor(executor)
+    previous_min_rows = (
+        parallel.set_process_min_rows(1) if executor == "process" else None
+    )
+    try:
+        yield name
+    finally:
+        set_shard_executor(previous_executor)
+        if previous_min_rows is not None:
+            parallel.set_process_min_rows(previous_min_rows)
+
 
 def pytest_generate_tests(metafunc):
-    """Parametrize every ``backend``-taking test over all registered backends."""
+    """Parametrize ``backend``-taking tests over backends × shard executors."""
     if "backend" in metafunc.fixturenames:
-        metafunc.parametrize("backend", list(list_backends()))
+        metafunc.parametrize(
+            "backend",
+            [
+                pytest.param((name, executor), id=f"{name}-{executor}")
+                for name in list_backends()
+                for executor in SHARD_EXECUTORS
+            ],
+            indirect=True,
+        )
 
 
 def identity_key(row):
