@@ -11,14 +11,13 @@ from __future__ import annotations
 
 import random
 
-from repro.algebra.sql import parse_query
-from repro.core.chat import choose_access_templates
-from repro.core.fetch_plan import fetch_plan_from_chase
-from repro.core.chase import chase
-from repro.core.lower_bound import lower_bound
 from repro.algebra.spc import to_spc
 from repro.algebra.tableau import build_tableau
-from repro.experiments import build_beas, format_table
+from repro.core.chase import chase
+from repro.core.chat import choose_access_templates
+from repro.core.fetch_plan import fetch_plan_from_chase
+from repro.core.lower_bound import lower_bound
+from repro.experiments import format_table
 from repro.relational.kdtree import KDTree
 from repro.workloads import QueryGenerator
 

@@ -7,7 +7,12 @@ substantial fraction of the measured accuracy and grows with α.
 
 from __future__ import annotations
 
-from repro.experiments import BENCH_ALPHAS, accuracy_sweep, format_series, series_by_method_and_alpha
+from repro.experiments import (
+    BENCH_ALPHAS,
+    accuracy_sweep,
+    format_series,
+    series_by_method_and_alpha,
+)
 
 
 def test_fig6_eta_lower_bound_tightness(benchmark, tfacc_workload, tfacc_queries):

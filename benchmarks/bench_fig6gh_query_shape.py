@@ -8,7 +8,13 @@ insensitive to #-sel.
 
 from __future__ import annotations
 
-from repro.experiments import build_beas, format_series, run_beas_query, run_baseline_query, default_baselines
+from repro.experiments import (
+    build_beas,
+    default_baselines,
+    format_series,
+    run_baseline_query,
+    run_beas_query,
+)
 from repro.workloads import QueryGenerator
 
 ALPHA = 0.03

@@ -8,8 +8,6 @@ scales with the budget α·|D| rather than with |D|, while full evaluation
 
 from __future__ import annotations
 
-import time
-
 from repro.baselines.exact import ExactEvaluation
 from repro.experiments import build_beas, format_table
 from repro.workloads import QueryGenerator, tpch

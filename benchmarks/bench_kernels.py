@@ -610,6 +610,33 @@ def bench_parallel_section(size: int, queries: int, worker_counts) -> list:
 DEFAULT_BACKENDS = ("row", "column", "sharded")
 
 
+def bench_static_analysis(repeats: int = 3) -> dict:
+    """Wall-time of the invariant analyzer suite over ``src/repro``.
+
+    The analyzers run in CI on every push (the ``static-analysis`` gate), so
+    their cost is part of the repo's feedback-loop budget; this records it
+    next to the kernel numbers.  Best-of-``repeats`` like the other sections.
+    """
+    from repro.tools.static import analyze_paths, list_checkers
+
+    target = REPO_ROOT / "src" / "repro"
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        report = analyze_paths([target])
+        best = min(best, time.perf_counter() - started)
+    return {
+        "target": "src/repro",
+        "rules": list(list_checkers()),
+        "files_analyzed": report.files,
+        "findings": len(report.findings),
+        "suppressed": len(report.suppressed),
+        "best_seconds": round(best, 6),
+        "files_per_second": round(report.files / max(best, 1e-9), 1),
+    }
+
+
 def run(
     scales=SCALES,
     queries: int = QUERY_COUNT,
@@ -695,6 +722,7 @@ def run(
                         "executor_config": executor_config(),
                     }
                 )
+    static_results = bench_static_analysis()
     report = {
         "benchmark": (
             "distance kernels vs naive nested loops; column/sharded vs row "
@@ -708,6 +736,7 @@ def run(
         "sharded": sharded_results,
         "parallel": parallel_results,
         "columnar_engine": engine_results,
+        "static_analysis": static_results,
     }
     destination = "(not written)"
     if output is not None and not set(DEFAULT_BACKENDS) <= set(backends):
@@ -789,6 +818,23 @@ def run(
                 ),
             )
         )
+    print(
+        format_table(
+            ["target", "files", "rules", "findings", "suppressed", "best s", "files/s"],
+            [
+                [
+                    static_results["target"],
+                    static_results["files_analyzed"],
+                    len(static_results["rules"]),
+                    static_results["findings"],
+                    static_results["suppressed"],
+                    static_results["best_seconds"],
+                    static_results["files_per_second"],
+                ]
+            ],
+            title=f"Invariant analyzer suite (repro.tools.static) -> {destination}",
+        )
+    )
     if engine_results:
         print(
             format_table(

@@ -27,7 +27,7 @@ Run:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import Beas, parse_query, rc_accuracy
-from repro.relational import Database, Relation
+from repro.relational import Database
 from repro.workloads import social
 
 

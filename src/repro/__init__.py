@@ -15,13 +15,7 @@ Quickstart::
     result.rows, result.eta, result.tuples_accessed
 """
 
-from .access import (
-    AccessSchema,
-    AccessSchemaBuilder,
-    ConstraintSpec,
-    FamilySpec,
-    TemplateSpec,
-)
+from .access import AccessSchema, AccessSchemaBuilder, ConstraintSpec, FamilySpec, TemplateSpec
 from .accuracy import f_measure, mac_accuracy, rc_accuracy
 from .algebra import (
     AggregateFunction,
@@ -52,21 +46,21 @@ from .errors import (
     SchemaError,
 )
 from .relational import (
-    CATEGORICAL,
-    NUMERIC,
-    STRING_PREFIX,
-    TRIVIAL,
     AccessMeter,
     Attribute,
+    CATEGORICAL,
     ColumnStore,
     Database,
     DatabaseSchema,
     DistanceFunction,
+    NUMERIC,
     Relation,
     RelationSchema,
     RowStore,
+    STRING_PREFIX,
     ShardedStore,
     Store,
+    TRIVIAL,
     build_schema,
     get_default_backend,
     get_process_min_rows,

@@ -18,13 +18,12 @@ The result is an :class:`~repro.access.schema.AccessSchema` that subsumes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..errors import AccessSchemaError
 from ..relational.database import Database
 from .index import ConstraintIndex, TemplateIndex
 from .schema import AccessConstraint, AccessSchema, TemplateFamily
-from .template import TemplateSpec
 
 
 @dataclass(frozen=True)

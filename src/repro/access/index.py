@@ -18,14 +18,11 @@ Both indexes report entry counts so Exp-4 (Fig 6(k)) can measure index size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..errors import AccessSchemaError
 from ..relational.database import AccessMeter
 from ..relational.kdtree import KDTree
 from ..relational.relation import Relation, Row
-from ..relational.schema import RelationSchema
 from .template import TemplateSpec
 
 FetchedRow = Tuple[Row, float]  # (X ∪ Y values, represented-tuple count)

@@ -14,10 +14,9 @@ schema so every access is metered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import AccessSchemaError
 from ..relational.database import AccessMeter, Database
 from .index import ConstraintIndex, FetchedRow, TemplateIndex
 from .template import TemplateSpec, conforms

@@ -14,11 +14,10 @@ realise them live in :mod:`repro.access.index`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..errors import AccessSchemaError
 from ..relational.relation import Relation
-from ..relational.schema import RelationSchema
 
 
 @dataclass(frozen=True)

@@ -9,10 +9,8 @@ exact answers to the approximate answers; Hausdorff symmetrises it.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from ..relational.distance import INFINITY, tuple_distance
-from ..relational.relation import Relation, Row
+from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
 
 

@@ -41,17 +41,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..algebra.ast import (
-    Difference,
-    GroupBy,
-    Project,
-    QueryNode,
-    Scan,
-    Select,
-    Union,
-    resolve_attribute,
-)
-from ..algebra.evaluator import DatabaseProvider, Evaluator, Frame
+from ..algebra.ast import Difference, GroupBy, Project, QueryNode, Union, resolve_attribute
+from ..algebra.evaluator import DatabaseProvider, Evaluator
 from ..algebra.predicates import AttrRef
 from ..algebra.relax import RelaxationOracle, relaxed_query
 from ..algebra.spc import maximal_induced_query, to_spc

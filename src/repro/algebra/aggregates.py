@@ -12,7 +12,7 @@ representative stands for).
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..errors import QueryError
 

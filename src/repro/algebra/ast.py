@@ -11,14 +11,14 @@ measure and by relaxed evaluation plans).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..errors import QueryError
-from ..relational.distance import NUMERIC, TRIVIAL, DistanceFunction
+from ..relational.distance import NUMERIC
 from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
 from .aggregates import AggregateFunction
-from .predicates import AttrRef, Comparison, Conjunction, Const, resolve_position
+from .predicates import AttrRef, Comparison, Conjunction, resolve_position
 
 
 class QueryNode:

@@ -40,13 +40,7 @@ from ..relational.distance import INFINITY
 from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import DatabaseSchema, RelationSchema
-from ..relational.store import (
-    RowStore,
-    Store,
-    gather_pairs,
-    preferred_output_class,
-    vstack_gather,
-)
+from ..relational.store import RowStore, Store, gather_pairs, preferred_output_class, vstack_gather
 from .ast import (
     Difference,
     GroupBy,
@@ -64,10 +58,9 @@ from .predicates import (
     AttrRef,
     ChunkBinder,
     ChunkMasker,
-    Comparison,
     CompareOp,
+    Comparison,
     Conjunction,
-    Const,
     MaskProgram,
     chunk_window,
 )
@@ -320,7 +313,6 @@ class Evaluator:
         while remaining:
             # Find an equality predicate connecting the joined part to a new atom.
             next_alias = None
-            join_pairs: List[Tuple[str, str]] = []
             for comparison in equalities:
                 left, right = comparison.attributes()
                 if left.alias in joined_aliases and right.alias in remaining:

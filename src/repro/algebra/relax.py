@@ -27,11 +27,11 @@ computes ``r(t)`` for each candidate tuple.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from ..errors import QueryError
 from ..relational.distance import INFINITY
-from ..relational.relation import Relation, Row
+from ..relational.relation import Row
 from ..relational.schema import DatabaseSchema, RelationSchema
 from .ast import (
     Difference,
@@ -46,7 +46,7 @@ from .ast import (
     condition_on,
     resolve_attribute,
 )
-from .predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
+from .predicates import CompareOp, Comparison, Conjunction
 
 
 def is_relaxable(comparison: Comparison, schema: RelationSchema) -> bool:

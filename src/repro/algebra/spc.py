@@ -15,24 +15,13 @@ Three pieces of machinery the BEAS algorithms rely on:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import QueryError
-from ..relational.schema import DatabaseSchema, RelationSchema
-from .ast import (
-    Difference,
-    GroupBy,
-    Product,
-    Project,
-    QueryNode,
-    Rename,
-    Scan,
-    Select,
-    Union,
-    resolve_attribute,
-)
-from .predicates import AttrRef, Comparison, CompareOp, Conjunction, Const
+from ..relational.schema import DatabaseSchema
+from .ast import Difference, GroupBy, Product, Project, QueryNode, Rename, Scan, Select, Union
+from .predicates import AttrRef, Comparison, Conjunction
 
 
 @dataclass

@@ -29,16 +29,7 @@ from typing import List, Optional, Sequence, Tuple, Union as TypingUnion
 
 from ..errors import ParseError
 from .aggregates import AggregateFunction
-from .ast import (
-    Difference,
-    GroupBy,
-    Product,
-    Project,
-    QueryNode,
-    Scan,
-    Select,
-    Union,
-)
+from .ast import Difference, GroupBy, Product, Project, QueryNode, Scan, Select, Union
 from .predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
 
 _TOKEN_RE = re.compile(

@@ -15,12 +15,12 @@ access constraints/templates are applied.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from ..errors import QueryError
 from ..relational.schema import DatabaseSchema
-from .predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
+from .predicates import AttrRef, CompareOp, Comparison, Const
 from .spc import SPCQuery
 
 

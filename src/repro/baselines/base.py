@@ -15,10 +15,9 @@ from the synopsis alone.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..algebra.ast import GroupBy, QueryNode, Scan
+from ..algebra.ast import QueryNode, Scan
 from ..algebra.evaluator import Evaluator, Frame, RelationProvider
 from ..errors import EvaluationError
 from ..relational.database import Database

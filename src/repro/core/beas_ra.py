@@ -21,8 +21,6 @@ is covered by ``ξ_α(D)`` within ``d'``, so by the triangle inequality
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..access.schema import AccessSchema
 from ..algebra.ast import QueryNode
 from ..algebra.spc import maximal_induced_query

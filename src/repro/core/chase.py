@@ -25,7 +25,7 @@ the initial plan always fits the budget.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..access.schema import AccessConstraint, AccessSchema, TemplateFamily

@@ -15,7 +15,7 @@ lower bound ``η`` of the final plan.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..algebra.ast import QueryNode
 from ..relational.schema import DatabaseSchema

@@ -19,19 +19,18 @@ stages:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..algebra.ast import Difference, GroupBy, QueryNode, Scan
+from ..algebra.ast import Difference, QueryNode
 from ..algebra.evaluator import Evaluator, Frame, MappingProvider
 from ..algebra.spc import maximal_induced_query
-from ..errors import EvaluationError, PlanError
+from ..errors import PlanError
 from ..relational.database import AccessMeter, Database
 from ..relational.kernels import RadiusMatcher
 from ..relational.relation import Relation, Row
 from ..relational.schema import Attribute, RelationSchema
 from ..relational.store import Store, gather_columns
-from .plan import BoundedPlan, FetchPlan, FetchStep
+from .plan import BoundedPlan, FetchStep
 
 
 class BeasEvaluator(Evaluator):

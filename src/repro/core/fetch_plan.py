@@ -9,7 +9,7 @@ producer).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..algebra.tableau import Constant, Tableau, Variable
 from ..errors import PlanError

@@ -12,7 +12,7 @@ meter enforcing the budget, and returns the answers with the accuracy bound
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from ..access.builder import AccessSchemaBuilder, ConstraintSpec, FamilySpec

@@ -29,7 +29,7 @@ monotone in α (Theorems 5(3) and 6(4)).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+from typing import Mapping, Set, Tuple
 
 from ..algebra.ast import (
     Difference,
@@ -43,7 +43,6 @@ from ..algebra.ast import (
     Union,
     resolve_attribute,
 )
-from ..algebra.predicates import AttrRef
 from ..relational.schema import DatabaseSchema
 
 

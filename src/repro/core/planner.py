@@ -18,7 +18,7 @@ paper's requirement that ``Γ_A`` computes ``ξ_α`` without accessing ``D``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..access.schema import AccessSchema
 from ..algebra.ast import GroupBy, Project, QueryNode, Select

@@ -4,12 +4,12 @@ from .config import (
     BENCH_ALPHAS,
     BENCH_DATASETS,
     BENCH_QUERIES,
+    DatasetConfig,
     PAPER_ALPHAS,
     PAPER_SCALES,
     QUERIES_PER_DATASET,
     REPRO_ALPHAS,
     REPRO_SCALES,
-    DatasetConfig,
 )
 from .harness import (
     QueryOutcome,

@@ -10,7 +10,7 @@ regime; the mapping is recorded here and in EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Tuple
 
 #: The paper's α grid (Fig 6(a)–(d)).
 PAPER_ALPHAS: Tuple[float, ...] = (1.5e-4, 2.5e-4, 3.5e-4, 4.5e-4, 5.5e-4)

@@ -9,8 +9,8 @@ records next to the paper's numbers).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..accuracy.fmeasure import f_measure
 from ..accuracy.mac import mac_accuracy

@@ -11,12 +11,12 @@ access-template fetch — goes through :meth:`Database.count_access`, and an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import BudgetExceededError, SchemaError
 from .index import HashIndex, SortedIndex
 from .relation import Relation, Row
-from .schema import DatabaseSchema, RelationSchema
+from .schema import DatabaseSchema
 
 
 @dataclass

@@ -75,7 +75,7 @@ from bisect import bisect_left
 from math import isnan
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from .distance import INFINITY, DistanceFunction, is_real_number
+from .distance import DistanceFunction, INFINITY, is_real_number
 from .kdtree import KDTree
 from .relation import Relation, Row
 from .schema import Attribute, RelationSchema

@@ -199,6 +199,9 @@ _shared_memory_broken = False
 
 def _release_segments(names: Sequence[str]) -> None:
     for name in names:
+        # repro: ignore[STATE001] dict.pop is atomic under the GIL and releases
+        # are idempotent; the concurrent release paths (retire, GC finalizer,
+        # atexit) must never block on each other.
         segment = _SEGMENT_REGISTRY.pop(name, None)
         if segment is None:
             continue
@@ -224,9 +227,13 @@ def _publish_payload(payload: bytes) -> Handle:
                 create=True, size=max(1, len(payload))
             )
             segment.buf[: len(payload)] = payload
+            # repro: ignore[STATE001] only reached while publication_for holds
+            # _publish_lock; fresh segment names never collide.
             _SEGMENT_REGISTRY[segment.name] = segment
             return ("shm", segment.name, len(payload))
         except (ImportError, OSError, ValueError):
+            # repro: ignore[STATE001] only reached under _publish_lock, and the
+            # flag is a monotonic latch (False -> True).
             _shared_memory_broken = True
     return ("inline", uuid.uuid4().hex, payload)
 
@@ -345,12 +352,16 @@ _cleanup_registered = False
 _IN_PROCESS_WORKER = False
 
 
+_cleanup_lock = threading.Lock()
+
+
 def _register_cleanup() -> None:
     """Register the single process-wide cleanup hook (pool + segments)."""
     global _cleanup_registered
-    if not _cleanup_registered:
-        _cleanup_registered = True
-        atexit.register(shutdown)
+    with _cleanup_lock:
+        if not _cleanup_registered:
+            _cleanup_registered = True
+            atexit.register(shutdown)
 
 
 def shutdown() -> None:
@@ -459,7 +470,8 @@ def _pool_failed() -> None:
     process mode in a long-lived session.
     """
     global _pool_failures
-    _pool_failures += 1
+    with _pool_lock:
+        _pool_failures += 1
     reset_process_pool()
 
 
@@ -532,7 +544,8 @@ def _submit_per_shard(
         # error and propagates exactly as on the thread path.
         _pool_failed()
         return None
-    _pool_failures = 0  # the breaker counts *consecutive* failures only
+    with _pool_lock:
+        _pool_failures = 0  # the breaker counts *consecutive* failures only
     return results
 
 
@@ -698,10 +711,12 @@ def _worker_init(start_method: str = "fork") -> None:
     construction, so workers always run sequentially.
     """
     global _IN_PROCESS_WORKER, _WORKER_START_METHOD
-    _IN_PROCESS_WORKER = True
-    _WORKER_START_METHOD = start_method
-    _STORE_CACHE.clear()
-    _INDEX_CACHE.clear()
+    # The initializer runs once per worker process before any task is
+    # scheduled, so these writes cannot race with anything.
+    _IN_PROCESS_WORKER = True  # repro: ignore[STATE001] pre-task worker init
+    _WORKER_START_METHOD = start_method  # repro: ignore[STATE001] pre-task worker init
+    _STORE_CACHE.clear()  # repro: ignore[STATE001] pre-task worker init
+    _INDEX_CACHE.clear()  # repro: ignore[STATE001] pre-task worker init
     from . import store as store_module
 
     store_module._shard_pool = None
@@ -752,15 +767,17 @@ def _resolve_store(handle: Handle) -> Store:
     kind, token, extra = handle
     cached = _STORE_CACHE.get(token)
     if cached is not None:
-        _STORE_CACHE.move_to_end(token)
+        # Worker-process-private caches: pool workers execute tasks strictly
+        # sequentially, so no lock is needed (or wanted) on this hot path.
+        _STORE_CACHE.move_to_end(token)  # repro: ignore[STATE001] worker-private cache
         return cached
     payload = _read_segment(token, extra) if kind == "shm" else extra
     store = decode_store(payload)
-    _STORE_CACHE[token] = store
+    _STORE_CACHE[token] = store  # repro: ignore[STATE001] worker-private cache
     while len(_STORE_CACHE) > _STORE_CACHE_LIMIT:
-        stale, _ = _STORE_CACHE.popitem(last=False)
+        stale, _ = _STORE_CACHE.popitem(last=False)  # repro: ignore[STATE001] worker-private cache
         for key in [k for k in _INDEX_CACHE if k[0] == stale]:
-            del _INDEX_CACHE[key]
+            del _INDEX_CACHE[key]  # repro: ignore[STATE001] worker-private cache
     return store
 
 
@@ -769,11 +786,12 @@ def _cached_index(token: str, kind: str, spec: bytes, build: Callable[[], object
     index = _INDEX_CACHE.get(key)
     if index is None:
         index = build()
-        _INDEX_CACHE[key] = index
+        # Worker-private cache; see _resolve_store for why no lock is taken.
+        _INDEX_CACHE[key] = index  # repro: ignore[STATE001] worker-private cache
         while len(_INDEX_CACHE) > _INDEX_CACHE_LIMIT:
-            _INDEX_CACHE.popitem(last=False)
+            _INDEX_CACHE.popitem(last=False)  # repro: ignore[STATE001] worker-private cache
     else:
-        _INDEX_CACHE.move_to_end(key)
+        _INDEX_CACHE.move_to_end(key)  # repro: ignore[STATE001] worker-private cache
     return index
 
 

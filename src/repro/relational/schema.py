@@ -8,11 +8,11 @@ paper's ``R = (R1, ..., Rn)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
-from .distance import NUMERIC, TRIVIAL, DistanceFunction
+from .distance import DistanceFunction, NUMERIC, TRIVIAL
 
 
 @dataclass(frozen=True)

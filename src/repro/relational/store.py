@@ -83,17 +83,7 @@ import os
 import threading
 from array import array
 from itertools import chain, compress
-from typing import (
-    Callable,
-    Dict,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Type,
-)
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
 
 Row = Tuple[object, ...]
 

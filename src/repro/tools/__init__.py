@@ -1,0 +1,6 @@
+"""Developer tooling that ships with the repository.
+
+Nothing under :mod:`repro.tools` is imported by the runtime packages —
+importing :mod:`repro` never pays for the tooling.  The first (and so far
+only) tool is the static invariant analyzer, :mod:`repro.tools.static`.
+"""

@@ -1,0 +1,171 @@
+"""DET001 — result-producing code must be deterministic.
+
+The conformance matrix's core promise is *bit-identity*: the same query
+returns the same bytes on every backend, every executor, every run.  Three
+constructs quietly break that promise:
+
+* the **module-global random generator** (``random.choice(...)`` et al.)
+  — unseeded, every run differs; workloads use ``random.Random(seed)``
+  instances instead;
+* **``id()``-keyed structures** (``cache[id(obj)]``, ``key=id``) — ids are
+  allocation addresses, so iteration/selection order varies per process,
+  which is invisible until the process-parallel executor runs the same code
+  in two workers;
+* **direct set iteration** (``for x in set(...)``, ``list(set(...))``) —
+  set order depends on insertion history and string-hash randomization;
+  wrap in ``sorted(...)`` before iterating when order can reach a result.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..core import Checker, Finding, ModuleContext, dotted_name, register_checker
+
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+    }
+)
+_SET_MATERIALIZERS = frozenset({"list", "tuple"})
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "set"
+    )
+
+
+def _is_id_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    rule = "DET001"
+    title = "no unseeded randomness, id()-keys, or set-order dependence"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        module_seeds = any(
+            isinstance(node, ast.Call) and dotted_name(node.func) == "random.seed"
+            for node in ast.walk(ctx.tree)
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node, module_seeds))
+            elif isinstance(node, ast.Subscript) and _is_id_call(node.slice):
+                findings.append(
+                    self.finding(
+                        ctx.path,
+                        node,
+                        "id()-keyed subscript; object ids are allocation addresses "
+                        "and vary across processes — key by value instead",
+                    )
+                )
+            elif isinstance(node, (ast.Dict,)):
+                for key in node.keys:
+                    if key is not None and _is_id_call(key):
+                        findings.append(
+                            self.finding(
+                                ctx.path,
+                                key,
+                                "id()-keyed dict literal; ids vary across processes "
+                                "— key by value instead",
+                            )
+                        )
+            elif isinstance(node, ast.DictComp) and _is_id_call(node.key):
+                findings.append(
+                    self.finding(
+                        ctx.path,
+                        node.key,
+                        "id()-keyed dict comprehension; ids vary across processes "
+                        "— key by value instead",
+                    )
+                )
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(node.iter):
+                findings.append(
+                    self.finding(
+                        ctx.path,
+                        node.iter,
+                        "iterating a set directly; set order is nondeterministic — "
+                        "iterate sorted(...) when order can reach a result",
+                    )
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        findings.append(
+                            self.finding(
+                                ctx.path,
+                                generator.iter,
+                                "comprehension over a set; set order is "
+                                "nondeterministic — wrap in sorted(...) when order "
+                                "can reach a result",
+                            )
+                        )
+        return iter(findings)
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call, module_seeds: bool
+    ) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        if (
+            not module_seeds
+            and dotted.startswith("random.")
+            and dotted.rsplit(".", 1)[-1] in _GLOBAL_RANDOM_FNS
+        ):
+            yield self.finding(
+                ctx.path,
+                node,
+                f"unseeded module-global {dotted}(); use a random.Random(seed) "
+                "instance so runs are reproducible",
+            )
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _SET_MATERIALIZERS
+            and len(node.args) == 1
+            and _is_set_expression(node.args[0])
+        ):
+            yield self.finding(
+                ctx.path,
+                node,
+                f"{node.func.id}(set(...)) materializes a set in arbitrary order; "
+                "use sorted(set(...)) when order can reach a result",
+            )
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "key"
+                and isinstance(keyword.value, ast.Name)
+                and keyword.value.id == "id"
+            ):
+                yield self.finding(
+                    ctx.path,
+                    keyword.value,
+                    "sorting/grouping by id(); ids are allocation addresses and "
+                    "vary across processes",
+                )

@@ -1,0 +1,151 @@
+"""REG001 — every concrete ``Store`` backend must be registered.
+
+The cross-backend conformance matrix (PR 3) parametrizes every
+backend-taking test over :func:`repro.relational.store.list_backends` — a
+``Store`` subclass that never reaches :func:`register_backend` silently
+escapes the bit-identity contract the matrix enforces.  This rule makes
+that a gate: any class that (transitively) subclasses ``Store`` and looks
+concrete — it declares the ``backend`` name attribute the registry keys on
+— must appear either as an argument to ``register_backend(...)`` or as a
+value in a ``*BACKENDS*`` dict literal, anywhere in the analyzed file set.
+
+Abstract intermediates (no ``backend`` attribute) and private helpers
+(leading-underscore names) are exempt; dynamically manufactured subclasses
+(e.g. ``ShardedStore.configured(...)``) are invisible to the AST and are
+covered by the registration call that creates them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, List, Set, Tuple
+
+from ..core import Checker, Finding, ModuleContext, call_name, register_checker
+
+_ROOT_CLASS = "Store"
+_REGISTER_CALL = "register_backend"
+_REGISTRY_NAME_FRAGMENT = "BACKENDS"
+
+
+@dataclass(frozen=True)
+class _ClassRecord:
+    name: str
+    bases: Tuple[str, ...]
+    has_backend_attr: bool
+    path: str
+    line: int
+    col: int
+
+
+def _base_names(node: ast.ClassDef) -> Tuple[str, ...]:
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _declares_backend_attr(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == "backend"
+                for target in statement.targets
+            ):
+                return True
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.target.id == "backend":
+                return True
+    return False
+
+
+@register_checker
+class BackendRegistryChecker(Checker):
+    rule = "REG001"
+    title = "concrete Store subclasses must be passed to register_backend"
+
+    def __init__(self) -> None:
+        self._classes: List[_ClassRecord] = []
+        self._registered: Set[str] = set()
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                self._classes.append(
+                    _ClassRecord(
+                        name=node.name,
+                        bases=_base_names(node),
+                        has_backend_attr=_declares_backend_attr(node),
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                    )
+                )
+            elif isinstance(node, ast.Call) and call_name(node) == _REGISTER_CALL:
+                self._record_registration(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._record_registry_literal(node)
+        return iter(())
+
+    def _record_registration(self, node: ast.Call) -> None:
+        arguments = list(node.args) + [
+            keyword.value for keyword in node.keywords if keyword.arg == "store_class"
+        ]
+        for argument in arguments:
+            if isinstance(argument, ast.Name):
+                self._registered.add(argument.id)
+            elif isinstance(argument, ast.Call):
+                # register_backend("x", SomeStore.configured(...)) registers a
+                # dynamic subclass; credit the factory's class.
+                func = argument.func
+                if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+                    self._registered.add(func.value.id)
+
+    def _record_registry_literal(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Dict):
+            return
+        if not any(
+            isinstance(target, ast.Name) and _REGISTRY_NAME_FRAGMENT in target.id.upper()
+            for target in targets
+        ):
+            return
+        for item in value.values:
+            if isinstance(item, ast.Name):
+                self._registered.add(item.id)
+
+    def finalize(self) -> Iterator[Finding]:
+        store_family: Set[str] = {_ROOT_CLASS}
+        changed = True
+        while changed:
+            changed = False
+            for record in self._classes:
+                if record.name not in store_family and any(
+                    base in store_family for base in record.bases
+                ):
+                    store_family.add(record.name)
+                    changed = True
+        for record in self._classes:
+            if record.name == _ROOT_CLASS or record.name not in store_family:
+                continue
+            if record.name.startswith("_") or not record.has_backend_attr:
+                continue
+            if record.name in self._registered:
+                continue
+            yield Finding(
+                rule=self.rule,
+                path=record.path,
+                line=record.line,
+                col=record.col,
+                message=(
+                    f"Store subclass {record.name!r} declares a backend name but is "
+                    "never passed to register_backend; the conformance matrix will "
+                    "not cover it"
+                ),
+            )

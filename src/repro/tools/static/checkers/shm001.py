@@ -1,0 +1,124 @@
+"""SHM001 — every shared-memory publication needs a retire/unlink path.
+
+Shared-memory segments outlive the process that created them: a
+``SharedMemory(create=True)`` with no matching ``unlink()`` leaks kernel
+objects across test runs and servers until a reboot.  PR 5's publication
+lifecycle pairs every create with an idempotent release path (a module
+registry drained by an ``atexit`` hook, plus ``weakref.finalize`` /
+``retire()``); this rule keeps that pairing structural:
+
+* a module that creates segments must contain at least one ``.unlink()``
+  call **and** install a terminal cleanup hook (``atexit.register(...)`` or
+  ``weakref.finalize(...)``) — otherwise every create site is flagged;
+* each create site's enclosing function must either unlink the segment
+  itself or record it in a module-level registry (a subscript store into a
+  module-level name) so a shared release path can find it later, including
+  on exception paths the creating function never sees.
+
+A function that legitimately hands ownership to its caller can suppress the
+site with ``# repro: ignore[SHM001] <who unlinks it>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..core import Checker, Finding, ModuleContext, call_name, dotted_name, register_checker
+
+_EXIT_HOOKS = frozenset({"atexit.register", "weakref.finalize"})
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    if call_name(node) != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _contains_unlink(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Call) and call_name(sub) == "unlink"
+        for sub in ast.walk(node)
+    )
+
+
+def _registers_into_module_global(function: ast.AST, module_names: frozenset) -> bool:
+    """Whether the function stores something into a module-level registry."""
+    for sub in ast.walk(function):
+        if not isinstance(sub, ast.Assign):
+            continue
+        for target in sub.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in module_names
+            ):
+                return True
+    return False
+
+
+@register_checker
+class SharedMemoryLifecycleChecker(Checker):
+    rule = "SHM001"
+    title = "SharedMemory(create=True) must have a retire/unlink path"
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        creates = [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call) and _is_create_call(node)
+        ]
+        if not creates:
+            return iter(())
+        findings: List[Finding] = []
+        module_has_unlink = _contains_unlink(ctx.tree)
+        module_has_hook = any(
+            isinstance(node, ast.Call) and dotted_name(node.func) in _EXIT_HOOKS
+            for node in ast.walk(ctx.tree)
+        )
+        module_names = ctx.module_level_names()
+        for create in creates:
+            if not module_has_unlink:
+                findings.append(
+                    self.finding(
+                        ctx.path,
+                        create,
+                        "SharedMemory(create=True) but the module never calls "
+                        ".unlink(); the segment outlives the process",
+                    )
+                )
+            if not module_has_hook:
+                findings.append(
+                    self.finding(
+                        ctx.path,
+                        create,
+                        "SharedMemory(create=True) without an atexit.register/"
+                        "weakref.finalize cleanup hook; segments leak when the "
+                        "process exits between publish and retire",
+                    )
+                )
+            findings.extend(self._check_local_pairing(ctx, create, module_names))
+        return iter(findings)
+
+    def _check_local_pairing(
+        self, ctx: ModuleContext, create: ast.Call, module_names: frozenset
+    ) -> Iterator[Finding]:
+        function: Optional[ast.AST] = ctx.enclosing_function(create)
+        if function is None:
+            # Module-scope creation: the module-wide unlink/hook checks above
+            # are the only structure we can demand.
+            return
+        if _contains_unlink(function):
+            return
+        if _registers_into_module_global(function, module_names):
+            return
+        yield self.finding(
+            ctx.path,
+            create,
+            "segment is neither unlinked here nor recorded in a module-level "
+            "registry; an exception after creation leaks it",
+        )

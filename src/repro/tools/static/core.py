@@ -1,0 +1,338 @@
+"""Framework for the AST-based invariant analyzers.
+
+The engine mirrors the shape of the storage layer it guards: checkers are
+classes registered under a rule id (:func:`register_checker`, the analogue
+of :func:`repro.relational.store.register_backend`), and a run instantiates
+one checker per selected rule, feeds it every analyzed module
+(:meth:`Checker.check_module`), then lets it emit cross-module findings
+(:meth:`Checker.finalize` — e.g. "this ``Store`` subclass is registered in
+*some* module" needs the whole file set).
+
+Findings are plain data (:class:`Finding`) so reporters stay trivial, and
+every rule can be silenced at a single site with a suppression comment::
+
+    _CACHE[token] = store  # repro: ignore[STATE001] worker processes are single-threaded
+
+``# repro: ignore[RULE]`` on the flagged line (or on a standalone comment
+line directly above it) suppresses that rule there;
+``# repro: ignore-file[RULE]`` anywhere in a module suppresses the rule for
+the whole file.  Suppressed findings are not dropped silently — they are
+counted and reported separately so the gate's blind spots stay visible.
+
+Everything here is standard library only (``ast`` + ``tokenize``); the
+analyzer must run on a bare checkout with no third-party packages.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "AnalysisReport",
+    "Checker",
+    "Finding",
+    "ModuleContext",
+    "analyze_paths",
+    "checker_class",
+    "iter_python_files",
+    "list_checkers",
+    "register_checker",
+    "unregister_checker",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*(ignore-file|ignore)\[([A-Za-z0-9_\s,]+)\]")
+
+
+@dataclass
+class Suppressions:
+    """Per-module suppression state parsed from comments."""
+
+    file_rules: frozenset = frozenset()
+    line_rules: Dict[int, frozenset] = field(default_factory=dict)
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules:
+            return True
+        return rule in self.line_rules.get(line, frozenset())
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# repro: ignore[...]`` comments from ``source``.
+
+    A trailing comment suppresses its own line; a standalone comment (or a
+    block of consecutive standalone comments — a multi-line justification)
+    suppresses every line down to and including the first code line below
+    it; ``ignore-file`` suppresses module-wide.  Unparseable comment syntax
+    is simply not a suppression — the analyzer never guesses.
+    """
+    file_rules: set = set()
+    line_rules: Dict[int, set] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return Suppressions()
+    comment_only_lines = {
+        token.start[0]
+        for token in tokens
+        if token.type == tokenize.COMMENT and not token.line[: token.start[1]].strip()
+    }
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        kind, raw_rules = match.groups()
+        rules = {rule.strip() for rule in raw_rules.split(",") if rule.strip()}
+        if kind == "ignore-file":
+            file_rules |= rules
+            continue
+        line = token.start[0]
+        line_rules.setdefault(line, set()).update(rules)
+        # A standalone comment shields everything down to (and including)
+        # the first code line below its comment block.
+        if line in comment_only_lines:
+            covered = line + 1
+            while covered in comment_only_lines:
+                line_rules.setdefault(covered, set()).update(rules)
+                covered += 1
+            line_rules.setdefault(covered, set()).update(rules)
+    return Suppressions(
+        file_rules=frozenset(file_rules),
+        line_rules={line: frozenset(rules) for line, rules in line_rules.items()},
+    )
+
+
+_PARENT_ATTR = "_repro_parent"
+
+
+class ModuleContext:
+    """One parsed module handed to every checker."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, _PARENT_ATTR, parent)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return getattr(node, _PARENT_ATTR, None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def is_module_level(self, node: ast.AST) -> bool:
+        return isinstance(self.parent(node), ast.Module)
+
+    def module_level_names(self) -> frozenset:
+        """Names bound by simple assignments at module scope."""
+        names: set = set()
+        for statement in self.tree.body:
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(statement, ast.AnnAssign):
+                if isinstance(statement.target, ast.Name):
+                    names.add(statement.target.id)
+        return frozenset(names)
+
+
+def call_name(node: ast.Call) -> str:
+    """The called name's last segment (``pkg.mod.fn(...)`` -> ``fn``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted form of a Name/Attribute chain (else ``""``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class Checker:
+    """Base class for one rule.
+
+    Subclasses set :attr:`rule` (the stable id findings and suppressions
+    use) and :attr:`title`, override :meth:`check_module`, and — when the
+    invariant spans modules — :meth:`finalize`.  One instance lives for the
+    duration of one run, so per-run accumulation is plain instance state.
+    """
+
+    rule: str = ""
+    title: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, path: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_CHECKERS: Dict[str, Type[Checker]] = {}
+
+
+def register_checker(checker: Type[Checker]) -> Type[Checker]:
+    """Register a :class:`Checker` subclass under its rule id (decorator-friendly)."""
+    if not checker.rule:
+        raise ValueError("checker rule id must be non-empty")
+    if not checker.rule.isidentifier() or not checker.rule.isupper():
+        raise ValueError(
+            f"checker rule id must be an UPPERCASE identifier, got {checker.rule!r}"
+        )
+    existing = _CHECKERS.get(checker.rule)
+    if existing is not None and existing is not checker:
+        raise ValueError(f"rule {checker.rule!r} is already registered by {existing!r}")
+    _CHECKERS[checker.rule] = checker
+    return checker
+
+
+def unregister_checker(rule: str) -> None:
+    """Remove a registered rule (primarily for tests restoring the registry)."""
+    _CHECKERS.pop(rule, None)
+
+
+def list_checkers() -> Tuple[str, ...]:
+    """All registered rule ids, in registration order (like ``list_backends``)."""
+    return tuple(_CHECKERS)
+
+
+def checker_class(rule: str) -> Type[Checker]:
+    try:
+        return _CHECKERS[rule]
+    except KeyError:
+        raise ValueError(
+            f"unknown rule {rule!r}; registered: {sorted(_CHECKERS)}"
+        ) from None
+
+
+def iter_python_files(paths: Sequence[object]) -> List[Path]:
+    """Every ``*.py`` file under ``paths`` (files pass through), sorted, deduped."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(path.rglob("*.py"))
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run."""
+
+    rules: Tuple[str, ...]
+    files: int
+    findings: List[Finding]
+    suppressed: List[Finding]
+    errors: List[Tuple[str, str]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def analyze_paths(
+    paths: Sequence[object], rules: Optional[Sequence[str]] = None
+) -> AnalysisReport:
+    """Run the selected rules (default: all registered) over ``paths``.
+
+    Unreadable or syntactically invalid files are reported in
+    :attr:`AnalysisReport.errors` rather than raising — a gate that crashes
+    on the code it is supposed to judge is useless — and suppressed findings
+    are split out, never discarded.
+    """
+    rule_ids = tuple(rules) if rules is not None else list_checkers()
+    checkers = [checker_class(rule)() for rule in rule_ids]
+    errors: List[Tuple[str, str]] = []
+    raw_findings: List[Finding] = []
+    contexts: Dict[str, Suppressions] = {}
+    files = iter_python_files(paths)
+    for file in files:
+        path = str(file)
+        try:
+            source = file.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append((path, str(exc)))
+            continue
+        ctx = ModuleContext(path, source, tree)
+        contexts[path] = ctx.suppressions
+        for checker in checkers:
+            raw_findings.extend(checker.check_module(ctx))
+    for checker in checkers:
+        raw_findings.extend(checker.finalize())
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for item in raw_findings:
+        cover = contexts.get(item.path, Suppressions())
+        if cover.covers(item.rule, item.line):
+            suppressed.append(item)
+        else:
+            findings.append(item)
+    findings.sort(key=lambda f: f.sort_key)
+    suppressed.sort(key=lambda f: f.sort_key)
+    return AnalysisReport(
+        rules=rule_ids,
+        files=len(files),
+        findings=findings,
+        suppressed=suppressed,
+        errors=sorted(errors),
+    )

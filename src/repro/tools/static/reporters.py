@@ -1,0 +1,72 @@
+"""Reporters: render an :class:`~repro.tools.static.core.AnalysisReport`.
+
+Two formats, both deterministic (findings arrive pre-sorted from the
+framework): the human one for terminals and test logs, the JSON one for the
+CI artifact.  The JSON document carries a ``version`` field so downstream
+consumers can detect schema changes; bump :data:`JSON_SCHEMA_VERSION`
+whenever a key is added, renamed, or removed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .core import AnalysisReport, checker_class
+
+JSON_SCHEMA_VERSION = 1
+TOOL_NAME = "repro-static"
+
+
+def _finding_payload(finding) -> Dict[str, object]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+
+
+def json_report(report: AnalysisReport) -> str:
+    """The machine-readable report (one JSON document, trailing newline)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": TOOL_NAME,
+        "rules": [
+            {"rule": rule, "title": checker_class(rule).title}
+            for rule in report.rules
+        ],
+        "files_analyzed": report.files,
+        "counts": {
+            "findings": len(report.findings),
+            "suppressed": len(report.suppressed),
+            "errors": len(report.errors),
+        },
+        "findings": [_finding_payload(finding) for finding in report.findings],
+        "suppressed": [_finding_payload(finding) for finding in report.suppressed],
+        "errors": [
+            {"path": path, "message": message} for path, message in report.errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def human_report(report: AnalysisReport) -> str:
+    """The terminal report: one line per finding plus a summary."""
+    lines: List[str] = []
+    for path, message in report.errors:
+        lines.append(f"{path}: ERROR {message}")
+    for finding in report.findings:
+        lines.append(finding.format())
+    summary = (
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} suppressed, "
+        f"{len(report.errors)} error(s) across {report.files} file(s) "
+        f"[rules: {', '.join(report.rules)}]"
+    )
+    if report.suppressed:
+        lines.append("suppressed:")
+        for finding in report.suppressed:
+            lines.append(f"  {finding.format()}")
+    lines.append(summary)
+    return "\n".join(lines) + "\n"

@@ -13,14 +13,13 @@ approximating them with levelled templates interesting.
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..access.builder import ConstraintSpec, FamilySpec
 from ..relational.database import Database
 from ..relational.distance import CATEGORICAL, numeric_scaled
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
-from .base import AttributeInfo, JoinEdge, Workload, sample_values
+from .base import AttributeInfo, JoinEdge, Workload
 
 CARRIERS = ("AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9", "HA", "G4")
 STATES = ("CA", "TX", "NY", "FL", "IL", "GA", "WA", "CO", "AZ", "MA", "NV", "OR")

@@ -13,7 +13,6 @@ with coordinates, joinable to accidents by local-authority district.
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..access.builder import ConstraintSpec, FamilySpec
 from ..relational.database import Database

@@ -12,14 +12,13 @@ rows is roughly ``scale × 2,800``, so sweeping ``scale`` reproduces the
 from __future__ import annotations
 
 import random
-from typing import List
 
 from ..access.builder import ConstraintSpec, FamilySpec
 from ..relational.database import Database
 from ..relational.distance import CATEGORICAL, numeric_scaled
 from ..relational.relation import Relation
 from ..relational.schema import Attribute, DatabaseSchema, RelationSchema
-from .base import AttributeInfo, JoinEdge, Workload, numeric_bounds, sample_values
+from .base import AttributeInfo, JoinEdge, Workload
 
 REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
 NATIONS = (

@@ -1,0 +1,26 @@
+"""DET001 bad fixture: unseeded randomness, id() keys, raw set iteration."""
+
+import random
+
+
+def pick(values):
+    return random.choice(values)
+
+
+def index_by_identity(objects):
+    return {id(obj): obj for obj in objects}
+
+
+def remember(cache, obj):
+    cache[id(obj)] = obj
+
+
+def distinct_in_order(values):
+    return list(set(values))
+
+
+def walk(values):
+    total = 0
+    for value in set(values):
+        total += hash(value)
+    return total

@@ -1,0 +1,23 @@
+"""DET001 good fixture: seeded generators, value keys, sorted set iteration."""
+
+import random
+
+
+def pick(values, seed):
+    rng = random.Random(seed)
+    return rng.choice(values)
+
+
+def index_by_key(objects):
+    return {obj.key: obj for obj in objects}
+
+
+def distinct_in_order(values):
+    return sorted(set(values))
+
+
+def walk(values):
+    total = 0
+    for value in sorted(set(values)):
+        total += value
+    return total

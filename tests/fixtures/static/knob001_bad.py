@@ -1,0 +1,11 @@
+"""KNOB001 bad fixture: an unvalidated setter and an undocumented env knob."""
+
+import os
+
+_chunk_rows = 4096
+_UNDOCUMENTED = os.environ.get("REPRO_SECRET_KNOB")
+
+
+def set_chunk_rows(count):
+    global _chunk_rows
+    _chunk_rows = count  # accepts 0, -7, "many", ... without complaint

@@ -1,0 +1,38 @@
+"""KNOB001 good fixture: validated setters, documented env override."""
+
+import os
+
+_chunk_rows = 4096
+_mode = "thread"
+
+
+def _parse_worker_count(name):
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+_workers = _parse_worker_count("REPRO_SHARD_WORKERS")
+
+
+def set_chunk_rows(count):
+    global _chunk_rows
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"chunk rows must be >= 1, got {count}")
+    _chunk_rows = count
+
+
+def _validate_mode(mode):
+    if mode not in ("serial", "thread", "process"):
+        raise ValueError(f"unknown mode {mode!r}")
+    return mode
+
+
+def set_mode(mode):
+    global _mode
+    _mode = _validate_mode(mode)

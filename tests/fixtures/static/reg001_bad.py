@@ -1,0 +1,13 @@
+"""REG001 bad fixture: a concrete Store subclass that is never registered."""
+
+
+class Store:  # stand-in root protocol
+    pass
+
+
+class AbstractBufferStore(Store):
+    """No backend attribute: abstract intermediate, exempt."""
+
+
+class MmapStore(AbstractBufferStore):
+    backend = "mmap"  # concrete (declares the registry key) but unregistered

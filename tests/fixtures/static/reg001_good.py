@@ -1,0 +1,26 @@
+"""REG001 good fixture: every concrete Store subclass is registered."""
+
+
+class Store:  # stand-in root protocol
+    pass
+
+
+def register_backend(name, store_class):
+    _BACKENDS[name] = store_class
+
+
+class MmapStore(Store):
+    backend = "mmap"
+
+
+class ArrowStore(Store):
+    backend = "arrow"
+
+
+class _ScratchStore(Store):
+    backend = "scratch"  # private helper: exempt by convention
+
+
+_BACKENDS = {MmapStore.backend: MmapStore}
+
+register_backend("arrow", ArrowStore)

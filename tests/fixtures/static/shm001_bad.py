@@ -1,0 +1,9 @@
+"""SHM001 bad fixture: a published segment with no retire path at all."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload: bytes) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    return segment.name  # never unlinked, never registered, no atexit hook

@@ -1,0 +1,28 @@
+"""SHM001 good fixture: publish/retire lifecycle with an atexit hook."""
+
+import atexit
+from multiprocessing import shared_memory
+
+_SEGMENTS = {}
+
+
+def publish(payload: bytes) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=len(payload))
+    segment.buf[: len(payload)] = payload
+    _SEGMENTS[segment.name] = segment
+    return segment.name
+
+
+def release(name: str) -> None:
+    segment = _SEGMENTS.pop(name, None)
+    if segment is not None:
+        segment.close()
+        segment.unlink()
+
+
+def _release_all() -> None:
+    for name in sorted(_SEGMENTS):
+        release(name)
+
+
+atexit.register(_release_all)

@@ -1,0 +1,13 @@
+"""STATE001 bad fixture: module state mutated with no lock and no setter."""
+
+_cache = {}
+_hits = 0
+
+
+def remember(key, value):
+    _cache[key] = value
+
+
+def bump():
+    global _hits
+    _hits += 1

@@ -1,0 +1,29 @@
+"""STATE001 good fixture: writes behind a lock or in designated setters."""
+
+import threading
+
+_cache = {}
+_hits = 0
+_cache_lock = threading.Lock()
+
+
+def remember(key, value):
+    with _cache_lock:
+        _cache[key] = value
+
+
+def bump():
+    global _hits
+    with _cache_lock:
+        _hits += 1
+
+
+def set_hits(count):
+    global _hits
+    if count < 0:
+        raise ValueError("hits must be >= 0")
+    _hits = count
+
+
+def reset_cache():
+    _cache.clear()

@@ -1,8 +1,7 @@
 """Tests for access schemas, the canonical builder A_t and discovery."""
 
-import pytest
 
-from repro.access.builder import AccessSchemaBuilder, ConstraintSpec, FamilySpec
+from repro.access.builder import AccessSchemaBuilder, ConstraintSpec
 from repro.access.discovery import discover, discover_constraints, discover_families
 from repro.access.schema import AccessSchema
 

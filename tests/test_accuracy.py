@@ -1,6 +1,5 @@
 """Tests for the accuracy measures: RC, MAC, F-measure, Hausdorff."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.algebra.aggregates import AggregateFunction
 from repro.algebra.ast import (
-    Difference,
     GroupBy,
     Product,
     Project,

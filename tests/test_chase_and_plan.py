@@ -5,11 +5,11 @@ import pytest
 from repro.algebra.spc import to_spc
 from repro.algebra.sql import parse_query
 from repro.algebra.tableau import build_tableau
-from repro.core.chase import Chaser, Mark, chase
+from repro.core.chase import Mark, chase
 from repro.core.chat import choose_access_templates
 from repro.core.fetch_plan import atom_constants, fetch_plan_from_chase, needed_attributes
 from repro.core.lower_bound import lower_bound, theoretical_floor
-from repro.core.plan import Accessor, FetchPlan, FetchSource, FetchStep
+from repro.core.plan import Accessor
 from repro.core.planner import generate_plan
 from repro.errors import PlanError
 

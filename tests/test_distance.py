@@ -1,6 +1,5 @@
 """Unit tests for per-attribute distance functions."""
 
-import math
 
 import pytest
 from hypothesis import given
@@ -12,7 +11,6 @@ from repro.relational.distance import (
     NUMERIC,
     STRING_PREFIX,
     TRIVIAL,
-    DistanceFunction,
     numeric_scaled,
     tuple_distance,
 )

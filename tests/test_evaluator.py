@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algebra.evaluator import Evaluator, DatabaseProvider, evaluate_exact
+from repro.algebra.evaluator import DatabaseProvider, Evaluator, evaluate_exact
 from repro.algebra.sql import parse_query
 from repro.relational.database import AccessMeter
 

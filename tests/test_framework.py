@@ -4,7 +4,7 @@ import pytest
 
 from repro.accuracy.rc import rc_accuracy
 from repro.algebra.sql import parse_query
-from repro.core.bounded import alpha_exact, exact_plan, is_boundedly_evaluable
+from repro.core.bounded import exact_plan
 from repro.core.framework import Beas
 from repro.errors import QueryError
 

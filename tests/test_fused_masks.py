@@ -16,7 +16,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import assert_identical
 from repro.algebra.evaluator import DatabaseProvider, Evaluator
 from repro.algebra.predicates import (
     AttrRef,
@@ -32,8 +31,10 @@ from repro.algebra.predicates import (
 from repro.relational.database import Database
 from repro.relational.distance import CATEGORICAL, NUMERIC
 from repro.relational.relation import Relation
-from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
-from repro.relational.store import backend_class, list_backends
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.store import backend_class
+
+from conftest import assert_identical
 
 NAN = float("nan")
 

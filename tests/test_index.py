@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.distance import NUMERIC
+from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema
 

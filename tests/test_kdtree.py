@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.relational.distance import CATEGORICAL, NUMERIC, numeric_scaled
+from repro.relational.distance import CATEGORICAL, NUMERIC
 from repro.relational.kdtree import KDTree
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema

@@ -27,13 +27,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.algebra.predicates import (
-    AttrRef,
-    CompareOp,
-    Comparison,
-    Conjunction,
-    Const,
-)
+from repro.algebra.predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
 from repro.relational import parallel
 from repro.relational.distance import NUMERIC, TRIVIAL
 from repro.relational.kdtree import KDForest
@@ -48,8 +42,8 @@ from repro.relational.kernels import (
 from repro.relational.relation import Relation
 from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.store import (
-    EXECUTOR_MODES,
     ColumnStore,
+    EXECUTOR_MODES,
     RowStore,
     ShardedStore,
     _env_executor_mode,

@@ -1,6 +1,5 @@
 """Property-based tests of the BEAS end-to-end guarantees (hypothesis)."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

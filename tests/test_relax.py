@@ -5,9 +5,8 @@ import pytest
 from repro.algebra.ast import Select
 from repro.algebra.evaluator import DatabaseProvider, Evaluator
 from repro.algebra.relax import RelaxationOracle, is_relaxable, relaxed_query, split_condition
-from repro.algebra.sql import parse_query
 from repro.algebra.spc import to_spc
-from repro.relational.distance import INFINITY
+from repro.algebra.sql import parse_query
 
 
 class TestSplitCondition:

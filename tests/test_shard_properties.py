@@ -26,9 +26,8 @@ pytest.importorskip("hypothesis")  # optional [test] extra
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import identity_key
 from repro import Relation
-from repro.relational.distance import CATEGORICAL, NUMERIC, TRIVIAL
+from repro.relational.distance import NUMERIC, TRIVIAL
 from repro.relational.kdtree import KDForest, KDTree
 from repro.relational.kernels import (
     NearestNeighbors,
@@ -40,6 +39,8 @@ from repro.relational.kernels import (
 )
 from repro.relational.schema import Attribute, RelationSchema
 from repro.relational.store import RowStore, ShardedStore
+
+from conftest import identity_key
 
 CATS = st.one_of(st.none(), st.sampled_from(["a", "b", "c"]))
 NUMBERS = st.one_of(

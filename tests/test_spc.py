@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.algebra.spc import classify, max_spc_subqueries, maximal_induced_query, to_spc
-from repro.algebra.ast import Difference, GroupBy, Project
-from repro.algebra.sql import parse_query
+from repro.algebra.ast import Project
 from repro.algebra.evaluator import evaluate_exact
+from repro.algebra.spc import classify, max_spc_subqueries, maximal_induced_query, to_spc
+from repro.algebra.sql import parse_query
 from repro.errors import QueryError
 
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import assert_identical, identity_key, to_backend
 from repro import Beas, Database, Relation, parse_query
 from repro.algebra.evaluator import DatabaseProvider, Evaluator, evaluate_exact
 from repro.algebra.predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
@@ -44,6 +43,8 @@ from repro.relational.store import (
     vstack_gather,
 )
 from repro.workloads import social
+
+from conftest import assert_identical, identity_key, to_backend
 
 NAN = float("nan")
 

@@ -1,9 +1,8 @@
 """Tests for the SPC tableau construction."""
 
-import pytest
 
-from repro.algebra.sql import parse_query
 from repro.algebra.spc import to_spc
+from repro.algebra.sql import parse_query
 from repro.algebra.tableau import Constant, Variable, build_tableau
 
 

@@ -4,12 +4,13 @@ workload under every registered backend)."""
 
 import pytest
 
-from conftest import assert_identical, to_backend
 from repro import Beas
 from repro.algebra.evaluator import evaluate_exact
 from repro.algebra.spc import classify
 from repro.experiments import build_beas
 from repro.workloads import QueryGenerator, WORKLOADS, airca, social, tfacc, tpch
+
+from conftest import assert_identical, to_backend
 
 
 class TestGenerators:
