@@ -11,7 +11,9 @@ measure and by relaxed evaluation plans).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import enum
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import QueryError
@@ -253,6 +255,49 @@ class GroupBy(QueryNode):
     def __repr__(self) -> str:  # pragma: no cover
         cols = ", ".join(c.qualified for c in self.group_columns)
         return f"GroupBy([{cols}], {self.aggregate.value}({self.agg_column.qualified}))"
+
+
+# -- canonical fingerprints -----------------------------------------------------
+
+def canonical_form(value: object) -> object:
+    """A deterministic, hashable, nested-tuple encoding of an AST value.
+
+    Every operator node and predicate operand in a query is a frozen
+    dataclass over strings, numbers, enums and tuples, so one structural
+    recursion covers the whole tree.  Two queries get the same canonical
+    form exactly when they are the same tree — same operators, aliases,
+    predicates and constants — regardless of how the objects were built
+    (parsed from SQL, constructed programmatically, round-tripped through a
+    plan).  Value *types* are part of the encoding (``1`` and ``1.0`` encode
+    differently), matching the bit-identity contract of the storage layer.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, canonical_form(getattr(value, f.name))) for f in fields(value)
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_form(item) for item in value)
+    return (type(value).__name__, repr(value))
+
+
+def query_fingerprint(query: QueryNode) -> str:
+    """Canonical hex fingerprint of a query AST.
+
+    The single identity used for query-shaped keying everywhere: the
+    serving layer's result / plan cache keys (crossed with α and the
+    database's publication epoch) and :attr:`QueryResult.fingerprint` both
+    carry it.  Computed from :func:`canonical_form`, so it is stable across
+    processes and sessions (no ``id()``/hash-seed dependence) and
+    insensitive to how the AST object was produced.
+    """
+    if not isinstance(query, QueryNode):
+        raise QueryError(
+            f"query_fingerprint expects a QueryNode, got {type(query).__name__}"
+        )
+    payload = repr(canonical_form(query)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
 
 
 # -- attribute resolution -------------------------------------------------------

@@ -62,6 +62,7 @@ from .predicates import (
     Comparison,
     Conjunction,
     MaskProgram,
+    cached_program,
     chunk_window,
 )
 from .spc import SPCQuery, to_spc
@@ -587,9 +588,17 @@ class Evaluator:
         if not condition:
             return frame
         condition = condition_on(frame.schema, condition)
-        program = MaskProgram(
-            [self._comparison_binder(frame.schema, comparison) for comparison in condition]
-        )
+        if not any(0 < slack < INFINITY for slack in self.relaxation.values()):
+            # Every comparison compiles strictly (zero or infinite slack falls
+            # back to the strict binder), which is exactly what
+            # ``Conjunction.program`` builds — route through the shared
+            # compiled-program cache so a serving workload re-running the
+            # same query shape skips recompilation.
+            program = cached_program(condition, frame.schema)
+        else:
+            program = MaskProgram(
+                [self._comparison_binder(frame.schema, comparison) for comparison in condition]
+            )
         mask = program.mask(frame.store)
         if mask.count(1) == len(frame):
             return frame

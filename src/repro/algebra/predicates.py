@@ -39,7 +39,9 @@ its per-value semantics exactly).
 from __future__ import annotations
 
 import enum
+import threading
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -77,6 +79,108 @@ def set_mask_chunk_size(size: Optional[int]) -> int:
             raise ValueError(f"mask chunk size must be positive, got {size}")
         _mask_chunk_size = size
     return previous
+
+
+# ---------------------------------------------------------------------------
+# Compiled-program cache (the serving layer's MaskProgram cache)
+# ---------------------------------------------------------------------------
+#
+# Compiling a conjunction resolves every attribute reference against the
+# schema and builds one binder per comparison.  A long-lived server answering
+# the same query shapes over and over repeats that work per request; the
+# bounded LRU below memoizes compiled programs by (condition, schema
+# attribute names, chunk size).  Programs are safe to share: a MaskProgram
+# holds only frozen binders and keeps its adaptive selectivity state local to
+# each ``run_part`` call, so concurrent reuse across threads cannot race.
+# The cache is off by default (capacity 0 — batch reproductions pay nothing);
+# the serving facade turns it on.
+
+_program_cache_lock = threading.Lock()
+_program_cache: "OrderedDict[tuple, MaskProgram]" = OrderedDict()
+_program_cache_capacity = 0
+_program_cache_hits = 0
+_program_cache_misses = 0
+
+
+def get_program_cache_capacity() -> int:
+    """The capacity of the compiled-``MaskProgram`` cache (0 = disabled)."""
+    return _program_cache_capacity
+
+
+def set_program_cache_capacity(capacity: Optional[int]) -> int:
+    """Bound the compiled-program cache at ``capacity`` entries.
+
+    ``0`` (the default) disables memoization entirely; ``None`` is treated
+    as 0.  A negative capacity raises :exc:`ValueError`.  Shrinking the
+    capacity evicts least-recently-used entries immediately.  Returns the
+    previous capacity.
+    """
+    global _program_cache_capacity
+    if capacity is None:
+        capacity = 0
+    capacity = int(capacity)
+    if capacity < 0:
+        raise ValueError(f"program cache capacity must be >= 0, got {capacity}")
+    with _program_cache_lock:
+        previous = _program_cache_capacity
+        _program_cache_capacity = capacity
+        while len(_program_cache) > capacity:
+            _program_cache.popitem(last=False)
+    return previous
+
+
+def clear_program_cache() -> None:
+    """Drop every memoized program (capacity unchanged); resets hit counters."""
+    global _program_cache_hits, _program_cache_misses
+    with _program_cache_lock:
+        _program_cache.clear()
+        _program_cache_hits = 0
+        _program_cache_misses = 0
+
+
+def program_cache_info() -> dict:
+    """Size / capacity / hit counters of the compiled-program cache."""
+    with _program_cache_lock:
+        return {
+            "size": len(_program_cache),
+            "capacity": _program_cache_capacity,
+            "hits": _program_cache_hits,
+            "misses": _program_cache_misses,
+        }
+
+
+def cached_program(
+    condition: "Conjunction",
+    schema: RelationSchema,
+    chunk_size: Optional[int] = None,
+) -> "MaskProgram":
+    """Compile ``condition`` against ``schema``, memoizing when enabled.
+
+    Falls back to a fresh compile when the cache is disabled or the
+    condition's constants are unhashable — behaviour is identical either
+    way; only the compile work is saved.
+    """
+    global _program_cache_hits, _program_cache_misses
+    if _program_cache_capacity <= 0:
+        return condition.program(schema, chunk_size)
+    key = (condition, schema.attribute_names, chunk_size)
+    try:
+        with _program_cache_lock:
+            program = _program_cache.get(key)
+            if program is not None:
+                _program_cache.move_to_end(key)
+                _program_cache_hits += 1
+                return program
+    except TypeError:  # unhashable constant somewhere in the condition
+        return condition.program(schema, chunk_size)
+    program = condition.program(schema, chunk_size)
+    with _program_cache_lock:
+        _program_cache_misses += 1
+        if _program_cache_capacity > 0:
+            _program_cache[key] = program
+            while len(_program_cache) > _program_cache_capacity:
+                _program_cache.popitem(last=False)
+    return program
 
 
 # A chunk masker, bound to one (sub-)store: maps a row window [lo, hi) to a
@@ -551,7 +655,7 @@ class Conjunction:
         """
         if not self.comparisons:
             return all_ones(len(store))
-        return self.program(schema, chunk_size).mask(store)
+        return cached_program(self, schema, chunk_size).mask(store)
 
     def program(
         self, schema: RelationSchema, chunk_size: Optional[int] = None

@@ -17,7 +17,7 @@ from typing import Optional, Sequence, Union
 
 from ..access.builder import AccessSchemaBuilder, ConstraintSpec, FamilySpec
 from ..access.schema import AccessSchema
-from ..algebra.ast import QueryNode
+from ..algebra.ast import QueryNode, query_fingerprint
 from ..algebra.evaluator import evaluate_exact
 from ..algebra.spc import classify
 from ..algebra.sql import parse_query
@@ -51,6 +51,12 @@ class QueryResult:
         plan: the bounded plan itself (for inspection / explain output).
         plan_seconds / execution_seconds: wall-clock timings of the two phases.
         query_class: ``"SPC"``, ``"RA"``, ``"agg(SPC)"`` or ``"agg(RA)"``.
+        fingerprint: the canonical query fingerprint
+            (:func:`repro.algebra.ast.query_fingerprint`) the serving layer
+            keys result / plan caches on; ``alpha`` above is the α the answer
+            was actually *served* at (admission control may have degraded it
+            below the α the client requested — the serving envelope records
+            both).
     """
 
     rows: Relation
@@ -64,6 +70,7 @@ class QueryResult:
     plan_seconds: float
     execution_seconds: float
     query_class: str
+    fingerprint: str = ""
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -111,8 +118,16 @@ class Beas:
     # -- planning -----------------------------------------------------------------
     def plan(self, query: QueryLike, alpha: float) -> BoundedPlan:
         """Generate the α-bounded plan for ``query`` without executing it."""
-        ast = self._as_ast(query)
-        budget = self.database.budget_for(alpha)
+        return self._plan_ast(self._as_ast(query), self.database.budget_for(alpha))
+
+    def _plan_ast(self, ast: QueryNode, budget: int) -> BoundedPlan:
+        """Plan an already-normalized AST (the shared core of plan/answer).
+
+        ``plan`` and ``answer`` both resolve the query to an AST exactly
+        once and route here, so answering never pays the parse/normalize
+        work twice — and the serving layer can plan against a budget it
+        computed itself (for a degraded α) without re-deriving the AST.
+        """
         if ast.has_aggregate():
             return plan_aggregate(ast, self.database.schema, self.access_schema, budget)
         if ast.is_spc():
@@ -120,13 +135,33 @@ class Beas:
         return plan_ra(ast, self.database.schema, self.access_schema, budget)
 
     # -- answering -----------------------------------------------------------------
-    def answer(self, query: QueryLike, alpha: float, enforce_budget: bool = True) -> QueryResult:
-        """Answer ``query`` accessing at most ``α·|D|`` tuples (C3 + C4 in Fig. 2)."""
+    def answer(
+        self,
+        query: QueryLike,
+        alpha: float,
+        enforce_budget: bool = True,
+        plan: Optional[BoundedPlan] = None,
+    ) -> QueryResult:
+        """Answer ``query`` accessing at most ``α·|D|`` tuples (C3 + C4 in Fig. 2).
+
+        ``plan`` optionally supplies a precomputed :class:`BoundedPlan` (the
+        serving layer's plan cache reuses plans across requests); it must
+        have been generated for the same query at the same budget ``⌊α·|D|⌋``
+        — a mismatched budget raises :exc:`ValueError` rather than silently
+        executing a plan whose tariff bound belongs to another α.
+        """
         ast = self._as_ast(query)
+        fingerprint = query_fingerprint(ast)
         budget = self.database.budget_for(alpha)
 
         start = time.perf_counter()
-        plan = self.plan(ast, alpha)
+        if plan is None:
+            plan = self._plan_ast(ast, budget)
+        elif plan.budget != budget:
+            raise ValueError(
+                f"precomputed plan was generated for budget {plan.budget}, "
+                f"but alpha={alpha} over the current database gives {budget}"
+            )
         plan_seconds = time.perf_counter() - start
 
         if enforce_budget and plan.tariff > budget:
@@ -149,6 +184,7 @@ class Beas:
                 plan_seconds=plan_seconds,
                 execution_seconds=0.0,
                 query_class=classify(ast),
+                fingerprint=fingerprint,
             )
 
         meter = AccessMeter(budget=budget, enforce=enforce_budget)
@@ -172,6 +208,7 @@ class Beas:
             plan_seconds=plan_seconds,
             execution_seconds=execution_seconds,
             query_class=classify(ast),
+            fingerprint=fingerprint,
         )
 
     def answer_exact(self, query: QueryLike, meter: Optional[AccessMeter] = None) -> Relation:

@@ -67,6 +67,7 @@ class Database:
         self._relations: Dict[str, Relation] = {}
         self._hash_indexes: Dict[Tuple[str, Tuple[str, ...]], HashIndex] = {}
         self._sorted_indexes: Dict[Tuple[str, str], SortedIndex] = {}
+        self._epoch_base = 0
         for rel_schema in schema:
             self._relations[rel_schema.name] = Relation(rel_schema)
         if relations:
@@ -91,7 +92,14 @@ class Database:
                 f"relation instance for {name!r} has attributes "
                 f"{relation.schema.attribute_names}, expected {expected.attribute_names}"
             )
+        previous = self._relations.get(name)
         self._relations[name] = relation
+        if previous is not None and previous.store is not relation.store:
+            # Replacing an instance must keep the publication epoch strictly
+            # monotonic even though the incoming store's own mutation counter
+            # starts back at 0: fold the outgoing store's contribution (plus
+            # one for the replacement itself) into the base term.
+            self._epoch_base += previous.store.epoch + 1
         # Any cached indexes over the old instance are now stale.
         self._hash_indexes = {
             key: idx for key, idx in self._hash_indexes.items() if key[0] != name
@@ -120,6 +128,23 @@ class Database:
     def relation_sizes(self) -> Dict[str, int]:
         """Tuple counts per relation."""
         return {name: len(rel) for name, rel in self._relations.items()}
+
+    @property
+    def publication_epoch(self) -> int:
+        """Monotonic epoch identifying the current contents of ``D``.
+
+        Advances whenever any relation's store mutates in place (the same
+        events that retire shared-memory publications — see
+        :attr:`repro.relational.store.Store.epoch`) or a relation instance
+        is replaced via :meth:`set_relation`.  The serving layer keys its
+        result / plan caches on ``(fingerprint, α, publication_epoch)``, so
+        a cache entry computed before a mutation can never answer a query
+        after it — invalidation is by key rotation, exactly like the
+        republish-on-mutation scheme of the process-parallel executor.
+        """
+        return self._epoch_base + sum(
+            rel.store.epoch for rel in self._relations.values()
+        )
 
     def budget_for(self, alpha: float) -> int:
         """The access budget ``⌊α·|D|⌋`` for a resource ratio ``alpha``."""

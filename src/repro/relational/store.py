@@ -139,6 +139,27 @@ class Store:
         for row in rows:
             self.append(row)
 
+    # -- mutation epoch -----------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic count of in-place mutations of this store.
+
+        Every mutating operation (``append``/``extend``; on a sharded store,
+        anything that routes through ``_invalidate`` — the same event that
+        retires a shared-memory publication) bumps the counter.  Freshly
+        built and derived stores start at 0: the epoch identifies *versions
+        of one live store*, not contents.  The serving layer aggregates the
+        per-store epochs into a per-database *publication epoch*
+        (:attr:`repro.relational.database.Database.publication_epoch`) and
+        keys its result/plan caches on it, so a mutated store can never
+        answer a query from a stale cache entry.
+        """
+        return getattr(self, "_epoch", 0)
+
+    def bump_epoch(self) -> None:
+        """Record one in-place mutation (see :attr:`epoch`)."""
+        self._epoch = self.epoch + 1
+
     # -- row access ---------------------------------------------------------
     def row(self, index: int) -> Row:
         """The row at ``index`` as a tuple."""
@@ -271,6 +292,7 @@ class RowStore(Store):
 
     def append(self, row: Sequence[object]) -> None:
         self._rows.append(tuple(row))
+        self.bump_epoch()
 
     def row(self, index: int) -> Row:
         return self._rows[index]
@@ -418,6 +440,7 @@ class ColumnStore(Store):
             self._append_value(position, value)
         self._length += 1
         self._row_cache = None
+        self.bump_epoch()
 
     # -- row access ---------------------------------------------------------
     def row(self, index: int) -> Row:
@@ -912,6 +935,7 @@ class ShardedStore(Store):
         self._locals_cache = None
         self._positions_cache = None
         self._row_cache = None
+        self.bump_epoch()
         self._retire_publication()
 
     def _retire_publication(self) -> None:

@@ -1,0 +1,185 @@
+"""The long-lived serving facade over :class:`~repro.core.framework.Beas`.
+
+:class:`QueryServer` answers the same API as ``Beas.answer`` — a query and
+a resource ratio α — but is built for *many* requests over a long lifetime:
+
+1. every request passes **admission control**
+   (:class:`~repro.serving.admission.AdmissionController`: reject, queue,
+   or degrade α under load);
+2. answers are **cached** keyed by
+   ``(fingerprint, served α, enforce_budget, publication epoch)`` — the
+   epoch term makes mutation invalidation automatic (see
+   ``serving/README.md`` for the key anatomy);
+3. on a result miss, the **plan cache** (keyed by fingerprint × budget ×
+   epoch) skips re-planning, and execution reuses compiled mask programs
+   via the :func:`repro.algebra.predicates.set_program_cache_capacity`
+   knob (enabled by the server unless already configured);
+4. everything is **observable** through
+   :class:`~repro.serving.stats.ServingStats`.
+
+Thread-safe: one server instance is meant to be shared by many request
+threads (the concurrency harness in ``benchmarks/bench_serving.py`` drives
+it exactly that way).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..algebra import predicates
+from ..algebra.ast import query_fingerprint
+from ..core.framework import Beas, QueryLike
+from .admission import AdmissionController
+from .cache import DEFAULT_MAX_ENTRIES, MISSING, CacheBackend, make_cache
+from .envelope import ServingEnvelope
+from .stats import ServingStats
+
+# Compiled-program cache capacity the server enables when the knob is still
+# at its batch default (0 = disabled).  A few hundred programs covers any
+# realistic set of hot query shapes; each entry is a handful of small frozen
+# binder objects.
+DEFAULT_PROGRAM_CACHE_CAPACITY = 256
+
+
+class QueryServer:
+    """Serve α-bounded answers for one :class:`Beas` instance.
+
+    Args:
+        beas: the engine (database + access schema) to serve.
+        result_cache / plan_cache: a :class:`CacheBackend` instance, a
+            registered backend name, or ``None`` for the process default
+            (:func:`repro.serving.cache.get_result_cache` — overridable via
+            ``REPRO_SERVING_CACHE``).
+        admission: a preconfigured :class:`AdmissionController`; ``None``
+            builds one with the default concurrency target and the process
+            default policy (:func:`repro.serving.admission.get_admission_policy`
+            — overridable via ``REPRO_SERVING_POLICY``).
+        stats: a :class:`ServingStats` to record into; ``None`` builds one.
+        max_entries / ttl_seconds: forwarded when caches are built from a
+            name or the default (ignored for instances).
+        program_cache_capacity: compiled-mask-program cache size to enable
+            at construction; only applied when the process-wide knob is
+            still 0 (never shrinks a capacity someone already set).
+            ``None`` leaves the knob alone.
+    """
+
+    def __init__(
+        self,
+        beas: Beas,
+        result_cache: object = None,
+        plan_cache: object = None,
+        admission: Optional[AdmissionController] = None,
+        stats: Optional[ServingStats] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        ttl_seconds: Optional[float] = None,
+        program_cache_capacity: Optional[int] = DEFAULT_PROGRAM_CACHE_CAPACITY,
+    ) -> None:
+        self.beas = beas
+        self.result_cache: CacheBackend = make_cache(result_cache, max_entries, ttl_seconds)
+        self.plan_cache: CacheBackend = make_cache(plan_cache, max_entries, ttl_seconds)
+        self.admission = admission if admission is not None else AdmissionController()
+        self.stats = stats if stats is not None else ServingStats()
+        if (
+            program_cache_capacity is not None
+            and predicates.get_program_cache_capacity() == 0
+        ):
+            predicates.set_program_cache_capacity(program_cache_capacity)
+
+    # -- serving -----------------------------------------------------------------
+    def serve(
+        self,
+        query: QueryLike,
+        alpha: float,
+        enforce_budget: bool = True,
+    ) -> ServingEnvelope:
+        """Answer ``query`` at (up to) resource ratio ``alpha``.
+
+        Semantically identical to ``beas.answer(query, alpha)`` except that
+        admission control may serve a degraded α (reported in the envelope)
+        and identical requests against an unchanged database are answered
+        from cache — the cached rows are bit-identical to a fresh
+        computation, because the cache key pins query shape, α, budget
+        enforcement *and* the database's publication epoch.
+        """
+        start = time.perf_counter()
+        ticket = self.admission.admit(alpha)
+        try:
+            envelope = self._serve_admitted(query, alpha, ticket, enforce_budget, start)
+        finally:
+            self.admission.release()
+        self.stats.record_request(
+            seconds=envelope.serve_seconds,
+            served_alpha=envelope.served_alpha,
+            result_cache_hit=envelope.result_cache_hit,
+            plan_cache_hit=envelope.plan_cache_hit,
+            degraded=envelope.degraded,
+            wait_seconds=envelope.wait_seconds,
+        )
+        return envelope
+
+    def _serve_admitted(self, query, alpha, ticket, enforce_budget, start):
+        """The cache-then-compute path, run while holding an admission slot."""
+        ast = self.beas._as_ast(query)
+        fingerprint = query_fingerprint(ast)
+        epoch = self.beas.database.publication_epoch
+        served_alpha = ticket.served_alpha
+
+        result_key = (fingerprint, served_alpha, enforce_budget, epoch)
+        cached = self.result_cache.get(result_key)
+        if cached is not MISSING:
+            return ServingEnvelope(
+                result=cached,
+                requested_alpha=alpha,
+                served_alpha=served_alpha,
+                eta=cached.eta,
+                fingerprint=fingerprint,
+                publication_epoch=epoch,
+                result_cache_hit=True,
+                plan_cache_hit=False,
+                degraded=ticket.degraded,
+                wait_seconds=ticket.wait_seconds,
+                serve_seconds=time.perf_counter() - start,
+            )
+
+        budget = self.beas.database.budget_for(served_alpha)
+        plan_key = (fingerprint, budget, epoch)
+        plan = self.plan_cache.get(plan_key)
+        plan_hit = plan is not MISSING
+        if not plan_hit:
+            plan = None
+
+        result = self.beas.answer(ast, served_alpha, enforce_budget, plan=plan)
+        if not plan_hit:
+            self.plan_cache.put(plan_key, result.plan)
+        self.result_cache.put(result_key, result)
+        return ServingEnvelope(
+            result=result,
+            requested_alpha=alpha,
+            served_alpha=served_alpha,
+            eta=result.eta,
+            fingerprint=fingerprint,
+            publication_epoch=epoch,
+            result_cache_hit=False,
+            plan_cache_hit=plan_hit,
+            degraded=ticket.degraded,
+            wait_seconds=ticket.wait_seconds,
+            serve_seconds=time.perf_counter() - start,
+        )
+
+    # -- maintenance --------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop every cached result and plan (stats are kept)."""
+        self.result_cache.clear()
+        self.plan_cache.clear()
+
+    def cache_info(self) -> dict:
+        """Result- and plan-cache internals plus the live admission load."""
+        return {
+            "result_cache": self.result_cache.info(),
+            "plan_cache": self.plan_cache.info(),
+            "in_flight": self.admission.in_flight,
+            "policy": self.admission.policy,
+            "max_concurrency": self.admission.max_concurrency,
+            "program_cache": predicates.program_cache_info(),
+        }

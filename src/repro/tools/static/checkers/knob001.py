@@ -33,6 +33,8 @@ DOCUMENTED_ENV_OVERRIDES = frozenset(
     {
         "REPRO_SHARD_WORKERS",
         "REPRO_SHARD_EXECUTOR",
+        "REPRO_SERVING_CACHE",
+        "REPRO_SERVING_POLICY",
     }
 )
 

@@ -4,8 +4,16 @@ import os
 
 _chunk_rows = 4096
 _UNDOCUMENTED = os.environ.get("REPRO_SECRET_KNOB")
+# A serving knob that is *not* in the documented allowlist either.
+_SERVING_UNDOCUMENTED = os.environ.get("REPRO_SERVING_SECRET_TIER")
+_policy = "queue"
 
 
 def set_chunk_rows(count):
     global _chunk_rows
     _chunk_rows = count  # accepts 0, -7, "many", ... without complaint
+
+
+def set_admission_policy(policy):
+    global _policy
+    _policy = policy  # accepts "yolo" without complaint

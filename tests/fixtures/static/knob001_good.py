@@ -36,3 +36,28 @@ def _validate_mode(mode):
 def set_mode(mode):
     global _mode
     _mode = _validate_mode(mode)
+
+
+# Serving-layer knob vocabulary: documented env overrides read through a
+# parameterized helper, and a validated policy setter.
+def _parse_choice(name, choices, default):
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip().lower()
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {choices}, got {raw!r}")
+    return value
+
+
+_cache_backend = _parse_choice("REPRO_SERVING_CACHE", ("lru-ttl", "none"), "lru-ttl")
+_policy = _parse_choice(
+    "REPRO_SERVING_POLICY", ("reject", "queue", "degrade-alpha"), "queue"
+)
+
+
+def set_admission_policy(policy):
+    global _policy
+    if policy not in ("reject", "queue", "degrade-alpha"):
+        raise ValueError(f"unknown admission policy {policy!r}")
+    _policy = policy
