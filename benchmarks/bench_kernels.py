@@ -52,7 +52,16 @@ layer:
   faithful reimplementation of the pre-gather tuple-building join
   (``lrow + rrow`` per matched pair) over the same column-backed frames.
 
-``--backends`` restricts which storage backends parts 2–3 exercise
+Part 6 times the persistent mmap-backed store
+(:mod:`repro.relational.mmapstore`): ``mmap_cold_open`` reopens a saved
+``.rpro`` file (map + in-place cast, no decode step) and reads every
+column, vs. rebuilding the same typed-column store from Python rows —
+the per-relation restart cost the RAM-resident backends pay;
+``mmap_scan`` / ``mmap_join`` rerun the part-2 warm workloads over the
+``mmap`` backend next to the in-RAM ``column`` backend on identical
+data, pinning the steady-state cost of reading through a file mapping.
+
+``--backends`` restricts which storage backends parts 2–3 and 6 exercise
 (comma-separated, e.g. ``--backends row,sharded``; part 1 is
 backend-independent).  Every timed run cross-checks that both sides return
 identical results, so the benchmark doubles as a coarse differential test.
@@ -60,7 +69,7 @@ The combined series is written to ``BENCH_kernels.json`` at the repository
 root so future PRs can track the performance trajectory.  Run it directly
 (no pytest needed)::
 
-    python benchmarks/bench_kernels.py [--quick] [--backends row,column,sharded]
+    python benchmarks/bench_kernels.py [--quick] [--backends row,column,sharded,mmap]
 """
 
 from __future__ import annotations
@@ -219,8 +228,8 @@ def register_sharded_variants() -> None:
             )
 
 
-def _wide_relations(size: int, rng: random.Random, backend: str):
-    rows = [
+def _wide_rows(size: int, rng: random.Random):
+    return [
         (
             rng.randrange(max(1, size // 100)),
             rng.uniform(0, 100.0),
@@ -230,6 +239,10 @@ def _wide_relations(size: int, rng: random.Random, backend: str):
         )
         for _ in range(size)
     ]
+
+
+def _wide_relations(size: int, rng: random.Random, backend: str):
+    rows = _wide_rows(size, rng)
     return (
         Relation(WIDE_SCHEMA, rows, backend="row"),
         Relation(WIDE_SCHEMA, rows, backend=backend),
@@ -329,6 +342,83 @@ STORAGE_OPS = {
     "join": bench_storage_join,
     "rc": bench_storage_rc,
 }
+
+
+# ---------------------------------------------------------------------------
+# Persistent mmap-backed storage (repro.relational.mmapstore)
+# ---------------------------------------------------------------------------
+
+MMAP_WARM_OPS = ("scan", "join")
+
+
+def bench_mmap_section(scales, queries: int) -> list:
+    """Cold-open and warm-read records for the mmap-backed store.
+
+    ``mmap_cold_open`` times what a restart pays per relation: reopening a
+    saved ``.rpro`` file (map + cast, no decode step) and reading every
+    column through the mapping, vs. rebuilding the same typed-column store
+    from Python rows — the ingest path every RAM-resident backend repeats
+    on startup.  ``mmap_scan`` / ``mmap_join`` then run the warm storage
+    workloads from part 2 over the ``mmap`` backend and record its time
+    next to the in-RAM ``column`` backend's on identical data, so the
+    steady-state cost of reading through a file mapping (ideally ~1x)
+    is pinned alongside the cold-open win.
+    """
+    import tempfile
+
+    from repro.relational.mmapstore import MmapStore
+    from repro.relational.store import ColumnStore
+
+    records = []
+    width = len(WIDE_SCHEMA)
+    with tempfile.TemporaryDirectory(prefix="bench-mmap-") as tmp:
+        for size in scales:
+            rng = random.Random(size)
+            rows = _wide_rows(size, rng)
+            path = Path(tmp) / f"cold_{size}.rpro"
+            MmapStore.from_rows(width, rows).save(path)
+            indices = list(range(size))
+
+            def rebuild():
+                store = ColumnStore.from_rows(width, rows)
+                return [store.gather_column(p, indices) for p in range(width)]
+
+            def cold_open():
+                store = MmapStore.open(path)
+                return [store.gather_column(p, indices) for p in range(width)]
+
+            rebuild_seconds, rebuilt = _timed_best(rebuild)
+            open_seconds, opened = _timed_best(cold_open)
+            assert rebuilt == opened
+            records.append(
+                {
+                    "kernel": "mmap_cold_open",
+                    "size": size,
+                    "column_seconds": round(rebuild_seconds, 6),
+                    "mmap_seconds": round(open_seconds, 6),
+                    "speedup": round(rebuild_seconds / max(open_seconds, 1e-9), 2),
+                    "executor_config": executor_config(),
+                }
+            )
+        for size in scales:
+            for name in MMAP_WARM_OPS:
+                bench = STORAGE_OPS[name]
+                rng = random.Random(size)  # same data as the column record
+                _, column_seconds = bench(size, queries, rng, "column")
+                rng = random.Random(size)
+                _, mmap_seconds = bench(size, queries, rng, "mmap")
+                records.append(
+                    {
+                        "kernel": f"mmap_{name}",
+                        "size": size,
+                        "queries": queries,
+                        "column_seconds": round(column_seconds, 6),
+                        "mmap_seconds": round(mmap_seconds, 6),
+                        "speedup": round(column_seconds / max(mmap_seconds, 1e-9), 2),
+                        "executor_config": executor_config(),
+                    }
+                )
+    return records
 
 
 # ---------------------------------------------------------------------------
@@ -607,7 +697,7 @@ def bench_parallel_section(size: int, queries: int, worker_counts) -> list:
     return records
 
 
-DEFAULT_BACKENDS = ("row", "column", "sharded")
+DEFAULT_BACKENDS = ("row", "column", "sharded", "mmap")
 
 
 def bench_static_analysis(repeats: int = 3) -> dict:
@@ -706,6 +796,9 @@ def run(
         parallel_results = bench_parallel_section(
             parallel_scale, parallel_queries, parallel_workers
         )
+    mmap_results = []
+    if "mmap" in backends:
+        mmap_results = bench_mmap_section(scales, queries)
     engine_results = []
     if "column" in backends:
         for size in scales:
@@ -734,6 +827,7 @@ def run(
         "results": results,
         "columnar": columnar_results,
         "sharded": sharded_results,
+        "mmap": mmap_results,
         "parallel": parallel_results,
         "columnar_engine": engine_results,
         "static_analysis": static_results,
@@ -794,6 +888,20 @@ def run(
                     for r in sharded_results
                 ],
                 title=f"ShardedStore vs RowStore (range partitioner) -> {destination}",
+            )
+        )
+    if mmap_results:
+        print(
+            format_table(
+                ["operation", "size", "column s", "mmap s", "speedup"],
+                [
+                    [r["kernel"], r["size"], r["column_seconds"], r["mmap_seconds"], f"{r['speedup']}x"]
+                    for r in mmap_results
+                ],
+                title=(
+                    "MmapStore: cold open vs rebuild, warm reads vs ColumnStore "
+                    f"-> {destination}"
+                ),
             )
         )
     if parallel_results:
@@ -874,8 +982,8 @@ def main() -> None:
         default=",".join(DEFAULT_BACKENDS),
         help=(
             "comma-separated storage backends to exercise in the storage "
-            "sections (subset of row,column,sharded; the row baseline always "
-            "runs)"
+            "sections (subset of row,column,sharded,mmap; the row baseline "
+            "always runs)"
         ),
     )
     args = parser.parse_args()

@@ -146,6 +146,23 @@ class Database:
             rel.store.epoch for rel in self._relations.values()
         )
 
+    def restore_publication_epoch(self, epoch: int) -> None:
+        """Pin :attr:`publication_epoch` to a persisted value.
+
+        Used when reopening a dataset from disk
+        (:func:`repro.relational.mmapstore.open_database`): the saved epoch
+        must come back *exactly* — a restart is not a mutation, so cache
+        keys minted before it stay valid after it.  Compensates for the
+        epoch bumps :meth:`set_relation` folded in while the reopened
+        relations were being installed.
+        """
+        epoch = int(epoch)
+        if epoch < 0:
+            raise ValueError(f"publication epoch must be >= 0, got {epoch}")
+        self._epoch_base = epoch - sum(
+            rel.store.epoch for rel in self._relations.values()
+        )
+
     def budget_for(self, alpha: float) -> int:
         """The access budget ``⌊α·|D|⌋`` for a resource ratio ``alpha``."""
         if not 0 < alpha <= 1:

@@ -406,8 +406,12 @@ class RadiusMatcher:
             else:
                 entries[slot].append(index)
         bucket.tree_entries = entries
+        # An explicit in-memory backend: this relation is a transient
+        # internal index structure, so it must not follow a persistent
+        # process-default backend (and leak dataset files from workers).
         bucket.tree = KDTree(
-            Relation(schema, slots.keys()), max_leaf_size=_TREE_LEAF_SIZE
+            Relation(schema, slots.keys(), backend="column"),
+            max_leaf_size=_TREE_LEAF_SIZE,
         )
 
     # -- queries -------------------------------------------------------------
@@ -761,8 +765,11 @@ class NearestNeighbors:
                 )
                 distinct.setdefault(canonical, sub)
             if len(distinct) >= _MIN_TREE_SIZE:
+                # In-memory backend for the same reason as _plant_tree: a
+                # transient index must not persist via the default backend.
                 self._trees[key] = KDTree(
-                    Relation(schema, distinct.values()), max_leaf_size=_TREE_LEAF_SIZE
+                    Relation(schema, distinct.values(), backend="column"),
+                    max_leaf_size=_TREE_LEAF_SIZE,
                 )
                 self._buckets[key] = list(distinct.values())
 

@@ -18,6 +18,12 @@ The contract that makes this fast is *publish once, query many*:
   and keep the decoded store in a per-process LRU cache keyed by the segment
   name — so a shard's payload crosses the process boundary **once per
   worker**, not once per query.
+* **No publication for mmap-backed shards** — a store whose shards already
+  live in on-disk files (:mod:`repro.relational.mmapstore`) skips the
+  shared-memory lifecycle entirely: :func:`publication_for` short-circuits
+  to a :class:`FilePublication` of ``("file", token, path)`` handles and
+  workers ``mmap`` each file directly, so shard payloads never cross the
+  process boundary and there is nothing to unlink on retirement.
 * **Queries** — subsequent calls ship only small picklable descriptions of
   the work: a compiled :class:`~repro.algebra.predicates.MaskProgram` (or
   any picklable masker) for :func:`process_eval_mask`, ``(position,
@@ -53,6 +59,7 @@ the next query re-creates it at the new bound.
 from __future__ import annotations
 
 import atexit
+import os
 import pickle
 import threading
 import uuid
@@ -75,9 +82,11 @@ from .store import (
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 # A shard payload handle: ("shm", token, payload_size) for a shared-memory
-# segment named ``token``, or ("inline", token, payload_bytes) when shared
+# segment named ``token``; ("inline", token, payload_bytes) when shared
 # memory is unavailable (the payload rides inside the task; workers still
-# cache the decoded store under the token).
+# cache the decoded store under the token); or ("file", token, path) for an
+# mmap-backed shard — the worker maps the file directly and no payload
+# crosses the process boundary at all.
 Handle = Tuple[str, str, object]
 
 DEFAULT_PROCESS_MIN_ROWS = 4096
@@ -133,6 +142,10 @@ def encode_store(store: Store) -> bytes:
         for column in store.columns():
             if isinstance(column, array):
                 columns.append(("arr", column.typecode, column.tobytes()))
+            elif isinstance(column, memoryview):
+                # A mapped MmapStore column: same raw-bytes encoding, read
+                # straight off the file mapping.
+                columns.append(("arr", column.format, column.tobytes()))
             else:
                 columns.append(("obj", None, list(column)))
         spec = ("columns", store.width, len(store), columns)
@@ -275,6 +288,48 @@ class ShardPublication:
         self._finalizer()
 
 
+class FilePublication:
+    """Per-shard file handles for mmap-backed shards — nothing to publish.
+
+    Shards whose buffers already live in on-disk files need no
+    shared-memory lifecycle at all: workers ``mmap`` the files directly
+    (see :func:`_resolve_store`), so there are no segments to create,
+    track, or unlink, and :meth:`retire` is a no-op.  Invalidation still
+    works the usual way — mutating a shard detaches it from its file, the
+    store's ``_invalidate`` drops this publication, and the next
+    process-mode query republishes (over shared memory, since the mutated
+    shard no longer has a file handle).
+    """
+
+    __slots__ = ("handles",)
+
+    def __init__(self, handles: Sequence[Handle]) -> None:
+        self.handles: List[Handle] = list(handles)
+
+    def retire(self) -> None:
+        """Nothing to release — the files belong to the stores."""
+
+
+def _file_handles(store: Store) -> Optional[List[Handle]]:
+    """Per-shard ``("file", token, path)`` handles, or ``None``.
+
+    Duck-typed so this module never imports the mmap tier: any shard
+    exposing a non-``None`` ``file_handle()`` participates.  One shard
+    without a handle (a detached/mutated mmap shard, or any other backend)
+    disqualifies the whole store — mixed publications would complicate
+    retirement for no gain, and the shared-memory path handles mixed
+    layouts already.
+    """
+    handles: List[Handle] = []
+    for shard in getattr(store, "shards", ()):
+        getter = getattr(shard, "file_handle", None)
+        handle = getter() if getter is not None else None
+        if handle is None:
+            return None
+        handles.append(handle)
+    return handles or None
+
+
 class _Unpublishable:
     """Sentinel publication for stores whose payloads cannot be encoded.
 
@@ -293,27 +348,38 @@ class _Unpublishable:
 _UNPUBLISHABLE = _Unpublishable()
 
 
-def _publication_live(publication: ShardPublication) -> bool:
-    """Whether every shared-memory segment of ``publication`` still exists.
+def _publication_live(publication) -> bool:
+    """Whether every resource behind ``publication``'s handles still exists.
 
     :func:`shutdown` unlinks all live segments without knowing which stores
     hold publications over them; a store queried again afterwards must
-    republish rather than hand workers names that no longer resolve.
+    republish rather than hand workers names that no longer resolve.  File
+    handles go stale differently — someone deleting the dataset file out
+    from under a long-lived store — and are likewise replaced (or fallen
+    back from) instead of shipped to workers that would only hit ENOENT.
     """
-    return all(
-        handle[0] != "shm" or handle[1] in _SEGMENT_REGISTRY
-        for handle in publication.handles
-    )
+    for handle in publication.handles:
+        kind = handle[0]
+        if kind == "shm" and handle[1] not in _SEGMENT_REGISTRY:
+            return False
+        if kind == "file" and not os.path.exists(handle[2]):
+            return False
+    return True
 
 
-def publication_for(store: Store) -> Optional[ShardPublication]:
+def publication_for(store: Store):
     """The store's live publication, created (or re-created) on first use.
 
-    Returns ``None`` — the caller falls back to the thread path — when the
-    store's payloads cannot be published (unpicklable object-column
-    values); the failure is remembered until the next mutation.  A
-    publication whose segments were unlinked behind the store's back (a
-    :func:`shutdown` between queries) is replaced with a fresh one.
+    Stores whose shards are all mmap-backed short-circuit to a
+    :class:`FilePublication` — no shared-memory segments are created and
+    nothing needs retiring; workers map the files directly.  Otherwise a
+    :class:`ShardPublication` copies each shard's payload into shared
+    memory.  Returns ``None`` — the caller falls back to the thread path —
+    when the store's payloads cannot be published (unpicklable
+    object-column values); the failure is remembered until the next
+    mutation.  A publication whose segments were unlinked behind the
+    store's back (a :func:`shutdown` between queries) is replaced with a
+    fresh one.
     """
     publication = getattr(store, "_publication", None)
     if publication is not None and publication is not _UNPUBLISHABLE:
@@ -326,6 +392,11 @@ def publication_for(store: Store) -> Optional[ShardPublication]:
         if publication is None or not _publication_live(publication):
             if publication is not None:
                 publication.retire()
+            handles = _file_handles(store)
+            if handles is not None:
+                publication = FilePublication(handles)
+                store._publication = publication
+                return publication
             _register_cleanup()
             try:
                 publication = ShardPublication(store)
@@ -763,7 +834,14 @@ def _read_segment(name: str, size: int) -> bytes:
 
 
 def _resolve_store(handle: Handle) -> Store:
-    """The decoded shard store for ``handle`` (worker-side LRU cache)."""
+    """The decoded shard store for ``handle`` (worker-side LRU cache).
+
+    ``"file"`` handles skip decoding entirely: the worker ``mmap``s the
+    shard's on-disk file and reads the typed columns in place — the payload
+    never crosses the process boundary at all.  The token pins the file's
+    identity (path, inode, mtime, size), so a rewritten file can never be
+    answered from a stale cache entry.
+    """
     kind, token, extra = handle
     cached = _STORE_CACHE.get(token)
     if cached is not None:
@@ -771,8 +849,13 @@ def _resolve_store(handle: Handle) -> Store:
         # sequentially, so no lock is needed (or wanted) on this hot path.
         _STORE_CACHE.move_to_end(token)  # repro: ignore[STATE001] worker-private cache
         return cached
-    payload = _read_segment(token, extra) if kind == "shm" else extra
-    store = decode_store(payload)
+    if kind == "file":
+        from .mmapstore import MmapStore
+
+        store = MmapStore.open(extra)
+    else:
+        payload = _read_segment(token, extra) if kind == "shm" else extra
+        store = decode_store(payload)
     _STORE_CACHE[token] = store  # repro: ignore[STATE001] worker-private cache
     while len(_STORE_CACHE) > _STORE_CACHE_LIMIT:
         stale, _ = _STORE_CACHE.popitem(last=False)  # repro: ignore[STATE001] worker-private cache

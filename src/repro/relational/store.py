@@ -43,13 +43,21 @@ sharded backend; they route whole-store computations through
 runs the computation in place; on a sharded store it fans out per shard and
 stitches the per-shard results back into global row order.
 
+A fourth, persistent tier lives in :mod:`repro.relational.mmapstore`:
+:class:`~repro.relational.mmapstore.MmapStore` (``"mmap"``) and its sharded
+variant (``"mmap-sharded"``) keep the same typed-column layout in mmap'd
+files, exposing columns as zero-copy ``memoryview`` casts — the buffer
+combinators below (:func:`_uniform_typecode`, :func:`_concat_buffers`)
+treat those views and in-memory ``array`` buffers interchangeably.
+
 **Choosing a backend.**  Per relation via
 ``Relation(schema, rows, backend="column")`` /
 ``Relation.from_columns(...)``, or process-wide via
-:func:`set_default_backend`.  Derived relations (project/select/distinct/...)
-inherit their source's backend.
+:func:`set_default_backend` (``REPRO_DEFAULT_BACKEND`` overrides the default
+at import time; see :func:`apply_env_default_backend`).  Derived relations
+(project/select/distinct/...) inherit their source's backend.
 
-**Adding a third backend.**  Subclass :class:`Store` and implement the
+**Adding a third-party backend.**  Subclass :class:`Store` and implement the
 abstract core (``__len__``, ``append``, ``row``, ``iter_rows``, ``row_list``,
 ``column``, ``select_mask``, ``take``, ``project``, ``head``, ``copy`` and
 the ``from_rows`` / ``from_columns`` constructors — the docstrings below are
@@ -57,12 +65,12 @@ the contract; ``gather_column`` has a generic default worth overriding for
 layouts with typed buffers), set a unique ``backend`` class attribute, and
 register it with :func:`register_backend`::
 
-    class MmapStore(Store):
-        backend = "mmap"
+    class FancyStore(Store):
+        backend = "fancy"
         ...
 
-    register_backend("mmap", MmapStore)
-    set_default_backend("mmap")          # or Relation(..., backend="mmap")
+    register_backend("fancy", FancyStore)
+    set_default_backend("fancy")         # or Relation(..., backend="fancy")
 
 Every backend must preserve **value identity**: a value read back from the
 store must be equal to — and of the same type as — the value that was
@@ -88,20 +96,38 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence,
 Row = Tuple[object, ...]
 
 
+def _buffer_typecode(buffer: Sequence[object]) -> Optional[str]:
+    """The typecode of a typed column buffer, or ``None`` for plain lists.
+
+    Typed buffers come in two shapes: in-memory ``array`` columns and the
+    read-only ``memoryview`` casts an mmap-backed store exposes over its
+    file.  Both carry raw machine values and support ``tobytes()``, so the
+    C-speed concatenation/stitch paths treat them interchangeably.
+    """
+    if isinstance(buffer, array):
+        return buffer.typecode
+    if isinstance(buffer, memoryview):
+        return buffer.format
+    return None
+
+
 def _uniform_typecode(parts: Sequence[Sequence[object]]) -> Optional[str]:
-    """The shared ``array`` typecode of ``parts``, or ``None``.
+    """The shared typed-buffer typecode of ``parts``, or ``None``.
 
     The one rule deciding whether per-part buffers (shard columns, gathered
     slices) can recombine into a typed buffer: every non-empty part must be
-    an ``array`` of the same typecode.  Empty parts are ignored — an empty
-    buffer may be a plain list regardless of its column's kind.
+    a typed buffer (``array`` or mmap-backed ``memoryview``) of the same
+    typecode.  Empty parts are ignored — an empty buffer may be a plain
+    list regardless of its column's kind.
     """
     first = next((part for part in parts if len(part)), None)
-    if not isinstance(first, array):
+    if first is None:
         return None
-    typecode = first.typecode
+    typecode = _buffer_typecode(first)
+    if typecode is None:
+        return None
     for part in parts:
-        if len(part) and not (isinstance(part, array) and part.typecode == typecode):
+        if len(part) and _buffer_typecode(part) != typecode:
             return None
     return typecode
 
@@ -357,6 +383,14 @@ def _typed_buffer(values: Sequence[object]) -> Tuple[str, Sequence[object]]:
             return (_KIND_FLOAT, values[:]) if values else (_KIND_EMPTY, [])
         if values.typecode == "q":
             return (_KIND_INT, values[:]) if values else (_KIND_EMPTY, [])
+    if isinstance(values, memoryview) and values.format in ("d", "q"):
+        # A typed view over an mmap-backed column: copy the raw bytes into a
+        # fresh array at C speed, no per-value type scan.
+        if len(values):
+            fresh = array(values.format)
+            fresh.frombytes(values.tobytes())
+            return (_KIND_FLOAT if values.format == "d" else _KIND_INT, fresh)
+        return (_KIND_EMPTY, [])
     if not values:
         return _KIND_EMPTY, []
     if all(type(v) is float for v in values):
@@ -531,7 +565,9 @@ class ColumnStore(Store):
         cols: List[Sequence[object]] = []
         for column in columns:
             kind, buf = _typed_buffer(
-                column if isinstance(column, (array, list)) else list(column)
+                column
+                if isinstance(column, (array, list, memoryview))
+                else list(column)
             )
             kinds.append(kind)
             cols.append(buf)
@@ -1317,6 +1353,30 @@ def set_default_backend(name: str) -> str:
     previous = _default_backend
     _default_backend = name
     return previous
+
+
+def _env_default_backend(name: str) -> Optional[str]:
+    """Parse a default-backend environment override (unset/blank means None)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip().lower()
+
+
+def apply_env_default_backend() -> Optional[str]:
+    """Apply the ``REPRO_DEFAULT_BACKEND`` override; returns the applied name.
+
+    Called by :mod:`repro.relational` at the end of its import, once every
+    in-tree backend — including the mmap tier, which registers *after* this
+    module loads — is in the registry.  Resolving the override here at
+    import time would spuriously reject those later registrations.  An
+    unknown name raises :exc:`ValueError` (via :func:`set_default_backend`).
+    """
+    name = _env_default_backend("REPRO_DEFAULT_BACKEND")
+    if name is None:
+        return None
+    set_default_backend(name)
+    return name
 
 
 def make_store(width: int, backend: Optional[str] = None) -> Store:

@@ -87,8 +87,10 @@ class LRUTTLCache(CacheBackend):
 
     Eviction is least-recently-used once ``max_entries`` is reached; when
     ``ttl_seconds`` is set, entries older than the TTL expire lazily at
-    lookup time (measured on the monotonic clock, so wall-clock jumps cannot
-    resurrect or mass-expire entries).  All operations take one internal
+    lookup time *and* are swept first on overflow — a ``put`` that would
+    evict only discards a live entry after every dead one is gone (TTL is
+    measured on the monotonic clock, so wall-clock jumps cannot resurrect
+    or mass-expire entries).  All operations take one internal
     lock — the critical sections are a handful of dict operations, far
     cheaper than the plan/execute work the cache saves.
     """
@@ -135,8 +137,22 @@ class LRUTTLCache(CacheBackend):
 
     def put(self, key: object, value: object) -> None:
         with self._lock:
-            self._entries[key] = (time.monotonic(), value)
+            now = time.monotonic()
+            self._entries[key] = (now, value)
             self._entries.move_to_end(key)
+            if len(self._entries) > self.max_entries and self.ttl_seconds is not None:
+                # On overflow, drop dead entries before sacrificing live
+                # ones: TTL-expired entries would never be served again
+                # anyway, and counting them as expirations (not evictions)
+                # keeps the two counters meaningful.
+                expired = [
+                    entry_key
+                    for entry_key, (stamp, _) in self._entries.items()
+                    if now - stamp > self.ttl_seconds
+                ]
+                for entry_key in expired:
+                    del self._entries[entry_key]
+                    self._expirations += 1
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self._evictions += 1

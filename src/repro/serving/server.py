@@ -10,8 +10,10 @@ a resource ratio α — but is built for *many* requests over a long lifetime:
    ``(fingerprint, served α, enforce_budget, publication epoch)`` — the
    epoch term makes mutation invalidation automatic (see
    ``serving/README.md`` for the key anatomy);
-3. on a result miss, the **plan cache** (keyed by fingerprint × budget ×
-   epoch) skips re-planning, and execution reuses compiled mask programs
+3. on a result miss, the **plan cache** (keyed by fingerprint × budget
+   only — a :class:`~repro.core.framework.BoundedPlan` depends on nothing
+   else, so a mutation that leaves ``⌊α·|D|⌋`` unchanged keeps its plans)
+   skips re-planning, and execution reuses compiled mask programs
    via the :func:`repro.algebra.predicates.set_program_cache_capacity`
    knob (enabled by the server unless already configured);
 4. everything is **observable** through
@@ -143,7 +145,10 @@ class QueryServer:
             )
 
         budget = self.beas.database.budget_for(served_alpha)
-        plan_key = (fingerprint, budget, epoch)
+        # No epoch term: a BoundedPlan is a function of the query shape and
+        # the access budget alone, so plans survive mutations that leave
+        # ⌊α·|D|⌋ unchanged.  Results stay epoch-keyed above.
+        plan_key = (fingerprint, budget)
         plan = self.plan_cache.get(plan_key)
         plan_hit = plan is not MISSING
         if not plan_hit:

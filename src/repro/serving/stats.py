@@ -16,8 +16,9 @@ import math
 import threading
 from typing import Dict, List, Optional, Sequence
 
-# Latency samples kept for percentile estimation.  Counters keep counting
-# past the cap; only the percentile window is bounded.
+# Latency samples kept for percentile estimation: a ring buffer over the
+# most recent requests.  Counters keep counting past the cap; only the
+# percentile window is bounded.
 DEFAULT_MAX_LATENCY_SAMPLES = 100_000
 
 
@@ -55,6 +56,7 @@ class ServingStats:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._latencies: List[float] = []
+        self._latency_pos = 0
         self._wait_seconds_total = 0.0
         self._served_alpha_hist: Dict[float, int] = {}
 
@@ -72,7 +74,13 @@ class ServingStats:
         degraded: bool,
         wait_seconds: float = 0.0,
     ) -> None:
-        """Record one served request end to end."""
+        """Record one served request end to end.
+
+        Latency samples land in a ring buffer holding the *most recent*
+        ``max_latency_samples`` observations, so the reported percentiles
+        track a sliding window rather than freezing on the first samples
+        ever taken.
+        """
         with self._lock:
             self._counters["requests"] = self._counters.get("requests", 0) + 1
             key = "result_cache_hits" if result_cache_hit else "result_cache_misses"
@@ -88,6 +96,11 @@ class ServingStats:
                 self._wait_seconds_total += wait_seconds
             if len(self._latencies) < self.max_latency_samples:
                 self._latencies.append(seconds)
+            else:
+                # Ring buffer: overwrite the oldest sample so percentiles
+                # reflect the latest window, not the first 100k requests.
+                self._latencies[self._latency_pos] = seconds
+                self._latency_pos = (self._latency_pos + 1) % self.max_latency_samples
             self._served_alpha_hist[served_alpha] = (
                 self._served_alpha_hist.get(served_alpha, 0) + 1
             )

@@ -1,0 +1,33 @@
+"""Persistent storage tier — the public face of the mmap-backed backends.
+
+Thin façade over :mod:`repro.relational.mmapstore` (the implementation
+lives beside the other storage backends so it can share their private
+buffer machinery).  Importing this package — or anything that imports
+:mod:`repro.relational` — registers the ``"mmap"`` and ``"mmap-sharded"``
+backends.  See ``src/repro/storage/README.md`` for a quickstart on
+creating, reopening, and sharing an on-disk dataset.
+"""
+
+from ..relational.mmapstore import (
+    FILE_SUFFIX,
+    MANIFEST_NAME,
+    MmapShardedStore,
+    MmapStore,
+    cleanup_store_dir,
+    get_store_dir,
+    open_database,
+    save_database,
+    set_store_dir,
+)
+
+__all__ = [
+    "FILE_SUFFIX",
+    "MANIFEST_NAME",
+    "MmapShardedStore",
+    "MmapStore",
+    "cleanup_store_dir",
+    "get_store_dir",
+    "open_database",
+    "save_database",
+    "set_store_dir",
+]

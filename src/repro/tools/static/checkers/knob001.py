@@ -35,6 +35,8 @@ DOCUMENTED_ENV_OVERRIDES = frozenset(
         "REPRO_SHARD_EXECUTOR",
         "REPRO_SERVING_CACHE",
         "REPRO_SERVING_POLICY",
+        "REPRO_STORE_DIR",
+        "REPRO_DEFAULT_BACKEND",
     }
 )
 

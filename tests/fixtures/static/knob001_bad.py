@@ -6,7 +6,10 @@ _chunk_rows = 4096
 _UNDOCUMENTED = os.environ.get("REPRO_SECRET_KNOB")
 # A serving knob that is *not* in the documented allowlist either.
 _SERVING_UNDOCUMENTED = os.environ.get("REPRO_SERVING_SECRET_TIER")
+# Nor is this storage-tier knob (REPRO_STORE_DIR is documented; this is not).
+_STORE_UNDOCUMENTED = os.environ.get("REPRO_STORE_SCRATCH_DIR")
 _policy = "queue"
+_store_dir = None
 
 
 def set_chunk_rows(count):
@@ -17,3 +20,8 @@ def set_chunk_rows(count):
 def set_admission_policy(policy):
     global _policy
     _policy = policy  # accepts "yolo" without complaint
+
+
+def set_store_dir(path):
+    global _store_dir
+    _store_dir = path  # accepts 0, b"", ... without complaint

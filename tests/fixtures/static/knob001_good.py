@@ -61,3 +61,23 @@ def set_admission_policy(policy):
     if policy not in ("reject", "queue", "degrade-alpha"):
         raise ValueError(f"unknown admission policy {policy!r}")
     _policy = policy
+
+
+# Storage-tier knob vocabulary: the dataset directory and the process-wide
+# default backend, both in the documented allowlist.
+def _parse_path(name):
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip()
+
+
+_store_dir = _parse_path("REPRO_STORE_DIR")
+_default_backend = _parse_path("REPRO_DEFAULT_BACKEND")
+
+
+def set_store_dir(path):
+    global _store_dir
+    if path is not None and not isinstance(path, str):
+        raise TypeError(f"store directory must be a path or None, got {path!r}")
+    _store_dir = path

@@ -1,0 +1,464 @@
+"""The persistent mmap-backed storage tier: files, datasets, crash-restart.
+
+The load-bearing guarantees under test:
+
+* **Bit-identity through the file** — a store built on the ``mmap``
+  backend reads through an actual on-disk file, and a store reopened from
+  that file is indistinguishable (typed values, NaN, mixed columns) from
+  the in-memory original.
+* **Restart is not a mutation** — the mutation epoch rides in the file
+  header and the publication epoch in the dataset manifest, so caches
+  keyed on them stay valid across a close-and-reopen.
+* **Zero shared memory** — process-mode queries over mmap-backed shards
+  publish file handles (:class:`~repro.relational.parallel.FilePublication`),
+  never ``multiprocessing.shared_memory`` segments.
+* **Hygiene** — anonymous construction-time files are reference-counted
+  and swept; test runs leave no stray ``.rpro`` files behind.
+
+The cross-backend conformance matrix (``tests/test_store.py``) and the
+serving invalidation matrix (``tests/test_serving.py``) parametrize over
+:func:`~repro.relational.store.list_backends`, so the mmap backends join
+those suites automatically; :class:`TestMatrixMembership` pins that they
+actually do.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import os
+import pickle
+
+import pytest
+
+from conftest import SHARD_EXECUTORS, assert_identical, identity_key, to_backend
+from repro import Beas, ConstraintSpec, QueryServer, Relation
+from repro.relational import parallel
+from repro.relational.mmapstore import (
+    FILE_SUFFIX,
+    MANIFEST_NAME,
+    MmapShardedStore,
+    MmapStore,
+    cleanup_store_dir,
+    get_store_dir,
+    open_database,
+    save_database,
+    set_store_dir,
+)
+from repro.relational.parallel import FilePublication, publication_for
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.store import (
+    ShardedStore,
+    backend_class,
+    list_backends,
+    set_shard_executor,
+)
+
+NAN = float("nan")
+
+MIXED_ROWS = [
+    (1, "a", 10.0, 1),
+    (2, "a", 20, 2.5),
+    (3, "b", None, NAN),
+    (3, "b", 30.5, -0.0),
+    (4, None, NAN, 10**25),
+    (5, "c", 1, True),
+]
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(
+        "t",
+        [Attribute("id"), Attribute("cat"), Attribute("x"), Attribute("y")],
+    )
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    """Pin the anonymous-file directory to this test's tmpdir."""
+    directory = tmp_path / "store"
+    previous = set_store_dir(directory)
+    try:
+        yield str(directory)
+    finally:
+        set_store_dir(previous)
+
+
+def rpro_files(directory):
+    return sorted(
+        name for name in os.listdir(directory) if name.endswith(FILE_SUFFIX)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Matrix membership
+# ---------------------------------------------------------------------------
+
+
+class TestMatrixMembership:
+    def test_mmap_backends_registered(self):
+        # Registration happens at repro.relational import time, which is
+        # what makes the conformance and serving matrices (parametrized
+        # over list_backends()) cover the mmap tier with no opt-in.
+        names = set(list_backends())
+        assert {"mmap", "mmap-sharded"} <= names
+        assert backend_class("mmap") is MmapStore
+        assert backend_class("mmap-sharded") is MmapShardedStore
+        assert MmapShardedStore.shard_count == 4
+        assert MmapShardedStore.shard_backend == "mmap"
+
+
+# ---------------------------------------------------------------------------
+# Single-store round trips
+# ---------------------------------------------------------------------------
+
+
+class TestMmapStoreRoundTrip:
+    def test_construction_reads_through_a_file(self, schema, store_dir):
+        relation = Relation(schema, MIXED_ROWS, backend="mmap")
+        store = relation.store
+        assert store.is_mapped
+        assert store.path is not None
+        assert os.path.dirname(store.path) == store_dir
+        reference = Relation(schema, MIXED_ROWS, backend="row")
+        assert_identical(relation.project(schema.attribute_names), reference)
+
+    def test_save_open_bit_identical(self, schema, store_dir, tmp_path):
+        original = MmapStore.from_rows(4, MIXED_ROWS)
+        path = tmp_path / f"explicit{FILE_SUFFIX}"
+        original.save(path)
+        assert original.path == str(path)
+        reopened = MmapStore.open(path)
+        assert reopened.is_mapped
+        assert [identity_key(r) for r in reopened.row_list()] == [
+            identity_key(r) for r in original.row_list()
+        ]
+
+    def test_epoch_persisted_in_header(self, schema, store_dir, tmp_path):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        store.append((6, "d", 1.5, 2))
+        store.append((7, "d", 2.5, 3))
+        assert store.epoch == 2
+        path = tmp_path / f"epoch{FILE_SUFFIX}"
+        store.save(path)
+        reopened = MmapStore.open(path)
+        assert reopened.epoch == 2  # a reopen is not a mutation
+
+    def test_mutation_detaches_from_the_file(self, schema, store_dir):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        assert store.is_mapped
+        before = store.epoch
+        store.append((9, "z", 0.5, 1))
+        assert not store.is_mapped  # files are immutable: mutation detaches
+        assert store.epoch == before + 1
+        assert store.row_list()[-1][0] == 9
+
+    def test_copy_shares_mapping_with_copy_on_write(self, schema, store_dir):
+        original = MmapStore.from_rows(4, MIXED_ROWS)
+        clone = original.copy()
+        assert clone.is_mapped and clone.path == original.path
+        clone.append((9, "z", 0.5, 1))
+        # The clone detached onto private buffers; the original still reads
+        # from the file and never saw the append.
+        assert not clone.is_mapped
+        assert original.is_mapped
+        assert len(original) == len(MIXED_ROWS)
+        assert len(clone) == len(MIXED_ROWS) + 1
+
+    def test_derivations_leave_no_mapped_buffers(self, schema, store_dir):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        reference = Relation(schema, MIXED_ROWS, backend="row").store
+        for derived, expected in (
+            (store.project([0, 2]), reference.project([0, 2])),
+            (store.head(3), reference.head(3)),
+            (store.take([4, 1, 3]), reference.take([4, 1, 3])),
+        ):
+            assert [identity_key(r) for r in derived.row_list()] == [
+                identity_key(r) for r in expected.row_list()
+            ]
+            # Derived stores own plain in-memory buffers — mutating them
+            # must never touch (or depend on) the source file.
+            for col in derived._cols:
+                assert not isinstance(col, memoryview)
+
+    def test_pickle_round_trip_detaches(self, schema, store_dir):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        store.append((6, "d", 1.5, 2))
+        clone = pickle.loads(pickle.dumps(store))
+        assert isinstance(clone, MmapStore)
+        assert not clone.is_mapped  # file paths mean nothing cross-process
+        assert clone.epoch == store.epoch
+        assert [identity_key(r) for r in clone.row_list()] == [
+            identity_key(r) for r in store.row_list()
+        ]
+
+    def test_unpicklable_objects_stay_in_memory(self, store_dir, tmp_path):
+        # Anonymous persistence degrades silently (the store is still fully
+        # valid in memory), but an explicit save must fail loudly.
+        store = MmapStore.from_rows(1, [(lambda: None,)])
+        assert not store.is_mapped
+        with pytest.raises(Exception):
+            store.save(tmp_path / f"bad{FILE_SUFFIX}")
+
+    def test_open_rejects_non_dataset_files(self, tmp_path):
+        path = tmp_path / f"junk{FILE_SUFFIX}"
+        path.write_bytes(b"not a dataset file at all")
+        with pytest.raises(ValueError):
+            MmapStore.open(path)
+
+
+# ---------------------------------------------------------------------------
+# Store-directory knob and anonymous-file hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestStoreDirKnob:
+    def test_set_store_dir_validates(self, tmp_path):
+        with pytest.raises(TypeError):
+            set_store_dir(123)
+        blocker = tmp_path / "a-file"
+        blocker.write_text("occupied")
+        with pytest.raises(ValueError):
+            set_store_dir(blocker / "child")  # cannot mkdir under a file
+
+    def test_set_store_dir_round_trips(self, tmp_path):
+        first = tmp_path / "first"
+        previous = set_store_dir(first)
+        try:
+            assert get_store_dir() == str(first)
+            assert set_store_dir(tmp_path / "second") == str(first)
+        finally:
+            set_store_dir(previous)
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        target = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_STORE_DIR", str(target))
+        previous = set_store_dir(None)  # back to lazy resolution
+        try:
+            assert get_store_dir() == str(target)
+            assert os.path.isdir(target)
+        finally:
+            set_store_dir(previous)
+
+    def test_anonymous_files_are_reference_counted(self, schema, store_dir):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        path = store.path
+        assert os.path.exists(path)
+        del store
+        gc.collect()
+        assert not os.path.exists(path)  # last mapping gone -> file unlinked
+
+    def test_cleanup_sweeps_leftovers(self, schema, store_dir):
+        stores = [MmapStore.from_rows(4, MIXED_ROWS) for _ in range(3)]
+        assert len(rpro_files(store_dir)) == 3
+        cleanup_store_dir()
+        assert rpro_files(store_dir) == []
+        del stores
+
+
+# ---------------------------------------------------------------------------
+# Dataset directories
+# ---------------------------------------------------------------------------
+
+
+class TestDatasetDirectories:
+    def test_save_open_round_trip_with_epoch(self, tiny_db, store_dir, tmp_path):
+        tiny_db.relation("emp").append((998, 2, 61.25, "g2"))
+        saved_epoch = tiny_db.publication_epoch
+        assert saved_epoch > 0
+        dataset = tmp_path / "dataset"
+        save_database(tiny_db, dataset)
+        assert MANIFEST_NAME in os.listdir(dataset)
+
+        reopened = open_database(dataset)
+        assert reopened.publication_epoch == saved_epoch
+        for name in tiny_db.relation_names:
+            assert_identical(reopened.relation(name), tiny_db.relation(name))
+            assert reopened.relation(name).store.is_mapped
+
+    def test_sharded_layout_preserved(self, tiny_db, store_dir, tmp_path):
+        db = to_backend(tiny_db, "sharded7")
+        dataset = tmp_path / "dataset"
+        save_database(db, dataset)
+        reopened = open_database(dataset)
+        store = reopened.relation("emp").store
+        assert isinstance(store, ShardedStore)
+        assert len(store.shards) == 7
+        assert store.partitioner == "hash"
+        assert all(isinstance(shard, MmapStore) for shard in store.shards)
+        assert_identical(reopened.relation("emp"), tiny_db.relation("emp"))
+
+    def test_open_without_schema_raises(self, tiny_db, store_dir, tmp_path):
+        dataset = tmp_path / "dataset"
+        save_database(tiny_db, dataset)
+        manifest_path = os.path.join(dataset, MANIFEST_NAME)
+        with open(manifest_path, "rb") as handle:
+            manifest = pickle.loads(handle.read())
+        schema = manifest.pop("schema")
+        manifest["schema"] = None
+        with open(manifest_path, "wb") as handle:
+            handle.write(pickle.dumps(manifest))
+        with pytest.raises(ValueError, match="schema"):
+            open_database(dataset)
+        # ...and supplying the schema explicitly recovers the dataset.
+        reopened = open_database(dataset, schema=schema)
+        assert_identical(reopened.relation("emp"), tiny_db.relation("emp"))
+
+    def test_open_rejects_non_manifest(self, tmp_path):
+        dataset = tmp_path / "dataset"
+        os.makedirs(dataset)
+        with open(os.path.join(dataset, MANIFEST_NAME), "wb") as handle:
+            handle.write(pickle.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="manifest"):
+            open_database(dataset)
+
+
+# ---------------------------------------------------------------------------
+# Crash-restart: reopen from disk, answers and epochs survive
+# ---------------------------------------------------------------------------
+
+
+def _tiny_constraints():
+    return [
+        ConstraintSpec("dept", ("did",), ("name", "budget"), n=1),
+        ConstraintSpec("emp", ("eid",), ("dept", "salary", "grade"), n=1),
+    ]
+
+
+RESTART_QUERIES = [
+    "SELECT e.eid, e.salary FROM emp e WHERE e.dept = 2",
+    "SELECT e.eid FROM emp e WHERE e.salary <= 60 AND e.grade = 'g1'",
+    "SELECT e.dept, SUM(e.salary) FROM emp e GROUP BY e.dept",
+]
+
+
+def test_crash_restart_bit_identical(tiny_db, store_dir, tmp_path):
+    """Write a dataset, drop every live object, reopen from disk alone.
+
+    The reopened database must answer every query bit-identically to the
+    one that was saved, and must report the *same* publication epoch — a
+    restart is not a mutation, so serving-layer cache keys minted before
+    it stay valid after it.
+    """
+    db = to_backend(tiny_db, "mmap")
+    db.relation("emp").append((999, 1, 55.5, "g1"))  # a non-zero epoch
+    beas = Beas(db, constraints=_tiny_constraints())
+    expected = {
+        sql: beas.answer(sql, alpha=0.5) for sql in RESTART_QUERIES
+    }
+    saved_epoch = db.publication_epoch
+    dataset = tmp_path / "dataset"
+    save_database(db, dataset)
+
+    del db, beas
+    gc.collect()
+
+    reopened = open_database(dataset)
+    assert reopened.publication_epoch == saved_epoch
+    revived = Beas(reopened, constraints=_tiny_constraints())
+    for sql, before in expected.items():
+        after = revived.answer(sql, alpha=0.5)
+        assert_identical(after.rows, before.rows)
+        assert after.eta == before.eta
+        assert after.tuples_accessed == before.tuples_accessed
+
+
+def test_restart_preserves_serving_cache_keys(tiny_db, store_dir, tmp_path):
+    """A result cached pre-restart is a hit post-restart (same epoch keys)."""
+    db = to_backend(tiny_db, "mmap")
+    beas = Beas(db, constraints=_tiny_constraints())
+    server = QueryServer(beas)
+    sql = RESTART_QUERIES[0]
+    cold = server.serve(sql, alpha=0.5)
+
+    dataset = tmp_path / "dataset"
+    save_database(db, dataset)
+    reopened = open_database(dataset)
+    revived = Beas(reopened, constraints=_tiny_constraints())
+    # Same caches, new engine — exactly the restart-with-warm-cache shape.
+    warm_server = QueryServer(
+        revived, result_cache=server.result_cache, plan_cache=server.plan_cache
+    )
+    warm = warm_server.serve(sql, alpha=0.5)
+    assert warm.result_cache_hit
+    assert warm.publication_epoch == cold.publication_epoch
+    assert_identical(warm.rows, cold.rows)
+
+
+# ---------------------------------------------------------------------------
+# Process execution: file handles instead of shared memory
+# ---------------------------------------------------------------------------
+
+
+needs_process = pytest.mark.skipif(
+    "process" not in SHARD_EXECUTORS, reason="platform cannot run worker processes"
+)
+
+
+class TestProcessExecution:
+    def test_worker_resolves_file_handles(self, schema, store_dir):
+        # Drive the worker-side resolver in-process: a file handle maps the
+        # file and caches the store under its identity token.
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        handle = store.file_handle()
+        assert handle is not None and handle[0] == "file"
+        resolved = parallel._resolve_store(handle)
+        assert [identity_key(r) for r in resolved.row_list()] == [
+            identity_key(r) for r in store.row_list()
+        ]
+        assert parallel._resolve_store(handle) is resolved  # token-cached
+
+    def test_detached_store_has_no_file_handle(self, schema, store_dir):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        store.append((6, "d", 1.5, 2))
+        assert store.file_handle() is None
+
+    def test_publication_is_file_backed(self, tiny_db, store_dir):
+        db = to_backend(tiny_db, "mmap-sharded")
+        store = db.relation("emp").store
+        publication = publication_for(store)
+        assert isinstance(publication, FilePublication)
+        assert all(handle[0] == "file" for handle in publication.handles)
+        publication.retire()  # no-op: nothing to unlink, nothing to unregister
+
+    @needs_process
+    def test_process_queries_use_zero_shared_memory(self, tiny_db, store_dir):
+        previous_executor = set_shard_executor("process")
+        previous_min_rows = parallel.set_process_min_rows(1)
+        try:
+            db = to_backend(tiny_db, "mmap-sharded")
+            beas = Beas(db, constraints=_tiny_constraints())
+            reference = Beas(tiny_db, constraints=_tiny_constraints())
+            segments_before = set(parallel._SEGMENT_REGISTRY)
+            for sql in RESTART_QUERIES:
+                got = beas.answer(sql, alpha=0.9)
+                assert_identical(got.rows, reference.answer(sql, alpha=0.9).rows)
+            # A shard-parallel gather forces a round trip through the
+            # worker pool (query plans above may stay on index paths).
+            store = db.relation("emp").store
+            gathered = store.gather_column(0, list(range(len(store))))
+            assert list(gathered) == [row[0] for row in tiny_db.relation("emp").rows]
+            # The store published file handles; the shared-memory segment
+            # registry never grew.
+            assert isinstance(store._publication, FilePublication)
+            assert set(parallel._SEGMENT_REGISTRY) == segments_before
+        finally:
+            set_shard_executor(previous_executor)
+            parallel.set_process_min_rows(previous_min_rows)
+
+
+# ---------------------------------------------------------------------------
+# NaN fidelity through the file (spot check beyond the conformance matrix)
+# ---------------------------------------------------------------------------
+
+
+def test_nan_and_negative_zero_survive_the_file(store_dir, tmp_path):
+    store = MmapStore.from_rows(1, [(NAN,), (-0.0,), (1.5,)])
+    path = tmp_path / f"nan{FILE_SUFFIX}"
+    store.save(path)
+    reopened = MmapStore.open(path)
+    values = [row[0] for row in reopened.row_list()]
+    assert math.isnan(values[0])
+    assert math.copysign(1.0, values[1]) == -1.0
+    assert values[2] == 1.5

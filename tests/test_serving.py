@@ -242,6 +242,40 @@ class TestCacheBackends:
         assert cache.get("k") is MISSING
         assert cache.info()["expirations"] == 1
 
+    def test_put_overflow_sweeps_expired_before_evicting(self):
+        """Regression: overflow discards dead (TTL-expired) entries first.
+
+        The old code LRU-popped on overflow without looking at timestamps,
+        so a live entry could be evicted to make room while expired entries
+        kept occupying slots until someone happened to ``get`` their exact
+        keys.
+        """
+        cache = LRUTTLCache(max_entries=3, ttl_seconds=0.01)
+        cache.put("dead-1", 1)
+        cache.put("dead-2", 2)
+        time.sleep(0.03)  # both entries are now past their TTL
+        cache.put("live", 3)
+        cache.put("overflow", 4)  # 4th entry: sweep the dead, keep the live
+        assert cache.get("live") == 3
+        assert cache.get("overflow") == 4
+        info = cache.info()
+        assert info["size"] == 2
+        # The sweep counts as expiration, not eviction — no live entry died.
+        assert info["expirations"] == 2
+        assert info["evictions"] == 0
+
+    def test_put_overflow_still_evicts_lru_when_nothing_expired(self):
+        cache = LRUTTLCache(max_entries=2, ttl_seconds=60.0)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is MISSING  # oldest live entry was LRU-evicted
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        info = cache.info()
+        assert info["evictions"] == 1
+        assert info["expirations"] == 0
+
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
             LRUTTLCache(max_entries=0)
@@ -440,6 +474,34 @@ class TestServingStats:
         with pytest.raises(ValueError):
             ServingStats(max_latency_samples=0)
 
+    def test_latency_window_slides(self):
+        """Regression: the sample buffer is a ring over the *latest* requests.
+
+        The old code stopped appending at ``max_latency_samples``, freezing
+        the percentiles on the first window forever — a server that got slow
+        after warm-up would keep reporting its warm-up latencies.
+        """
+        stats = ServingStats(max_latency_samples=4)
+        for _ in range(4):
+            stats.record_request(1.0, 0.5, result_cache_hit=False, plan_cache_hit=False, degraded=False)
+        for _ in range(4):
+            stats.record_request(2.0, 0.5, result_cache_hit=False, plan_cache_hit=False, degraded=False)
+        snap = stats.snapshot()
+        assert snap["counters"]["requests"] == 8  # counters are unbounded
+        assert snap["latency_seconds"]["samples"] == 4  # window is bounded
+        assert snap["latency_seconds"]["p50"] == 2.0  # ...and slid past the 1.0s
+        assert snap["latency_seconds"]["max"] == 2.0
+
+    def test_latency_window_partial_overwrite(self):
+        stats = ServingStats(max_latency_samples=3)
+        for seconds in (1.0, 2.0, 3.0, 4.0):
+            stats.record_request(seconds, 0.5, result_cache_hit=False, plan_cache_hit=False, degraded=False)
+        snap = stats.snapshot()
+        # Ring holds {2.0, 3.0, 4.0}: the oldest sample (1.0) was overwritten.
+        assert snap["latency_seconds"]["samples"] == 3
+        assert snap["latency_seconds"]["p50"] == 3.0
+        assert snap["latency_seconds"]["max"] == 4.0
+
 
 # ---------------------------------------------------------------------------
 # QueryServer end to end
@@ -618,6 +680,36 @@ def test_mutation_invalidates_result_cache(tiny_db, backend_name, executor):
         assert cold.fingerprint == post.fingerprint  # same query, new epoch
     finally:
         set_shard_executor(previous)
+
+
+def test_plan_cache_survives_budget_preserving_append(tiny_beas):
+    """Regression: a mutation that leaves ``⌊α·|D|⌋`` unchanged keeps plans.
+
+    A :class:`BoundedPlan` is a function of the query shape and the access
+    budget only, so there is no reason to re-plan after an append that does
+    not move the budget floor.  The old plan key carried the publication
+    epoch, forcing a needless re-plan on *every* mutation; only the result
+    cache needs the epoch term.
+    """
+    server = QueryServer(tiny_beas)
+    db = tiny_beas.database
+    sql = "SELECT e.eid FROM emp e WHERE e.dept = 2"
+    alpha = 0.1
+
+    budget_before = db.budget_for(alpha)
+    cold = server.serve(sql, alpha=alpha)
+    assert not cold.plan_cache_hit
+
+    # 65 → 66 tuples: ⌊0.1·65⌋ = ⌊0.1·66⌋ = 6, so the budget is unchanged.
+    db.relation("emp").append((998, 2, 62.0, "g1"))
+    assert db.budget_for(alpha) == budget_before
+
+    post = server.serve(sql, alpha=alpha)
+    assert not post.result_cache_hit  # epoch rotated the *result* key...
+    assert post.plan_cache_hit  # ...but the plan was reused as-is
+    assert post.publication_epoch > cold.publication_epoch
+    # The reused plan still answers correctly against the mutated data.
+    assert_identical(post.rows, tiny_beas.answer(sql, alpha=alpha).rows)
 
 
 # ---------------------------------------------------------------------------
