@@ -61,6 +61,20 @@ the per-relation restart cost the RAM-resident backends pay;
 ``mmap`` backend next to the in-RAM ``column`` backend on identical
 data, pinning the steady-state cost of reading through a file mapping.
 
+Part 7 measures what sticky shard→worker **affinity routing**
+(:func:`repro.relational.store.set_shard_affinity`) buys on the
+kernel-index workloads: with routing off, a repeat batch query lands on
+whichever pool worker grabs it, so warm per-worker caches (decoded
+shard stores, KD-trees, nearest-neighbour indexes) miss and rebuild;
+with routing on, every shard's work returns to its rendezvous-home
+worker and repeat queries run entirely against warm caches.
+``affinity_kd_radius`` / ``affinity_nn_batch`` record cold and warm
+(mean-of-repeats) batch latency in both modes plus the warm speedup;
+``affinity_select_gather`` audits the fused select+gather operator —
+one boundary crossing per fused call, exact payload bytes returned.
+Both modes are cross-checked against the serial reference, and each
+mode starts from a fully cold pool (``parallel.shutdown()``).
+
 ``--backends`` restricts which storage backends parts 2–3 and 6 exercise
 (comma-separated, e.g. ``--backends row,sharded``; part 1 is
 backend-independent).  Every timed run cross-checks that both sides return
@@ -560,11 +574,16 @@ def executor_config() -> dict:
     """The pinned executor/worker configuration a record was measured under."""
     import os
 
-    from repro.relational.store import get_shard_executor, get_shard_workers
+    from repro.relational.store import (
+        get_shard_affinity,
+        get_shard_executor,
+        get_shard_workers,
+    )
 
     return {
         "executor": get_shard_executor(),
         "workers": get_shard_workers(),
+        "affinity": get_shard_affinity(),
         "cpu_count": os.cpu_count(),
     }
 
@@ -697,6 +716,151 @@ def bench_parallel_section(size: int, queries: int, worker_counts) -> list:
     return records
 
 
+# ---------------------------------------------------------------------------
+# Sticky shard→worker affinity routing (process executor, PR 9)
+# ---------------------------------------------------------------------------
+
+AFFINITY_SCALE = 40_000
+AFFINITY_SHARDS = 4
+AFFINITY_REPEATS = 3
+AFFINITY_BATCH = 6
+AFFINITY_MODES = ("off", "on")
+
+
+def bench_affinity_section(size: int, repeats: int = AFFINITY_REPEATS) -> list:
+    """Warm repeat-query latency with affinity routing off vs on.
+
+    The workloads are the kernel-index batches — exactly where worker-side
+    caches carry real state: a KD-forest radius batch (each worker builds
+    one KD-tree per shard it serves) and a nearest-neighbour batch (bucket
+    map + per-bucket trees).  Protocol, per workload × mode: start from a
+    fully cold pool (``parallel.shutdown()``), pay one untimed-separately
+    *cold* batch (pool spawn + shared-memory publication + first index
+    build), then time ``repeats`` identical batches and record their mean
+    as the *warm* number.  With routing off the shared pool hands a
+    shard's task to whichever worker grabs it, so early repeats keep
+    paying store decodes and index rebuilds on cache-cold workers; with
+    routing on every shard's task returns to its rendezvous-home worker
+    and repeats rebuild nothing.  Workers == shards so stickiness, not
+    parallelism, is what's being measured (``cpu_count`` is recorded, as
+    in part 4).  Every answer is cross-checked against the serial
+    reference, and the fused select+gather record additionally audits the
+    one-crossing contract: ``boundary_crossings`` counts fused rounds
+    (each shard crossed once) and ``result_bytes`` the exact mask +
+    typed-buffer payload that came back.
+    """
+    from repro.relational import parallel
+    from repro.relational.kdtree import KDForest
+    from repro.relational.kernels import ShardedNearestNeighbors
+    from repro.relational.store import (
+        ShardedStore,
+        get_shard_affinity,
+        get_shard_executor,
+        set_shard_affinity,
+        set_shard_executor,
+        set_shard_workers,
+    )
+
+    rng = random.Random(size)
+    rows = _wide_rows(size, rng)
+    store = ShardedStore.configured(AFFINITY_SHARDS, "range").from_rows(
+        len(WIDE_SCHEMA), rows
+    )
+    relation = Relation(WIDE_SCHEMA, store=store)
+    # Radius 0.0 on the trivial id key (exact match) + a narrow band on the
+    # numeric attributes: per-query work stays small, so index builds —
+    # the state affinity keeps warm — dominate each batch.
+    radii = [0.0, 3.0, 3.0, 3.0, 3.0]
+    kd_queries = [(rows[rng.randrange(size)], radii) for _ in range(AFFINITY_BATCH)]
+    nn_queries = [rows[rng.randrange(size)] for _ in range(AFFINITY_BATCH)]
+    forest = KDForest(relation, max_leaf_size=8)
+    neighbors = ShardedNearestNeighbors(store, WIDE_SCHEMA.attributes)
+    workloads = (
+        ("affinity_kd_radius", lambda: forest.within_radius_indices_many(kd_queries)),
+        ("affinity_nn_batch", lambda: neighbors.min_distance_many(nn_queries)),
+    )
+    program = SELECTION_CONDITION.program(WIDE_SCHEMA)
+
+    previous_mode = get_shard_executor()
+    previous_affinity = get_shard_affinity()
+    previous_workers = set_shard_workers(AFFINITY_SHARDS)
+    records = []
+    try:
+        set_shard_executor("serial")
+        references = {name: fn() for name, fn in workloads}
+        ref_mask, ref_store = store.select_gather(program.run_part)
+        reference_rows = [ref_store.row(i) for i in range(len(ref_store))]
+
+        set_shard_executor("process")
+        for name, fn in workloads:
+            timings = {}
+            for mode in AFFINITY_MODES:
+                set_shard_affinity(mode)
+                parallel.shutdown()  # cold pool, cold worker caches
+                cold_seconds, out = _timed(fn)
+                assert out == references[name]  # two-mode differential
+                warm_total = 0.0
+                for _ in range(repeats):
+                    seconds, out = _timed(fn)
+                    assert out == references[name]
+                    warm_total += seconds
+                timings[mode] = (cold_seconds, warm_total / repeats)
+            off_cold, off_warm = timings["off"]
+            on_cold, on_warm = timings["on"]
+            records.append(
+                {
+                    "kernel": name,
+                    "size": size,
+                    "shards": AFFINITY_SHARDS,
+                    "workers": AFFINITY_SHARDS,
+                    "queries": AFFINITY_BATCH,
+                    "repeats": repeats,
+                    "off_cold_seconds": round(off_cold, 6),
+                    "off_warm_seconds": round(off_warm, 6),
+                    "on_cold_seconds": round(on_cold, 6),
+                    "on_warm_seconds": round(on_warm, 6),
+                    "warm_speedup": round(off_warm / max(on_warm, 1e-9), 2),
+                    "executor_config": executor_config(),
+                }
+            )
+
+        # Fused select+gather: one crossing per shard, payload accounted.
+        set_shard_affinity("on")
+        parallel.shutdown()
+        store.select_gather(program.run_part)  # cold warm-up (publish + spawn)
+        before = parallel.select_gather_stats()
+        affinity_before = parallel.affinity_stats()
+        seconds, fused = _timed(lambda: store.select_gather(program.run_part))
+        after = parallel.select_gather_stats()
+        affinity_after = parallel.affinity_stats()
+        mask, selected = fused
+        assert bytes(mask) == bytes(ref_mask)
+        assert [selected.row(i) for i in range(len(selected))] == reference_rows
+        records.append(
+            {
+                "kernel": "affinity_select_gather",
+                "size": size,
+                "shards": AFFINITY_SHARDS,
+                "workers": AFFINITY_SHARDS,
+                "selected_rows": len(reference_rows),
+                # Fused rounds this query took — 1 means select + gather
+                # crossed the pool boundary once (per shard), not twice.
+                "boundary_crossings": after["calls"] - before["calls"],
+                "result_bytes": after["result_bytes"] - before["result_bytes"],
+                "home_worker_tasks": affinity_after["hits"] - affinity_before["hits"],
+                "stolen_tasks": affinity_after["steals"] - affinity_before["steals"],
+                "warm_seconds": round(seconds, 6),
+                "executor_config": executor_config(),
+            }
+        )
+    finally:
+        set_shard_executor(previous_mode)
+        set_shard_affinity(previous_affinity)
+        set_shard_workers(previous_workers)
+        parallel.shutdown()
+    return records
+
+
 DEFAULT_BACKENDS = ("row", "column", "sharded", "mmap")
 
 
@@ -734,6 +898,7 @@ def run(
     backends: Sequence[str] = DEFAULT_BACKENDS,
     parallel_scale: int = PARALLEL_SCALE,
     parallel_workers: Sequence[int] = PARALLEL_WORKER_COUNTS,
+    affinity_scale: int = AFFINITY_SCALE,
 ) -> dict:
     register_sharded_variants()
     results = []
@@ -796,6 +961,9 @@ def run(
         parallel_results = bench_parallel_section(
             parallel_scale, parallel_queries, parallel_workers
         )
+    affinity_results = []
+    if "sharded" in backends:
+        affinity_results = bench_affinity_section(affinity_scale)
     mmap_results = []
     if "mmap" in backends:
         mmap_results = bench_mmap_section(scales, queries)
@@ -829,6 +997,7 @@ def run(
         "sharded": sharded_results,
         "mmap": mmap_results,
         "parallel": parallel_results,
+        "affinity": affinity_results,
         "columnar_engine": engine_results,
         "static_analysis": static_results,
     }
@@ -935,6 +1104,55 @@ def run(
                 ),
             )
         )
+    if affinity_results:
+        warm_records = [r for r in affinity_results if "warm_speedup" in r]
+        print(
+            format_table(
+                [
+                    "operation",
+                    "size",
+                    "off cold s",
+                    "off warm s",
+                    "on cold s",
+                    "on warm s",
+                    "warm speedup",
+                ],
+                [
+                    [
+                        r["kernel"],
+                        r["size"],
+                        r["off_cold_seconds"],
+                        r["off_warm_seconds"],
+                        r["on_cold_seconds"],
+                        r["on_warm_seconds"],
+                        f"{r['warm_speedup']}x",
+                    ]
+                    for r in warm_records
+                ],
+                title=(
+                    "Affinity routing: repeat-batch latency, off vs on "
+                    f"(workers = shards = {AFFINITY_SHARDS}) -> {destination}"
+                ),
+            )
+        )
+        fused_records = [r for r in affinity_results if "boundary_crossings" in r]
+        print(
+            format_table(
+                ["operation", "size", "rows out", "crossings", "result bytes", "warm s"],
+                [
+                    [
+                        r["kernel"],
+                        r["size"],
+                        r["selected_rows"],
+                        r["boundary_crossings"],
+                        r["result_bytes"],
+                        r["warm_seconds"],
+                    ]
+                    for r in fused_records
+                ],
+                title=f"Fused select+gather boundary accounting -> {destination}",
+            )
+        )
     print(
         format_table(
             ["target", "files", "rules", "findings", "suppressed", "best s", "files/s"],
@@ -1001,6 +1219,7 @@ def main() -> None:
         backends=backends,
         parallel_scale=20_000 if args.quick else PARALLEL_SCALE,
         parallel_workers=(1, 2) if args.quick else PARALLEL_WORKER_COUNTS,
+        affinity_scale=8_000 if args.quick else AFFINITY_SCALE,
     )
     worst = min(
         r["speedup"] for r in report["results"] if r["size"] == max(report["scales"])

@@ -577,13 +577,15 @@ class Evaluator:
         :meth:`_comparison_binder`); the whole conjunction then runs as one
         :class:`~repro.algebra.predicates.MaskProgram` — chunked, fused,
         selectivity-ordered — through
-        :meth:`~repro.relational.store.Store.eval_mask`, which on a sharded
-        backend runs the program shard-locally (over the shard's typed
-        buffers, in parallel when the shard pool allows) and stitches one
-        combined mask per shard.  The surviving rows are compressed out of
-        the backend in one pass, so no per-row tuple is materialized for
-        filtering.  Semantics are identical to the former row-at-a-time
-        ``all(check(row) ...)`` loop on every backend at every chunk size.
+        :meth:`~repro.relational.store.Store.select_gather`, which on a
+        sharded backend runs the program shard-locally (over the shard's
+        typed buffers, in parallel when the shard pool allows) and — under
+        the process executor with affinity routing on — fuses the mask and
+        the survivor gather into a single worker round-trip per shard.  The
+        surviving rows are compressed out of the backend in one pass, so no
+        per-row tuple is materialized for filtering.  Semantics are
+        identical to the former row-at-a-time ``all(check(row) ...)`` loop
+        on every backend at every chunk size.
         """
         if not condition:
             return frame
@@ -599,11 +601,11 @@ class Evaluator:
             program = MaskProgram(
                 [self._comparison_binder(frame.schema, comparison) for comparison in condition]
             )
-        mask = program.mask(frame.store)
-        if mask.count(1) == len(frame):
+        mask, selected = frame.store.select_gather(program.run_part)
+        if selected is frame.store:
             return frame
         weights = list(compress(frame.weights, mask))
-        return Frame(frame.schema, weights=weights, store=frame.store.select_mask(mask))
+        return Frame(frame.schema, weights=weights, store=selected)
 
     def _comparison_binder(
         self, schema: RelationSchema, comparison: Comparison

@@ -598,7 +598,13 @@ class ShardedRadiusMatcher:
     def _process_batch(
         self, queries: Sequence[Sequence[object]], want_indices: bool
     ) -> Optional[List[List[object]]]:
-        """Per-shard batch answers from the process pool (``None`` = fall back)."""
+        """Per-shard batch answers from the process pool (``None`` = fall back).
+
+        Batches route through the affinity queues (see
+        :mod:`repro.relational.parallel`): each shard's task lands on its
+        rendezvous-home worker, where the decoded store and the cached
+        bucket matcher from earlier batches are already warm.
+        """
         if get_shard_executor() != "process" or not queries:
             return None
         # Workers build plain RadiusMatchers; a subclass with overridden
@@ -851,7 +857,12 @@ class ShardedNearestNeighbors:
         return best
 
     def min_distance_many(self, queries: Sequence[Sequence[object]]) -> List[float]:
-        """:meth:`min_distance` for a whole batch (one pool round per shard)."""
+        """:meth:`min_distance` for a whole batch (one pool round per shard).
+
+        Process-pool batches follow the shard's affinity queue, so repeat
+        batches hit a worker whose cached nearest-neighbor index survives
+        between calls instead of being rebuilt cold.
+        """
         queries = list(queries)
         # Subclassed indexes keep their overridden behavior: workers build
         # plain NearestNeighbors, so only the base class ships batches.

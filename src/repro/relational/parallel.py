@@ -38,6 +38,40 @@ The contract that makes this fast is *publish once, query many*:
   are keyed by segment name, so stale entries can never answer a query; they
   simply age out of the LRU.
 
+**Affinity routing.**  With :func:`repro.relational.store.set_shard_affinity`
+``"on"`` (the default; ``REPRO_SHARD_AFFINITY`` overrides at import time),
+shard tasks no longer go to a free-for-all shared pool: the
+:class:`_AffinityRouter` keeps one dedicated single-worker queue (*slot*)
+per configured worker and routes every task by **rendezvous hashing** its
+publication handle token — the home slot is the argmax over slots of
+``blake2b(token | slot index | slot generation)``, deterministic across
+processes and hash seeds.  Each shard's decoded store and cached kernel
+indexes therefore live on exactly one warm worker across queries.  Overflow
+**work-stealing** keeps slots busy when shards outnumber workers: a task
+whose home slot already has a queue is diverted to an idle slot (any worker
+can resolve any handle — stealing costs cache warmth, never correctness).
+A dead worker (``BrokenProcessPool``) repairs only its own slot: the pool is
+rebuilt and the slot's *generation* is bumped, which re-draws that slot's
+rendezvous scores — tokens only ever move from or to the repaired slot,
+every other assignment is untouched.  :func:`reset_process_pool` (worker
+count or affinity-mode changes) discards the router wholesale for a full
+re-hash.  Routing hit/steal/re-hash counters are exposed through
+:func:`affinity_stats`; the serving layer reports them per request.
+
+**Fused select+gather.**  On top of the sticky routing, selection ships as
+**one whole operator** instead of a mask round-trip plus central gather:
+:func:`process_select_gather` sends each shard's worker ``(pickled
+masker, output column positions, optional per-shard α-budget slice
+⌈α·|shard|⌉)`` and receives ``(mask bytes, packed typed-column payloads)``
+— the gathered buffers in :func:`_encode_buffer` form, typed ``array``
+columns as raw bytes — so a select→gather crosses the process boundary
+exactly once per shard.  Workers short-circuit the payload (``None``) when
+every row survives or there is nothing to gather; budget slices truncate
+with the same :func:`~repro.relational.store._truncate_mask` the serial and
+thread paths use.  :meth:`ShardedStore.select_gather` adopts the returned
+buffers as fresh column stores; :func:`select_gather_stats` accounts the
+round-trip bytes.
+
 **Fallbacks.**  Everything here degrades gracefully to the thread path: the
 parent returns ``None`` (and the caller falls back) when the store is
 smaller than :func:`get_process_min_rows`, when the work or its parameters
@@ -45,20 +79,23 @@ fail to pickle, when the platform cannot create shared memory or process
 pools (the payload then ships inline inside the task, still cached by
 token), when called from inside a worker (no nested pools), or after
 repeated pool failures.  Results are bit-identical across ``"serial"``,
-``"thread"`` and ``"process"`` modes — the cross-backend conformance matrix
-and the hypothesis properties in ``tests/test_parallel.py`` enforce this.
+``"thread"`` and ``"process"`` modes — with affinity on or off — the
+cross-backend conformance matrix and the hypothesis properties in
+``tests/test_parallel.py`` enforce this.
 
 **Lifecycle.**  One cleanup hook, registered on first use, shuts the pool
-down and unlinks every live segment at interpreter exit, so test runs and
-the benchmark harness terminate without ``resource_tracker`` warnings;
-:func:`reset_process_pool` (called by
-:func:`~repro.relational.store.set_shard_workers`) retires the pool early so
-the next query re-creates it at the new bound.
+and the affinity router down and unlinks every live segment at interpreter
+exit, so test runs and the benchmark harness terminate without
+``resource_tracker`` warnings; :func:`reset_process_pool` (called by
+:func:`~repro.relational.store.set_shard_workers` and
+:func:`~repro.relational.store.set_shard_affinity`) retires both early so
+the next query re-creates them at the new bound/topology.
 """
 
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
 import pickle
 import threading
@@ -67,6 +104,7 @@ import weakref
 from array import array
 from collections import OrderedDict
 from concurrent.futures import CancelledError
+from itertools import compress
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .store import (
@@ -76,6 +114,8 @@ from .store import (
     _KIND_FLOAT,
     _KIND_INT,
     _KIND_OBJECT,
+    _truncate_mask,
+    get_shard_affinity,
     get_shard_workers,
 )
 
@@ -117,6 +157,38 @@ def set_process_min_rows(count: Optional[int]) -> int:
     if count < 1:
         raise ValueError(f"process min rows must be >= 1, got {count}")
     _process_min_rows = count
+    return previous
+
+
+DEFAULT_PROBE_TIMEOUT = 10.0
+
+_probe_timeout = DEFAULT_PROBE_TIMEOUT
+
+
+def get_probe_timeout() -> float:
+    """Seconds :func:`probe_process_executor` waits for the ping round-trip."""
+    return _probe_timeout
+
+
+def set_probe_timeout(seconds: Optional[float]) -> float:
+    """Bound the executor-probe wait; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_PROBE_TIMEOUT`; values that are not
+    positive finite numbers raise :exc:`ValueError`.  A wedged pool (a
+    worker that hangs during spawn, a sandbox that silently swallows the
+    task) used to stall the first probing caller for a full minute; now the
+    probe gives up after this many seconds and trips the failure breaker
+    instead, so the session degrades to the thread path promptly.
+    """
+    global _probe_timeout
+    previous = _probe_timeout
+    if seconds is None:
+        _probe_timeout = DEFAULT_PROBE_TIMEOUT
+        return previous
+    seconds = float(seconds)
+    if not seconds > 0:
+        raise ValueError(f"probe timeout must be > 0 seconds, got {seconds}")
+    _probe_timeout = seconds
     return previous
 
 
@@ -413,6 +485,7 @@ def publication_for(store: Store):
 
 _pool = None
 _pool_workers: Optional[int] = None
+_router = None  # the _AffinityRouter when shard affinity is "on"
 _pool_lock = threading.Lock()
 _pool_failures = 0
 _MAX_POOL_FAILURES = 3
@@ -436,31 +509,40 @@ def _register_cleanup() -> None:
 
 
 def shutdown() -> None:
-    """Shut the process pool down and unlink every live segment.
+    """Shut the process pool and affinity router down; unlink every segment.
 
     Registered once with :mod:`atexit` on first use; safe to call directly
     (e.g. by a benchmark harness) — the next process-mode query starts
     fresh.
     """
-    global _pool, _pool_workers
+    global _pool, _pool_workers, _router
     with _pool_lock:
         stale, _pool, _pool_workers = _pool, None, None
+        stale_router, _router = _router, None
     if stale is not None:
         stale.shutdown(wait=True, cancel_futures=True)
+    if stale_router is not None:
+        stale_router.close(wait=True)
     _release_segments(list(_SEGMENT_REGISTRY))
 
 
 def reset_process_pool() -> None:
-    """Retire the pool so the next query re-creates it at the current bound.
+    """Retire the pool/router so the next query re-creates them as configured.
 
-    Called by :func:`repro.relational.store.set_shard_workers`; published
-    segments stay alive (they are sized by the data, not the pool).
+    Called by :func:`repro.relational.store.set_shard_workers` and
+    :func:`repro.relational.store.set_shard_affinity`; published segments
+    stay alive (they are sized by the data, not the pool).  Discarding the
+    router is the *full re-hash*: the replacement starts with fresh slots at
+    generation zero, so every token is rendezvous-scored anew.
     """
-    global _pool, _pool_workers
+    global _pool, _pool_workers, _router
     with _pool_lock:
         stale, _pool, _pool_workers = _pool, None, None
+        stale_router, _router = _router, None
     if stale is not None:
         stale.shutdown(wait=False, cancel_futures=True)
+    if stale_router is not None:
+        stale_router.close(wait=False)
 
 
 def _mp_context():
@@ -532,6 +614,210 @@ def _ensure_pool():
         return pool
 
 
+# ---------------------------------------------------------------------------
+# Affinity router: sticky shard→worker routing over rendezvous hashing
+# ---------------------------------------------------------------------------
+
+# A home slot with this many tasks already in flight may overflow to an idle
+# slot (work stealing).  Below it, tasks queue behind their home worker —
+# keeping a shard's next query on the same warm cache is worth a short wait;
+# a real backlog (shards ≫ workers) spills to whoever is free.
+_STEAL_THRESHOLD = 2
+
+
+class _AffinitySlot:
+    """One dedicated worker queue of the router: a single-worker process pool.
+
+    ``generation`` feeds the rendezvous score, so repairing a dead slot
+    (which bumps it) re-draws only this slot's scores; ``inflight`` is the
+    router's load signal for work stealing.
+    """
+
+    __slots__ = ("index", "pool", "inflight", "generation")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.pool = None  # created lazily on the first routed task
+        self.inflight = 0
+        self.generation = 0
+
+
+class _AffinityRouter:
+    """Rendezvous-hash table from publication token to dedicated worker slot.
+
+    The home slot of a token is the slot maximizing
+    ``blake2b(token | slot index | slot generation)`` — deterministic across
+    processes and ``PYTHONHASHSEED`` values (``hash()`` is salted; a salted
+    route table would scatter shards differently every run).  Resolved homes
+    are memoized in ``_route_cache`` and the cache is dropped whenever any
+    generation changes.
+
+    Tokens never queue anywhere *but* their home unless the home already has
+    :data:`_STEAL_THRESHOLD` tasks in flight and another slot is idle — then
+    the overflow task is stolen by the least-loaded idle slot (counted in
+    ``steals``; results are identical either way, the thief merely decodes
+    cold).  A ``BrokenProcessPool`` repairs only the broken slot via
+    :meth:`repair`: fresh pool, bumped generation — after which a token's
+    assignment can change only *from* or *to* the repaired slot, because
+    every other slot's scores are untouched.
+    """
+
+    def __init__(self, slot_count: int) -> None:
+        self._slots = [_AffinitySlot(index) for index in range(slot_count)]
+        self._lock = threading.Lock()
+        self._route_cache: Dict[str, int] = {}
+        self.hits = 0
+        self.steals = 0
+        self.rehashes = 0
+
+    @property
+    def slot_count(self) -> int:
+        return len(self._slots)
+
+    @staticmethod
+    def _score(token: str, slot: _AffinitySlot) -> bytes:
+        payload = f"{token}|{slot.index}|{slot.generation}".encode("utf-8")
+        return hashlib.blake2b(payload, digest_size=8).digest()
+
+    def home_index(self, token: str) -> int:
+        """The token's home slot index (memoized rendezvous argmax)."""
+        with self._lock:
+            cached = self._route_cache.get(token)
+            if cached is not None:
+                return cached
+            best = max(self._slots, key=lambda slot: self._score(token, slot))
+            self._route_cache[token] = best.index
+            return best.index
+
+    def submit(self, token: str, fn: Callable, *args) -> Tuple[object, _AffinitySlot]:
+        """Submit ``fn(*args)`` onto the token's home slot (or steal)."""
+        home = self._slots[self.home_index(token)]
+        with self._lock:
+            slot = home
+            if home.inflight >= _STEAL_THRESHOLD and len(self._slots) > 1:
+                idlest = min(self._slots, key=lambda s: (s.inflight, s.index))
+                if idlest.inflight == 0:
+                    slot = idlest
+            if slot is home:
+                self.hits += 1
+            else:
+                self.steals += 1
+            slot.inflight += 1
+            pool = slot.pool
+            if pool is None:
+                try:
+                    pool = slot.pool = self._create_pool()
+                except Exception:
+                    slot.inflight -= 1
+                    raise
+        try:
+            future = pool.submit(fn, *args)
+        except Exception:
+            with self._lock:
+                slot.inflight -= 1
+            raise
+        future.add_done_callback(lambda _future, slot=slot: self._task_done(slot))
+        return future, slot
+
+    @staticmethod
+    def _create_pool():
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = _mp_context()
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(_context_method(context),),
+        )
+
+    def _task_done(self, slot: _AffinitySlot) -> None:
+        with self._lock:
+            slot.inflight = max(0, slot.inflight - 1)
+
+    def repair(self, slot: _AffinitySlot) -> None:
+        """Replace a dead slot's pool and re-draw its rendezvous scores."""
+        with self._lock:
+            stale, slot.pool = slot.pool, None
+            slot.generation += 1
+            slot.inflight = 0
+            self.rehashes += 1
+            self._route_cache.clear()
+        if stale is not None:
+            stale.shutdown(wait=False, cancel_futures=True)
+
+    def close(self, wait: bool = True) -> None:
+        """Shut every slot pool down (the router is dead afterwards)."""
+        with self._lock:
+            stale = [slot.pool for slot in self._slots if slot.pool is not None]
+            for slot in self._slots:
+                slot.pool = None
+                slot.inflight = 0
+            self._route_cache.clear()
+        for pool in stale:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "steals": self.steals,
+                "rehashes": self.rehashes,
+                "slots": len(self._slots),
+            }
+
+
+def _ensure_router():
+    """The affinity router (or ``None`` when affinity is off).
+
+    Created lazily at the current worker count — one single-worker slot per
+    configured worker, pools spawned on first routed task.  A worker-count
+    or affinity-mode change discards it via :func:`reset_process_pool`
+    (full re-hash); slot-level failures repair in place instead.
+    """
+    global _router
+    if get_shard_affinity() != "on":
+        return None
+    workers = get_shard_workers()
+    with _pool_lock:
+        if _router is not None and _router.slot_count == workers:
+            return _router
+    with _pool_create_lock:
+        with _pool_lock:
+            if _router is not None and _router.slot_count == workers:
+                return _router
+            stale, _router = _router, None
+        if stale is not None:
+            stale.close(wait=False)
+        router = _AffinityRouter(workers)
+        _register_cleanup()
+        with _pool_lock:
+            _router = router
+    return router
+
+
+def affinity_stats() -> Dict[str, int]:
+    """Parent-side routing counters (all zero while the router is inactive).
+
+    ``hits`` counts tasks executed on their rendezvous home slot, ``steals``
+    tasks diverted to an idle slot by work-stealing overflow, ``rehashes``
+    slot repairs after worker deaths, ``slots`` the router width.  The
+    serving layer reports per-request deltas of hits/steals in every
+    :class:`~repro.serving.envelope.ServingEnvelope`.
+    """
+    router = _router
+    if router is None:
+        return {"hits": 0, "steals": 0, "rehashes": 0, "slots": 0}
+    return router.stats()
+
+
+def _breaker_strike() -> None:
+    """One consecutive-failure strike that keeps healthy router slots warm."""
+    global _pool_failures
+    with _pool_lock:
+        _pool_failures += 1
+
+
 def _pool_failed() -> None:
     """Record a broken pool; the breaker trips after consecutive failures.
 
@@ -560,16 +846,25 @@ def process_eligible(store: Store) -> bool:
 def probe_process_executor() -> bool:
     """Whether a worker round-trip actually works on this platform.
 
-    Spawns the pool (if needed) and runs one trivial task; used by test
-    harnesses to decide whether process-mode legs are meaningful.
+    Spawns the pool (or the home router slot, under affinity) if needed and
+    runs one trivial task; used by test harnesses to decide whether
+    process-mode legs are meaningful.  The wait is bounded by
+    :func:`get_probe_timeout` — a pool that wedges during spawn trips the
+    failure breaker and the probe reports ``False`` promptly instead of
+    stalling the first query behind a 60-second result wait.
     """
     if _IN_PROCESS_WORKER or _pool_failures >= _MAX_POOL_FAILURES:
         return False
-    pool = _ensure_pool()
-    if pool is None:
-        return False
     try:
-        return pool.submit(_worker_ping).result(timeout=60)
+        router = _ensure_router()
+        if router is not None:
+            future, _slot = router.submit("__probe__", _worker_ping)
+        else:
+            pool = _ensure_pool()
+            if pool is None:
+                return False
+            future = pool.submit(_worker_ping)
+        return future.result(timeout=_probe_timeout)
     except Exception:
         _pool_failed()
         return False
@@ -578,28 +873,39 @@ def probe_process_executor() -> bool:
 def _submit_per_shard(
     store: Store, fn: Callable, args_per_shard: Sequence[Tuple]
 ) -> Optional[List[object]]:
-    """Run ``fn(handle, *args)`` for every shard on the pool; ``None`` on failure.
+    """Run ``fn(handle, *args)`` for every shard; ``None`` on infra failure.
 
-    Infrastructure failures (a broken pool, a segment that vanished under a
-    concurrent mutation) trigger the thread-path fallback; genuine
+    With shard affinity on, every task is routed through the affinity
+    router by its handle token — the shard's dedicated warm worker, with
+    work-stealing overflow; otherwise tasks go to the shared free-for-all
+    pool.  Infrastructure failures (a broken pool, a segment that vanished
+    under a concurrent mutation) trigger the thread-path fallback; genuine
     application errors raised by the shipped computation propagate to the
     caller exactly as they would on the thread path.
     """
     publication = publication_for(store)
     if publication is None:  # unpublishable payloads: thread fallback
         return None
-    pool = _ensure_pool()
-    if pool is None:
+    router = _ensure_router()
+    pool = None if router is not None else _ensure_pool()
+    if router is None and pool is None:
         return None
     from concurrent.futures.process import BrokenProcessPool
 
     global _pool_failures
+    futures: List[object] = []
+    slots: List[Optional[_AffinitySlot]] = []
     try:
-        futures = [
-            pool.submit(fn, handle, *args)
-            for handle, args in zip(publication.handles, args_per_shard)
-        ]
-    except RuntimeError:  # pool shut down under us (concurrent reset)
+        for handle, args in zip(publication.handles, args_per_shard):
+            if router is not None:
+                future, slot = router.submit(handle[1], fn, handle, *args)
+            else:
+                future, slot = pool.submit(fn, handle, *args), None
+            futures.append(future)
+            slots.append(slot)
+    except (RuntimeError, OSError, ValueError, ImportError):
+        # Pool shut down under us (concurrent reset) or a slot pool could
+        # not be created at all — infrastructure, not the computation.
         _pool_failed()
         return None
     try:
@@ -613,7 +919,20 @@ def _submit_per_shard(
         # Dead workers or segments unlinked mid-flight are infrastructure
         # failures; anything else a worker raises is the computation's own
         # error and propagates exactly as on the thread path.
-        _pool_failed()
+        if router is not None:
+            # Repair only the slots whose futures actually broke; healthy
+            # slots keep their warm workers and routed tokens.
+            for future, slot in zip(futures, slots):
+                if (
+                    slot is not None
+                    and future.done()
+                    and not future.cancelled()
+                    and isinstance(future.exception(), BrokenProcessPool)
+                ):
+                    router.repair(slot)
+            _breaker_strike()
+        else:
+            _pool_failed()
         return None
     with _pool_lock:
         _pool_failures = 0  # the breaker counts *consecutive* failures only
@@ -678,6 +997,124 @@ def process_gather(
     if results is None:
         return None
     return [_decode_buffer(result) for result in results]
+
+
+# Fused select+gather accounting (parent side): how many fused calls ran,
+# and how many payload bytes came back across the boundary — the benchmark
+# harness reads the deltas to audit the one-crossing contract.
+_stats_lock = threading.Lock()
+_select_gather_calls = 0
+_select_gather_result_bytes = 0
+_select_gather_object_values = 0
+
+
+def select_gather_stats() -> Dict[str, int]:
+    """Cumulative fused select+gather accounting.
+
+    ``calls`` counts :func:`process_select_gather` rounds that completed on
+    the pool (one boundary crossing per shard each); ``result_bytes`` the
+    exact mask + typed-buffer bytes that crossed back; ``object_values`` the
+    number of object-column values that crossed by pickle (their byte size
+    is codec-dependent, so they are counted, not sized).
+    """
+    with _stats_lock:
+        return {
+            "calls": _select_gather_calls,
+            "result_bytes": _select_gather_result_bytes,
+            "object_values": _select_gather_object_values,
+        }
+
+
+def adopt_gathered(buffers: Sequence[Sequence[object]], length: int) -> ColumnStore:
+    """Adopt one shard's fused-gather buffers as a fresh column store.
+
+    ``buffers`` are :func:`_decode_buffer` outputs in column-position order
+    — typed ``array`` buffers stay typed, object columns are plain lists —
+    exactly the buffer kinds :meth:`ColumnStore.select_mask` would have
+    produced locally, so the fused path's derived stores are
+    indistinguishable from the fallback's.
+    """
+    kinds: List[str] = []
+    cols: List[Sequence[object]] = []
+    for buffer in buffers:
+        if not len(buffer):
+            kinds.append(_KIND_EMPTY)
+            cols.append([])
+        elif isinstance(buffer, array) and buffer.typecode in _TYPECODE_KINDS:
+            kinds.append(_TYPECODE_KINDS[buffer.typecode])
+            cols.append(buffer)
+        else:
+            kinds.append(_KIND_OBJECT)
+            cols.append(list(buffer))
+    shell = ColumnStore(len(cols))
+    return shell._adopt(kinds, cols, length)
+
+
+def process_select_gather(
+    store: Store,
+    masker: Callable[[Store], Sequence[int]],
+    positions: Sequence[int],
+    shard_limits: Optional[Sequence[Optional[int]]] = None,
+) -> Optional[Tuple[List[bytearray], List[Optional[List[Sequence[object]]]]]]:
+    """Fused select+gather per shard in one boundary crossing each.
+
+    Wire format per shard — shipped: ``(pickled masker, output column
+    positions, α-budget slice or None)``; received: ``(mask bytes, packed
+    column payloads)`` where the payloads are :func:`_encode_buffer` tuples
+    for the *selected* rows of every requested column, or ``None`` when the
+    worker short-circuited (every row survived / nothing to gather) and the
+    parent materializes from its own shard copy instead.
+
+    Returns ``(per-shard masks, per-shard decoded buffer lists)`` in shard
+    order, or ``None`` (thread fallback) when the store is too small, the
+    masker does not pickle, or the pool is unavailable.
+    """
+    global _select_gather_calls, _select_gather_result_bytes, _select_gather_object_values
+    if not process_eligible(store):
+        return None
+    payload = _dumps(masker)
+    if payload is None:
+        return None
+    positions = list(positions)
+    shards = store.shards
+    limits = (
+        list(shard_limits) if shard_limits is not None else [None] * len(shards)
+    )
+    if len(limits) != len(shards):
+        raise ValueError(
+            f"expected {len(shards)} shard limits, got {len(limits)}"
+        )
+    results = _submit_per_shard(
+        store,
+        _worker_select_gather,
+        [(payload, positions, limit) for limit in limits],
+    )
+    if results is None:
+        return None
+    masks: List[bytearray] = []
+    buffers: List[Optional[List[Sequence[object]]]] = []
+    returned_bytes = 0
+    object_values = 0
+    for mask_bytes, encoded in results:
+        masks.append(bytearray(mask_bytes))
+        returned_bytes += len(mask_bytes)
+        if encoded is None:
+            buffers.append(None)
+            continue
+        decoded: List[Sequence[object]] = []
+        for item in encoded:
+            tag, _typecode, data = item
+            if tag == "arr":
+                returned_bytes += len(data)
+            else:
+                object_values += len(data)
+            decoded.append(_decode_buffer(item))
+        buffers.append(decoded)
+    with _stats_lock:
+        _select_gather_calls += 1
+        _select_gather_result_bytes += returned_bytes
+        _select_gather_object_values += object_values
+    return masks, buffers
 
 
 def radius_matches_many(
@@ -769,6 +1206,42 @@ _INDEX_CACHE: "OrderedDict[Tuple[str, str, bytes], object]" = OrderedDict()
 _STORE_CACHE_LIMIT = 64
 _INDEX_CACHE_LIMIT = 64
 
+# Worker-private cold-work counters: how many shard payloads this worker
+# decoded and how many kernel indexes it built.  Under sticky affinity a
+# repeated query should add zero to either — _worker_cache_stats ships them
+# back so tests and the benchmark can assert/score cache warmth per slot.
+_CACHE_STATS = {"store_decodes": 0, "index_builds": 0}
+
+
+def _worker_cache_stats() -> Dict[str, int]:
+    """This worker's cold-work counters (a snapshot copy)."""
+    return dict(_CACHE_STATS)
+
+
+def worker_cache_stats(timeout: Optional[float] = None) -> Optional[List[Dict[str, int]]]:
+    """Per-slot worker cold-work counters, in slot order (router only).
+
+    Queries every *live* slot of the affinity router (slots whose pool has
+    never spawned report zeros without spawning one).  Returns ``None``
+    when the router is inactive — the shared pool's workers cannot be
+    addressed individually, so there is nothing meaningful to collect.
+    """
+    router = _router
+    if router is None:
+        return None
+    wait = _probe_timeout if timeout is None else timeout
+    stats: List[Dict[str, int]] = []
+    for slot in router._slots:
+        pool = slot.pool
+        if pool is None:
+            stats.append({"store_decodes": 0, "index_builds": 0})
+            continue
+        try:
+            stats.append(pool.submit(_worker_cache_stats).result(timeout=wait))
+        except Exception:
+            stats.append({"store_decodes": 0, "index_builds": 0})
+    return stats
+
 
 _WORKER_START_METHOD = "fork"
 
@@ -788,6 +1261,7 @@ def _worker_init(start_method: str = "fork") -> None:
     _WORKER_START_METHOD = start_method  # repro: ignore[STATE001] pre-task worker init
     _STORE_CACHE.clear()  # repro: ignore[STATE001] pre-task worker init
     _INDEX_CACHE.clear()  # repro: ignore[STATE001] pre-task worker init
+    _CACHE_STATS.update(store_decodes=0, index_builds=0)  # repro: ignore[STATE001] pre-task worker init
     from . import store as store_module
 
     store_module._shard_pool = None
@@ -807,12 +1281,14 @@ def _untrack_segment(shm: object) -> None:
     would try to unlink the segment again when the worker exits (the
     well-known ``resource_tracker`` warning).  The worker only ever reads
     and copies, so it forgets the registration immediately.  Under ``fork``
-    the tracker process is *shared* with the parent — unregistering here
-    would strip the parent's own registration and make the parent's final
-    ``unlink`` trip a KeyError inside the tracker — so forked workers leave
-    the registration alone.
+    — and ``forkserver``, whose server process inherits the parent's
+    tracker fd and hands it to every child — the tracker process is
+    *shared* with the parent: unregistering here would strip the parent's
+    own registration and make the parent's final ``unlink`` trip a
+    KeyError inside the tracker, so those workers leave the registration
+    alone.
     """
-    if _WORKER_START_METHOD == "fork":
+    if _WORKER_START_METHOD in ("fork", "forkserver"):
         return
     try:  # pragma: no cover - depends on CPython internals staying put
         from multiprocessing import resource_tracker
@@ -856,6 +1332,7 @@ def _resolve_store(handle: Handle) -> Store:
     else:
         payload = _read_segment(token, extra) if kind == "shm" else extra
         store = decode_store(payload)
+    _CACHE_STATS["store_decodes"] += 1  # repro: ignore[STATE001] worker-private counter
     _STORE_CACHE[token] = store  # repro: ignore[STATE001] worker-private cache
     while len(_STORE_CACHE) > _STORE_CACHE_LIMIT:
         stale, _ = _STORE_CACHE.popitem(last=False)  # repro: ignore[STATE001] worker-private cache
@@ -870,6 +1347,7 @@ def _cached_index(token: str, kind: str, spec: bytes, build: Callable[[], object
     if index is None:
         index = build()
         # Worker-private cache; see _resolve_store for why no lock is taken.
+        _CACHE_STATS["index_builds"] += 1  # repro: ignore[STATE001] worker-private counter
         _INDEX_CACHE[key] = index  # repro: ignore[STATE001] worker-private cache
         while len(_INDEX_CACHE) > _INDEX_CACHE_LIMIT:
             _INDEX_CACHE.popitem(last=False)  # repro: ignore[STATE001] worker-private cache
@@ -889,6 +1367,33 @@ def _worker_gather(
 ) -> Tuple[str, Optional[str], object]:
     store = _resolve_store(handle)
     return _encode_buffer(store.gather_column(position, indices))
+
+
+def _worker_select_gather(
+    handle: Handle,
+    masker_payload: bytes,
+    positions: Sequence[int],
+    limit: Optional[int],
+) -> Tuple[bytes, Optional[List[Tuple[str, Optional[str], object]]]]:
+    """The fused operator: mask, budget-truncate, and gather in one task.
+
+    Returns ``(mask bytes, encoded column payloads)``; the payloads are
+    ``None`` when every row survived (the parent's own shard copy is
+    cheaper than shipping the whole shard back) or when there are no
+    columns to gather.
+    """
+    store = _resolve_store(handle)
+    masker = pickle.loads(masker_payload)
+    mask = bytearray(masker(store))
+    if limit is not None:
+        _truncate_mask(mask, limit)
+    if not positions or mask.count(1) == len(mask):
+        return bytes(mask), None
+    indices = list(compress(range(len(mask)), mask))
+    return bytes(mask), [
+        _encode_buffer(store.gather_column(position, indices))
+        for position in positions
+    ]
 
 
 def _worker_radius_matches(

@@ -87,6 +87,7 @@ relation/frame for mutation purposes; derived stores are always fresh copies.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 from array import array
@@ -256,6 +257,40 @@ class Store:
         mask = masker(self)
         return mask if isinstance(mask, bytearray) else bytearray(mask)
 
+    def select_gather(
+        self,
+        masker: Callable[["Store"], Sequence[int]],
+        shard_limits: Optional[Sequence[Optional[int]]] = None,
+    ) -> Tuple[bytearray, "Store"]:
+        """Fused select+gather: evaluate ``masker`` and materialize survivors.
+
+        Returns ``(mask, selected)`` where ``mask`` is the 0/1 byte mask in
+        global row order (after any budget truncation) and ``selected`` is a
+        store holding exactly the surviving rows — ``self`` itself when every
+        row survives, so callers can use identity to skip rebuilding.
+
+        ``shard_limits`` optionally caps the number of selected rows per
+        :meth:`shard_views` partition (one entry per view, ``None`` =
+        unlimited): the per-shard α-budget slice ``⌈α·|shard|⌉`` of shipped
+        work (see :func:`shard_budget_slices`).  Truncation keeps the *first*
+        ``limit`` survivors of each partition in row order, identically on
+        every execution path, so serial/thread/process results stay
+        bit-identical.
+
+        The default composes :meth:`eval_mask` and :meth:`select_mask`;
+        partitioned backends override it to ship the whole fused operator to
+        their shard workers in one boundary crossing (see
+        :meth:`ShardedStore.select_gather`).
+        """
+        mask = self.eval_mask(masker)
+        if shard_limits is not None:
+            limit = next(iter(shard_limits), None)
+            if limit is not None:
+                _truncate_mask(mask, limit)
+        if mask.count(1) == len(self):
+            return mask, self
+        return mask, self.select_mask(mask)
+
     def shard_views(self) -> Tuple["Store", ...]:
         """The store as a sequence of partition views for order-insensitive sweeps.
 
@@ -299,6 +334,36 @@ class Store:
     def from_columns(cls, width: int, columns: Sequence[Sequence[object]]) -> "Store":
         """Build a store from per-attribute value sequences (equal lengths)."""
         raise NotImplementedError
+
+
+def _truncate_mask(mask: bytearray, limit: int) -> None:
+    """Zero every set mask byte after the first ``limit`` ones (in place).
+
+    The α-budget slice applied to one shard's selection: the first
+    ``⌈α·|shard|⌉`` survivors (in shard-local row order) are kept, the rest
+    dropped.  Every execution path — serial, thread, and the process-mode
+    fused ``select_gather`` worker — truncates with exactly this function,
+    which is what keeps budgeted selections bit-identical across executors.
+    """
+    kept = 0
+    for index, bit in enumerate(mask):
+        if bit:
+            kept += 1
+            if kept > limit:
+                mask[index] = 0
+
+
+def shard_budget_slices(store: Store, alpha: float) -> List[int]:
+    """Per-partition α-budget slices ``⌈α·|shard|⌉`` for ``store``.
+
+    One entry per :meth:`Store.shard_views` partition, aligned with the
+    ``shard_limits`` argument of :meth:`Store.select_gather` — attach these
+    to shipped per-shard work to enforce the paper's bounded-resource
+    contract shard-locally instead of re-checking centrally.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    return [math.ceil(alpha * len(view)) for view in store.shard_views()]
 
 
 class RowStore(Store):
@@ -702,8 +767,26 @@ def _env_executor_mode(name: str) -> str:
     return mode
 
 
+AFFINITY_MODES = ("on", "off")
+DEFAULT_SHARD_AFFINITY = "on"
+
+
+def _env_affinity_mode(name: str) -> str:
+    """Parse an affinity-mode environment override (unset means the default)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return DEFAULT_SHARD_AFFINITY
+    mode = raw.strip().lower()
+    if mode not in AFFINITY_MODES:
+        raise ValueError(
+            f"{name} must be one of {AFFINITY_MODES}, got {raw!r}"
+        )
+    return mode
+
+
 _shard_workers: Optional[int] = _env_worker_count("REPRO_SHARD_WORKERS")
 _shard_executor: str = _env_executor_mode("REPRO_SHARD_EXECUTOR")
+_shard_affinity: str = _env_affinity_mode("REPRO_SHARD_AFFINITY")
 
 
 def get_shard_workers() -> int:
@@ -773,6 +856,46 @@ def set_shard_executor(mode: Optional[str]) -> str:
         )
     previous = _shard_executor
     _shard_executor = mode
+    return previous
+
+
+def get_shard_affinity() -> str:
+    """Whether process-mode shard work uses sticky worker affinity (``"on"``/``"off"``)."""
+    return _shard_affinity
+
+
+def set_shard_affinity(mode: Optional[str]) -> str:
+    """Toggle sticky shard→worker affinity routing; returns the previous mode.
+
+    * ``"on"`` (the default) — process-mode shard work routes through the
+      affinity router of :mod:`repro.relational.parallel`: a rendezvous-hash
+      table maps each shard's publication token to a dedicated single-worker
+      queue (with work-stealing overflow), so a shard's decoded store and
+      cached kernel indexes stay on one warm worker across queries, and
+      fused ``select_gather`` operators ship whole (mask + gather in one
+      boundary crossing).
+    * ``"off"`` — the pre-affinity behaviour: one shared process pool whose
+      free-for-all task queue assigns shard work to any idle worker, and
+      selection materializes centrally after the mask round-trip.
+
+    Results are bit-identical either way — the knob trades cache warmth
+    against scheduling freedom, never values.  ``None`` restores the
+    default; an unknown mode raises :exc:`ValueError`.
+    ``REPRO_SHARD_AFFINITY`` overrides the default at import time.  Changing
+    the mode retires the running process pool/router so the next query
+    rebuilds the right topology.
+    """
+    global _shard_affinity
+    if mode is None:
+        mode = DEFAULT_SHARD_AFFINITY
+    if mode not in AFFINITY_MODES:
+        raise ValueError(
+            f"shard affinity must be one of {AFFINITY_MODES}, got {mode!r}"
+        )
+    previous = _shard_affinity
+    if mode != previous:
+        _shard_affinity = mode
+        _reset_process_pool()
     return previous
 
 
@@ -1143,19 +1266,26 @@ class ShardedStore(Store):
         return out
 
     # -- whole-store evaluation ---------------------------------------------
-    def eval_mask(self, masker: Callable[[Store], Sequence[int]]) -> bytearray:
+    def _shard_masks(self, masker: Callable[[Store], Sequence[int]]) -> List[Sequence[int]]:
+        """Per-shard masks in shard-local order (process pool or thread fan-out).
+
+        Ships the pickled masker (a compiled MaskProgram's bound
+        ``run_part``, typically) to the worker processes holding this
+        store's shard buffers; falls through to the thread path for small
+        stores, unpicklable maskers, or when process execution is
+        unavailable.
+        """
         parts: Optional[List[Sequence[int]]] = None
         if _shard_executor == "process":
             from . import parallel
 
-            # Ships the pickled masker (a compiled MaskProgram's bound
-            # ``run_part``, typically) to the worker processes holding this
-            # store's shard buffers; returns None — falling through to the
-            # thread path — for small stores, unpicklable maskers, or when
-            # process execution is unavailable.
             parts = parallel.process_eval_mask(self, masker)
         if parts is None:
             parts = self.map_shards(masker)
+        return parts
+
+    def _stitch_masks(self, parts: Sequence[Sequence[int]]) -> bytearray:
+        """Merge per-shard masks (shard-local order) into one global mask."""
         if len(self._shards) == 1:
             return bytearray(parts[0])
         if self._contiguous:
@@ -1165,6 +1295,78 @@ class ShardedStore(Store):
             return merged
         cursors = [iter(part) for part in parts]
         return bytearray(next(cursors[shard]) for shard in self._shard_of)
+
+    def eval_mask(self, masker: Callable[[Store], Sequence[int]]) -> bytearray:
+        return self._stitch_masks(self._shard_masks(masker))
+
+    def select_gather(
+        self,
+        masker: Callable[[Store], Sequence[int]],
+        shard_limits: Optional[Sequence[Optional[int]]] = None,
+    ) -> Tuple[bytearray, "ShardedStore"]:
+        """Fused select+gather, shipped whole to the shard workers.
+
+        In process mode with :func:`get_shard_affinity` ``"on"``, each shard's
+        worker receives ``(pickled masker, output column positions, optional
+        α-budget slice)`` in **one** task, evaluates the mask over its warm
+        decoded store, gathers the surviving rows' columns locally, and ships
+        back ``(mask bytes, packed typed-column payloads)`` — one boundary
+        crossing per shard instead of mask-out + central gather (see
+        :func:`repro.relational.parallel.process_select_gather` for the wire
+        format).  The parent stitches the masks into global order and adopts
+        the returned buffers as fresh per-shard column stores.
+
+        Every fallback — affinity off, thread/serial executors, small or
+        unpublishable stores — computes the identical result through
+        :meth:`_shard_masks` + per-shard :meth:`~Store.select_mask`, with the
+        same per-shard truncation, so the conformance matrix proves
+        equivalence across all paths.
+        """
+        if _shard_executor == "process" and _shard_affinity == "on":
+            from . import parallel
+
+            fused = parallel.process_select_gather(
+                self, masker, range(self.width), shard_limits
+            )
+            if fused is not None:
+                return self._assemble_select_gather(*fused)
+        parts = [bytearray(part) for part in self._shard_masks(masker)]
+        if shard_limits is not None:
+            for part, limit in zip(parts, shard_limits):
+                if limit is not None:
+                    _truncate_mask(part, limit)
+        mask = self._stitch_masks(parts)
+        if mask.count(1) == len(self._shard_of):
+            return mask, self
+        shards = self.map_shards(lambda shard, local: shard.select_mask(local), parts)
+        shard_of = bytearray(compress(self._shard_of, mask))
+        return mask, self._adopt(shards, shard_of, contiguous=self._contiguous)
+
+    def _assemble_select_gather(
+        self,
+        parts: Sequence[bytearray],
+        gathered: Sequence[Optional[List[Sequence[object]]]],
+    ) -> Tuple[bytearray, "ShardedStore"]:
+        """Build the selected store from per-shard fused worker results.
+
+        ``gathered[i]`` is the shard's gathered column buffers, or ``None``
+        when the worker short-circuited (every row survived, or there are no
+        columns to gather) — those shards are materialized locally from the
+        parent's own copy, exactly as the thread fallback would.
+        """
+        from . import parallel
+
+        mask = self._stitch_masks(parts)
+        if mask.count(1) == len(self._shard_of):
+            return mask, self
+        shards: List[Store] = []
+        for shard, part, buffers in zip(self._shards, parts, gathered):
+            if buffers is None:
+                shards.append(shard.select_mask(part))
+            else:
+                shards.append(parallel.adopt_gathered(buffers, part.count(1)))
+        shard_of = bytearray(compress(self._shard_of, mask))
+        return mask, self._adopt(shards, shard_of, contiguous=self._contiguous)
 
     # -- derivation ---------------------------------------------------------
     def _local_masks(self, mask: Sequence[int]) -> List[Sequence[int]]:

@@ -42,6 +42,14 @@ class ServingEnvelope:
         wait_seconds: time spent queued for admission (``queue`` policy).
         serve_seconds: total wall-clock time inside the server for this
             request, including admission wait and cache lookups.
+        affinity_hits / affinity_misses: shard tasks this request's
+            computation submitted to their rendezvous-home worker (hits)
+            versus tasks the affinity router stole to an idle worker
+            (misses) — deltas of
+            :func:`repro.relational.parallel.affinity_stats` around the
+            execution.  Both are 0 on a result-cache hit (nothing was
+            computed) and whenever the affinity router is inactive
+            (serial/thread executors, or ``set_shard_affinity("off")``).
     """
 
     result: QueryResult
@@ -55,6 +63,8 @@ class ServingEnvelope:
     degraded: bool
     wait_seconds: float
     serve_seconds: float
+    affinity_hits: int = 0
+    affinity_misses: int = 0
 
     @property
     def rows(self) -> Relation:

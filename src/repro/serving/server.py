@@ -32,6 +32,7 @@ from typing import Optional
 from ..algebra import predicates
 from ..algebra.ast import query_fingerprint
 from ..core.framework import Beas, QueryLike
+from ..relational import parallel
 from .admission import AdmissionController
 from .cache import DEFAULT_MAX_ENTRIES, MISSING, CacheBackend, make_cache
 from .envelope import ServingEnvelope
@@ -154,7 +155,12 @@ class QueryServer:
         if not plan_hit:
             plan = None
 
+        # Router counters are process-global, so under concurrent requests
+        # the delta attributes overlapping submissions to whichever request
+        # reads last — good enough for the envelope's observability role.
+        before = parallel.affinity_stats()
         result = self.beas.answer(ast, served_alpha, enforce_budget, plan=plan)
+        after = parallel.affinity_stats()
         if not plan_hit:
             self.plan_cache.put(plan_key, result.plan)
         self.result_cache.put(result_key, result)
@@ -170,6 +176,8 @@ class QueryServer:
             degraded=ticket.degraded,
             wait_seconds=ticket.wait_seconds,
             serve_seconds=time.perf_counter() - start,
+            affinity_hits=after["hits"] - before["hits"],
+            affinity_misses=after["steals"] - before["steals"],
         )
 
     # -- maintenance --------------------------------------------------------------
@@ -187,4 +195,5 @@ class QueryServer:
             "policy": self.admission.policy,
             "max_concurrency": self.admission.max_concurrency,
             "program_cache": predicates.program_cache_info(),
+            "affinity": parallel.affinity_stats(),
         }

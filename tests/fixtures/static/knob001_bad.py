@@ -8,8 +8,11 @@ _UNDOCUMENTED = os.environ.get("REPRO_SECRET_KNOB")
 _SERVING_UNDOCUMENTED = os.environ.get("REPRO_SERVING_SECRET_TIER")
 # Nor is this storage-tier knob (REPRO_STORE_DIR is documented; this is not).
 _STORE_UNDOCUMENTED = os.environ.get("REPRO_STORE_SCRATCH_DIR")
+# REPRO_SHARD_AFFINITY is documented; this steal-tuning sibling is not.
+_AFFINITY_UNDOCUMENTED = os.environ.get("REPRO_SHARD_AFFINITY_STEAL_DEPTH")
 _policy = "queue"
 _store_dir = None
+_affinity = "on"
 
 
 def set_chunk_rows(count):
@@ -25,3 +28,8 @@ def set_admission_policy(policy):
 def set_store_dir(path):
     global _store_dir
     _store_dir = path  # accepts 0, b"", ... without complaint
+
+
+def set_affinity(mode):
+    global _affinity
+    _affinity = mode  # accepts "sticky-ish", 42, ... without complaint

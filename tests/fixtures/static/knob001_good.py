@@ -54,6 +54,16 @@ _cache_backend = _parse_choice("REPRO_SERVING_CACHE", ("lru-ttl", "none"), "lru-
 _policy = _parse_choice(
     "REPRO_SERVING_POLICY", ("reject", "queue", "degrade-alpha"), "queue"
 )
+# Affinity-routing knob vocabulary: a documented on/off env override read
+# through the same parameterized helper, plus a validated setter.
+_affinity = _parse_choice("REPRO_SHARD_AFFINITY", ("on", "off"), "on")
+
+
+def set_affinity(mode):
+    global _affinity
+    if mode not in ("on", "off"):
+        raise ValueError(f"affinity mode must be 'on' or 'off', got {mode!r}")
+    _affinity = mode
 
 
 def set_admission_policy(policy):

@@ -1,0 +1,441 @@
+"""Sticky shard→worker affinity routing and the fused select+gather operator.
+
+Covers the routing table itself (deterministic rendezvous mapping, work
+stealing, slot repair after worker death), the knobs
+(``set_shard_affinity`` / ``REPRO_SHARD_AFFINITY``, the probe timeout), the
+warm-cache contract (a repeated query rebuilds zero decoded stores and zero
+kernel indexes), and bit-identity of the fused ``select_gather`` path —
+with and without per-shard α-budget slices — against the serial reference.
+
+The shared-pool (non-router) failure paths stay covered in
+``test_parallel.py``; here the router is the subject.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.algebra.predicates import AttrRef, CompareOp, Comparison, Conjunction, Const
+from repro.relational import parallel
+from repro.relational.distance import NUMERIC, TRIVIAL
+from repro.relational.kdtree import KDForest
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, RelationSchema
+from repro.relational.store import (
+    AFFINITY_MODES,
+    DEFAULT_SHARD_AFFINITY,
+    _env_affinity_mode,
+    _truncate_mask,
+    get_shard_affinity,
+    get_shard_executor,
+    get_shard_workers,
+    set_shard_affinity,
+    set_shard_executor,
+    set_shard_workers,
+    shard_budget_slices,
+)
+
+from conftest import SHARD_EXECUTORS, identity_key
+
+PROCESS_OK = "process" in SHARD_EXECUTORS
+needs_process = pytest.mark.skipif(
+    not PROCESS_OK, reason="process pool unavailable on this platform"
+)
+
+SCHEMA = RelationSchema(
+    "t", [Attribute("id", TRIVIAL), Attribute("x", NUMERIC), Attribute("y", NUMERIC)]
+)
+CONDITION = Conjunction.of(
+    [
+        Comparison(AttrRef(None, "x"), CompareOp.LE, Const(60.0)),
+        Comparison(AttrRef(None, "y"), CompareOp.GT, Const(25.0)),
+    ]
+)
+
+
+def make_rows(count: int, seed: int = 11):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(max(1, count // 50)), rng.uniform(0, 100), rng.uniform(0, 100))
+        for _ in range(count)
+    ]
+
+
+def store_rows(store):
+    return [identity_key(store.row(index)) for index in range(len(store))]
+
+
+@pytest.fixture
+def affinity_guard():
+    """Snapshot and restore every knob these tests may flip."""
+    previous_affinity = get_shard_affinity()
+    previous_executor = get_shard_executor()
+    previous_min = parallel.get_process_min_rows()
+    previous_workers = get_shard_workers()
+    previous_probe = parallel.get_probe_timeout()
+    yield
+    set_shard_affinity(previous_affinity)
+    set_shard_executor(previous_executor)
+    parallel.set_process_min_rows(
+        None if previous_min == parallel.DEFAULT_PROCESS_MIN_ROWS else previous_min
+    )
+    set_shard_workers(previous_workers)
+    parallel.set_probe_timeout(
+        None if previous_probe == parallel.DEFAULT_PROBE_TIMEOUT else previous_probe
+    )
+
+
+def force_process():
+    set_shard_executor("process")
+    parallel.set_process_min_rows(1)
+
+
+# ---------------------------------------------------------------------------
+# Knobs: set_shard_affinity / REPRO_SHARD_AFFINITY / probe timeout
+# ---------------------------------------------------------------------------
+
+class TestAffinityKnob:
+    def test_modes_tuple_and_default(self):
+        assert AFFINITY_MODES == ("on", "off")
+        assert DEFAULT_SHARD_AFFINITY == "on"
+
+    def test_set_shard_affinity_validates(self):
+        for junk in ("sticky", "", "true", "ON ", 1, 0.5):
+            with pytest.raises(ValueError):
+                set_shard_affinity(junk)
+
+    def test_set_shard_affinity_roundtrip(self, affinity_guard):
+        previous = set_shard_affinity("off")
+        assert get_shard_affinity() == "off"
+        assert set_shard_affinity("off") == "off"  # same value: no-op
+        assert set_shard_affinity(None) == "off"  # None restores the default
+        assert get_shard_affinity() == DEFAULT_SHARD_AFFINITY
+        set_shard_affinity(previous)
+
+    def test_env_affinity_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_AFFINITY", raising=False)
+        assert _env_affinity_mode("REPRO_SHARD_AFFINITY") == DEFAULT_SHARD_AFFINITY
+        monkeypatch.setenv("REPRO_SHARD_AFFINITY", "  ")
+        assert _env_affinity_mode("REPRO_SHARD_AFFINITY") == DEFAULT_SHARD_AFFINITY
+        monkeypatch.setenv("REPRO_SHARD_AFFINITY", " Off ")
+        assert _env_affinity_mode("REPRO_SHARD_AFFINITY") == "off"
+        # The classic YAML gotcha: an unquoted `on` in a workflow file
+        # reaches the process as "true" — which must fail loudly, not be
+        # silently coerced to either mode.
+        monkeypatch.setenv("REPRO_SHARD_AFFINITY", "true")
+        with pytest.raises(ValueError):
+            _env_affinity_mode("REPRO_SHARD_AFFINITY")
+        monkeypatch.setenv("REPRO_SHARD_AFFINITY", "sticky")
+        with pytest.raises(ValueError):
+            _env_affinity_mode("REPRO_SHARD_AFFINITY")
+
+
+class TestProbeTimeout:
+    def test_validates(self):
+        for bad in (0, -1, -0.5, float("nan")):
+            with pytest.raises(ValueError):
+                parallel.set_probe_timeout(bad)
+
+    def test_roundtrip(self, affinity_guard):
+        previous = parallel.set_probe_timeout(5.0)
+        assert parallel.get_probe_timeout() == 5.0
+        parallel.set_probe_timeout(None)
+        assert parallel.get_probe_timeout() == parallel.DEFAULT_PROBE_TIMEOUT
+        parallel.set_probe_timeout(
+            None if previous == parallel.DEFAULT_PROBE_TIMEOUT else previous
+        )
+
+    def test_wedged_probe_times_out_and_strikes_breaker(
+        self, affinity_guard, monkeypatch
+    ):
+        """A pool that wedges during spawn must fail the probe within the
+        configured timeout and count against the breaker — not stall the
+        first query for a minute."""
+
+        class WedgedRouter:
+            def submit(self, token, fn, *args):
+                return Future(), None  # never completes
+
+        failures_before = parallel._pool_failures
+        monkeypatch.setattr(parallel, "_ensure_router", lambda: WedgedRouter())
+        parallel.set_probe_timeout(0.05)
+        try:
+            assert parallel.probe_process_executor() is False
+            assert parallel._pool_failures == failures_before + 1
+        finally:
+            parallel._pool_failures = failures_before
+
+
+# ---------------------------------------------------------------------------
+# The router itself: rendezvous mapping, stealing, repair
+# ---------------------------------------------------------------------------
+
+class _RecordingPool:
+    """A fake slot pool whose futures stay pending until resolved by hand."""
+
+    def __init__(self):
+        self.futures = []
+
+    def submit(self, fn, *args):
+        future = Future()
+        self.futures.append(future)
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class _BrokenFuturePool:
+    """A fake slot pool whose every task dies like a killed worker."""
+
+    def submit(self, fn, *args):
+        future = Future()
+        future.set_exception(BrokenProcessPool("worker died"))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestRouter:
+    def test_deterministic_token_mapping(self):
+        tokens = [f"psm_shard_{index}" for index in range(48)]
+        first = parallel._AffinityRouter(4)
+        second = parallel._AffinityRouter(4)
+        homes = [first.home_index(token) for token in tokens]
+        assert homes == [second.home_index(token) for token in tokens]
+        # Memoized resolution returns the same answer.
+        assert homes == [first.home_index(token) for token in tokens]
+        # Rendezvous actually spreads tokens across slots.
+        assert len(set(homes)) > 1
+        assert all(0 <= home < 4 for home in homes)
+
+    def test_repair_moves_tokens_only_from_or_to_repaired_slot(self):
+        router = parallel._AffinityRouter(5)
+        tokens = [f"tok-{index}" for index in range(200)]
+        before = {token: router.home_index(token) for token in tokens}
+        repaired = 2
+        router.repair(router._slots[repaired])
+        after = {token: router.home_index(token) for token in tokens}
+        moved = {token for token in tokens if before[token] != after[token]}
+        assert moved  # a bumped generation re-draws the slot's scores
+        for token in moved:
+            assert before[token] == repaired or after[token] == repaired
+        assert router.stats()["rehashes"] == 1
+
+    def test_work_stealing_overflows_to_idle_slot(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel._AffinityRouter, "_create_pool", staticmethod(_RecordingPool)
+        )
+        router = parallel._AffinityRouter(2)
+        token = "hot-shard"
+        home = router.home_index(token)
+        _f1, s1 = router.submit(token, parallel._worker_ping)
+        _f2, s2 = router.submit(token, parallel._worker_ping)
+        assert s1.index == home and s2.index == home  # below the threshold
+        _f3, s3 = router.submit(token, parallel._worker_ping)
+        assert s3.index != home  # threshold reached, other slot idle: stolen
+        stats = router.stats()
+        assert stats["hits"] == 2 and stats["steals"] == 1
+        # Completion drains the inflight counters via the done callbacks.
+        for slot in router._slots:
+            if slot.pool is not None:
+                for future in slot.pool.futures:
+                    future.set_result(True)
+        assert all(slot.inflight == 0 for slot in router._slots)
+
+    def test_single_slot_router_never_steals(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel._AffinityRouter, "_create_pool", staticmethod(_RecordingPool)
+        )
+        router = parallel._AffinityRouter(1)
+        for _ in range(4):
+            _future, slot = router.submit("only", parallel._worker_ping)
+            assert slot.index == 0
+        assert router.stats() == {"hits": 4, "steals": 0, "rehashes": 0, "slots": 1}
+
+    def test_ensure_router_lifecycle(self, affinity_guard):
+        set_shard_affinity("on")
+        router = parallel._ensure_router()
+        assert router is not None
+        assert router.slot_count == get_shard_workers()
+        assert parallel._ensure_router() is router  # memoized
+        parallel.reset_process_pool()  # full re-hash: the router is discarded
+        assert parallel._router is None
+        fresh = parallel._ensure_router()
+        assert fresh is not None and fresh is not router
+        set_shard_affinity("off")  # the kill switch: no router at all
+        assert parallel._ensure_router() is None
+        assert parallel.affinity_stats() == {
+            "hits": 0,
+            "steals": 0,
+            "rehashes": 0,
+            "slots": 0,
+        }
+        assert parallel.worker_cache_stats() is None
+
+    def test_broken_slot_repairs_in_place_and_falls_back(
+        self, affinity_guard, monkeypatch
+    ):
+        """Dead workers on the router repair only their slot: the query
+        falls back to threads (correct answer), the breaker takes a single
+        strike, and the repair is visible as a rehash."""
+        relation = Relation(SCHEMA, make_rows(2000), backend="sharded")
+        set_shard_executor("serial")
+        reference = bytes(CONDITION.mask(relation.store, SCHEMA))
+        force_process()
+        parallel.reset_process_pool()
+        monkeypatch.setattr(
+            parallel._AffinityRouter, "_create_pool", staticmethod(_BrokenFuturePool)
+        )
+        failures_before = parallel._pool_failures
+        try:
+            assert bytes(CONDITION.mask(relation.store, SCHEMA)) == reference
+            assert parallel.affinity_stats()["rehashes"] >= 1
+            assert parallel._pool_failures == failures_before + 1
+        finally:
+            parallel._pool_failures = failures_before
+            monkeypatch.undo()
+            parallel.reset_process_pool()
+
+
+# ---------------------------------------------------------------------------
+# Warm caches: a repeated query rebuilds nothing
+# ---------------------------------------------------------------------------
+
+@needs_process
+class TestWarmCaches:
+    def test_repeat_query_rebuilds_zero_indexes(self, affinity_guard, monkeypatch):
+        # Workers ≈ shards — the regime the router exists for — and
+        # stealing pinned off so the routing is purely sticky (a steal
+        # lands on a cold thief by design; that path is covered above).
+        monkeypatch.setattr(parallel, "_STEAL_THRESHOLD", 10**6)
+        rows = make_rows(1200)
+        relation = Relation(SCHEMA, rows, backend="sharded")
+        shard_count = len(relation.store.shards)
+        set_shard_workers(shard_count)
+        force_process()
+        parallel.reset_process_pool()
+
+        queries = [(rows[index], [0.0, 4.0, 6.0]) for index in (3, 77, 400)]
+        forest = KDForest(relation, max_leaf_size=4)
+        first = forest.within_radius_indices_many(queries)
+        warm = parallel.worker_cache_stats()
+        assert warm is not None
+        # Every shard decoded and indexed exactly once, somewhere.
+        assert sum(stat["store_decodes"] for stat in warm) == shard_count
+        assert sum(stat["index_builds"] for stat in warm) == shard_count
+
+        second = forest.within_radius_indices_many(queries)
+        assert second == first
+        after = parallel.worker_cache_stats()
+        # The repeated query hit only warm workers: zero new decodes,
+        # zero rebuilt kernel indexes.
+        assert after == warm
+
+        parallel.reset_process_pool()
+
+
+# ---------------------------------------------------------------------------
+# Fused select+gather: bit-identity, budget slices, wire accounting
+# ---------------------------------------------------------------------------
+
+class TestSelectGather:
+    def test_truncate_mask_keeps_first_survivors(self):
+        mask = bytearray([1, 0, 1, 1, 0, 1])
+        _truncate_mask(mask, 2)
+        assert mask == bytearray([1, 0, 1, 0, 0, 0])
+        untouched = bytearray([1, 1, 0])
+        _truncate_mask(untouched, 5)
+        assert untouched == bytearray([1, 1, 0])
+
+    def test_shard_budget_slices(self):
+        relation = Relation(SCHEMA, make_rows(400), backend="sharded")
+        slices = shard_budget_slices(relation.store, 0.25)
+        views = relation.store.shard_views()
+        assert len(slices) == len(views)
+        assert all(
+            budget == -(-len(view) // 4) for budget, view in zip(slices, views)
+        )
+        assert shard_budget_slices(relation.store, 0.0) == [0] * len(views)
+        row_backed = Relation(SCHEMA, make_rows(10), backend="row")
+        assert shard_budget_slices(row_backed.store, 0.5) == [5]
+        for bad in (-0.1, 1.0001, 2):
+            with pytest.raises(ValueError):
+                shard_budget_slices(relation.store, bad)
+
+    def test_select_gather_matches_serial_reference(self, backend):
+        """Every backend × executor cell: fused (or fallback) select+gather
+        agrees bit-for-bit with the serial path on the same store, with and
+        without α-budget slices (which depend on the shard layout, so the
+        reference is this store under the serial executor)."""
+        rows = make_rows(900)
+        relation = Relation(SCHEMA, rows, backend=backend)
+        program = CONDITION.program(SCHEMA)
+        store = relation.store
+        for alpha in (None, 0.0, 0.3, 1.0):
+            limits = None if alpha is None else shard_budget_slices(store, alpha)
+            previous = set_shard_executor("serial")
+            try:
+                ref_mask, ref_store = store.select_gather(program.run_part, limits)
+                reference = store_rows(ref_store)
+            finally:
+                set_shard_executor(previous)
+            mask, selected = store.select_gather(program.run_part, limits)
+            assert bytes(mask) == bytes(ref_mask), f"alpha={alpha}"
+            assert store_rows(selected) == reference, f"alpha={alpha}"
+
+    @needs_process
+    def test_fused_path_crosses_once_and_counts_bytes(self, affinity_guard):
+        relation = Relation(SCHEMA, make_rows(3000), backend="sharded")
+        program = CONDITION.program(SCHEMA)
+        set_shard_executor("serial")
+        ref_mask, ref_store = relation.store.select_gather(program.run_part)
+        reference = store_rows(ref_store)
+        force_process()
+        before = parallel.select_gather_stats()
+        mask, selected = relation.store.select_gather(program.run_part)
+        after = parallel.select_gather_stats()
+        assert bytes(mask) == bytes(ref_mask)
+        assert store_rows(selected) == reference
+        # One fused round: the shards crossed the boundary once each, and
+        # the returned payload bytes were accounted.
+        assert after["calls"] == before["calls"] + 1
+        assert after["result_bytes"] > before["result_bytes"]
+
+    @needs_process
+    def test_fused_object_columns_round_trip(self, affinity_guard):
+        rows = [
+            (f"id-{index % 37}", float(index % 100), float((index * 7) % 100))
+            for index in range(2000)
+        ]
+        relation = Relation(SCHEMA, rows, backend="sharded")
+        program = CONDITION.program(SCHEMA)
+        set_shard_executor("serial")
+        ref_mask, ref_store = relation.store.select_gather(program.run_part)
+        reference = store_rows(ref_store)
+        force_process()
+        before = parallel.select_gather_stats()
+        mask, selected = relation.store.select_gather(program.run_part)
+        after = parallel.select_gather_stats()
+        assert bytes(mask) == bytes(ref_mask)
+        assert store_rows(selected) == reference
+        assert after["object_values"] > before["object_values"]
+
+    @needs_process
+    def test_all_survivors_short_circuits_to_identity(self, affinity_guard):
+        relation = Relation(SCHEMA, make_rows(2000), backend="sharded")
+        keep_all = Conjunction.of(
+            [Comparison(AttrRef(None, "x"), CompareOp.LE, Const(1000.0))]
+        )
+        program = keep_all.program(SCHEMA)
+        force_process()
+        mask, selected = relation.store.select_gather(program.run_part)
+        assert mask.count(1) == len(relation.store)
+        # The worker short-circuits (no payload shipped) and the parent
+        # returns the original store by identity.
+        assert selected is relation.store

@@ -493,6 +493,9 @@ class TestWorkerInternals:
         relation = Relation(SCHEMA, make_rows(2000), backend="sharded")
         force_process()
         failures_before = parallel._pool_failures
+        # Pin the shared-pool path: the affinity router's failure handling
+        # (slot repair) is covered separately in test_affinity.py.
+        monkeypatch.setattr(parallel, "_ensure_router", lambda: None)
         monkeypatch.setattr(parallel, "_ensure_pool", lambda: FakePool())
         program = CONDITION.program(SCHEMA)
         assert parallel.process_eval_mask(relation.store, program.run_part) is None
@@ -526,6 +529,7 @@ class TestWorkerInternals:
         reference = bytes(CONDITION.mask(relation.store, SCHEMA))
         set_shard_executor("process")
         failures_before = parallel._pool_failures
+        monkeypatch.setattr(parallel, "_ensure_router", lambda: None)
         monkeypatch.setattr(parallel, "_ensure_pool", lambda: CancellingPool())
         # A concurrent reset cancelling the futures degrades to the thread
         # path (correct answer) without counting against the breaker.
@@ -695,6 +699,8 @@ class TestProcessExecution:
         reference = bytes(CONDITION.mask(relation.store, SCHEMA))
 
         # A pool that cannot be created: every process attempt falls back.
+        # (Router pinned off so the shared-pool creation failure is what runs.)
+        monkeypatch.setattr(parallel, "_ensure_router", lambda: None)
         monkeypatch.setattr(parallel, "_ensure_pool", lambda: None)
         assert parallel.process_eval_mask(relation.store, CONDITION.program(SCHEMA).run_part) is None
         assert bytes(CONDITION.mask(relation.store, SCHEMA)) == reference
