@@ -864,6 +864,143 @@ def bench_affinity_section(size: int, repeats: int = AFFINITY_REPEATS) -> list:
 DEFAULT_BACKENDS = ("row", "column", "sharded", "mmap")
 
 
+# ---------------------------------------------------------------------------
+# Resilience: checksum-verification overhead, recovery time after a kill
+# ---------------------------------------------------------------------------
+
+
+def bench_resilience_section(size: int, backends: Sequence[str]) -> list:
+    """What the PR-10 failure-handling substrate costs when nothing fails.
+
+    ``checksum_cold_open`` times a full cold open + every-column read of a
+    saved ``.rpro`` file under each verification mode (``off`` — structural
+    parsing only, ``header`` — the default CRC over the pickled header,
+    ``full`` — additionally every column payload), so the integrity tax is
+    pinned next to the mmap section's cold-open win.  ``recovery_after_kill``
+    measures the failure path itself on the process executor: a warm healthy
+    mask query, the same query with a seeded ``parallel.worker.kill`` plan
+    (the answer must stay bit-identical — retries and slot repair absorb the
+    death), and the time for the path to heal — breaker back to ``closed``
+    with no ``reset_process_pool()`` — once the plan is cleared.
+    """
+    import tempfile
+
+    from repro import faults
+    from repro.relational import parallel
+    from repro.relational.mmapstore import CHECKSUM_MODES, MmapStore, set_checksum_mode
+    from repro.relational.store import (
+        get_shard_executor,
+        set_shard_executor,
+        set_shard_workers,
+    )
+
+    records = []
+    if "mmap" in backends:
+        width = len(WIDE_SCHEMA)
+        rng = random.Random(size)
+        rows = _wide_rows(size, rng)
+        with tempfile.TemporaryDirectory(prefix="bench-crc-") as tmp:
+            path = Path(tmp) / "crc.rpro"
+            MmapStore.from_rows(width, rows).save(path)
+            indices = list(range(size))
+
+            def cold_read():
+                store = MmapStore.open(path)
+                return [store.gather_column(p, indices) for p in range(width)]
+
+            mode_seconds = {}
+            reference = None
+            try:
+                for mode in CHECKSUM_MODES:
+                    set_checksum_mode(mode)
+                    seconds, out = _timed_best(cold_read)
+                    mode_seconds[mode] = seconds
+                    if reference is None:
+                        reference = out
+                    assert out == reference  # verification must not change reads
+            finally:
+                set_checksum_mode(None)
+            off = max(mode_seconds["off"], 1e-9)
+            records.append(
+                {
+                    "kernel": "checksum_cold_open",
+                    "size": size,
+                    "off_seconds": round(mode_seconds["off"], 6),
+                    "header_seconds": round(mode_seconds["header"], 6),
+                    "full_seconds": round(mode_seconds["full"], 6),
+                    "header_overhead": round(mode_seconds["header"] / off, 2),
+                    "full_overhead": round(mode_seconds["full"] / off, 2),
+                    "executor_config": executor_config(),
+                }
+            )
+    if "sharded" in backends:
+        rng = random.Random(size)
+        relation, _rows = _parallel_relation(size, rng)
+        store, schema = relation.store, relation.schema
+        previous_mode = get_shard_executor()
+        previous_workers = set_shard_workers(2)
+        previous_min = parallel.get_process_min_rows()
+        parallel.set_process_min_rows(1)
+        parallel.set_retry_backoff(0.0)
+        parallel.set_breaker_cooldown(0.25)
+        try:
+            set_shard_executor("process")
+            reference = bytes(SELECTION_CONDITION.mask(store, schema))  # warm-up
+            healthy_seconds, healthy = _timed_best(
+                lambda: bytes(SELECTION_CONDITION.mask(store, schema))
+            )
+            assert healthy == reference
+            before = parallel.dispatch_stats()
+            faults.set_fault_plan("seed=1301;parallel.worker.kill:at=1")
+            try:
+                killed_seconds, killed = _timed(
+                    lambda: bytes(SELECTION_CONDITION.mask(store, schema))
+                )
+            finally:
+                faults.set_fault_plan(None, reset_pools=False)
+            assert killed == reference  # a kill costs latency, never bits
+            heal_started = time.perf_counter()
+            heal_queries = 0
+            while time.perf_counter() - heal_started < 60.0:
+                heal_queries += 1
+                assert bytes(SELECTION_CONDITION.mask(store, schema)) == reference
+                if parallel.breaker_state()["state"] == "closed":
+                    break
+                time.sleep(0.05)
+            recovery_seconds = time.perf_counter() - heal_started
+            after = parallel.dispatch_stats()
+            records.append(
+                {
+                    "kernel": "recovery_after_kill",
+                    "size": size,
+                    "shards": PARALLEL_SHARDS,
+                    "healthy_seconds": round(healthy_seconds, 6),
+                    "killed_query_seconds": round(killed_seconds, 6),
+                    "kill_overhead": round(
+                        killed_seconds / max(healthy_seconds, 1e-9), 2
+                    ),
+                    "recovery_seconds": round(recovery_seconds, 6),
+                    "heal_queries": heal_queries,
+                    "healed_without_reset": after["breaker"]["state"] == "closed",
+                    "dispatch_delta": {
+                        key: after[key] - before[key]
+                        for key in ("retries", "timeouts", "fallbacks", "fatal")
+                    },
+                    "executor_config": executor_config(),
+                }
+            )
+        finally:
+            parallel.set_retry_backoff(None)
+            parallel.set_breaker_cooldown(None)
+            parallel.set_process_min_rows(
+                None if previous_min == parallel.DEFAULT_PROCESS_MIN_ROWS else previous_min
+            )
+            set_shard_executor(previous_mode)
+            set_shard_workers(previous_workers)
+            parallel.shutdown()
+    return records
+
+
 def bench_static_analysis(repeats: int = 3) -> dict:
     """Wall-time of the invariant analyzer suite over ``src/repro``.
 
@@ -983,6 +1120,7 @@ def run(
                         "executor_config": executor_config(),
                     }
                 )
+    resilience_results = bench_resilience_section(max(scales), backends)
     static_results = bench_static_analysis()
     report = {
         "benchmark": (
@@ -999,6 +1137,7 @@ def run(
         "parallel": parallel_results,
         "affinity": affinity_results,
         "columnar_engine": engine_results,
+        "resilience": resilience_results,
         "static_analysis": static_results,
     }
     destination = "(not written)"
@@ -1185,6 +1324,44 @@ def run(
                     for r in engine_results
                 ],
                 title=f"Fused masks / gather joins vs per-row baselines -> {destination}",
+            )
+        )
+    crc_records = [r for r in resilience_results if r["kernel"] == "checksum_cold_open"]
+    if crc_records:
+        print(
+            format_table(
+                ["operation", "size", "off s", "header s", "full s", "full overhead"],
+                [
+                    [
+                        r["kernel"],
+                        r["size"],
+                        r["off_seconds"],
+                        r["header_seconds"],
+                        r["full_seconds"],
+                        f"{r['full_overhead']}x",
+                    ]
+                    for r in crc_records
+                ],
+                title=f"Checksum verification overhead (cold open + full read) -> {destination}",
+            )
+        )
+    kill_records = [r for r in resilience_results if r["kernel"] == "recovery_after_kill"]
+    if kill_records:
+        print(
+            format_table(
+                ["operation", "size", "healthy s", "killed s", "recovery s", "healed"],
+                [
+                    [
+                        r["kernel"],
+                        r["size"],
+                        r["healthy_seconds"],
+                        r["killed_query_seconds"],
+                        r["recovery_seconds"],
+                        "yes" if r["healed_without_reset"] else "NO",
+                    ]
+                    for r in kill_records
+                ],
+                title=f"Recovery after an injected worker kill -> {destination}",
             )
         )
     return report

@@ -50,6 +50,43 @@ class EvaluationError(ReproError):
     """A query plan or algebra expression failed during evaluation."""
 
 
+class StorageError(ReproError):
+    """The persistent storage tier failed or refused an operation."""
+
+
+class CorruptShardError(StorageError, ValueError):
+    """An on-disk dataset file failed structural or checksum validation.
+
+    Subclasses :exc:`ValueError` as well, because pre-checksum callers
+    treated every malformed dataset file as a ``ValueError`` — existing
+    ``except ValueError`` handling keeps working.  ``quarantined_to`` is
+    filled in when the opener moved the damaged file aside (injected
+    faults never quarantine a healthy file; see :mod:`repro.faults`).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        reason: str,
+        quarantined_to: "str | None" = None,
+        injected: bool = False,
+    ) -> None:
+        super().__init__(f"corrupt dataset file {path!r}: {reason}")
+        self.path = path
+        self.reason = reason
+        self.quarantined_to = quarantined_to
+        self.injected = injected
+
+
+class FaultInjectedError(ReproError):
+    """An error raised on purpose by an active fault plan.
+
+    Only ever raised while a :class:`repro.faults.FaultPlan` is installed;
+    production code paths must treat it exactly like the real failure it
+    stands in for (the whole point of injecting it).
+    """
+
+
 class ServingError(ReproError):
     """The query-serving layer is misconfigured or failed to serve."""
 

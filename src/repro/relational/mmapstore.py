@@ -11,20 +11,36 @@ worker processes map the same file directly instead of round-tripping
 payloads through ``multiprocessing.shared_memory`` (see
 :class:`repro.relational.parallel.FilePublication`).
 
-File format (``RPROMM01``)::
+File format (``RPROMM02``)::
 
     magic (8 bytes) | header length (8 bytes LE) | pickled header dict
-    | zero padding to an 8-byte boundary | column payloads (8-byte aligned)
+    | crc32(header) (4 bytes LE) | zero padding to an 8-byte boundary
+    | column payloads (8-byte aligned)
 
-The header records ``{width, length, epoch, meta, columns}`` where each
-column descriptor is ``(tag, typecode, offset, nbytes)`` — ``"arr"`` columns
-are raw ``array('d')``/``array('q')`` bytes (cast in place on open),
-``"obj"`` columns are pickled value lists, ``"empty"`` columns carry no
-payload.  Offsets are relative to the aligned payload base; 8-byte alignment
-is what makes ``memoryview.cast`` legal on the typed slices.  The **epoch**
-rides in the header, so a store reopened after a restart reports the same
-mutation epoch it was saved with and the serving layer's epoch-keyed caches
-stay correct across the restart (a reopen is not a mutation).
+The header records ``{width, length, epoch, meta, columns, column_crcs}``
+where each column descriptor is ``(tag, typecode, offset, nbytes)`` —
+``"arr"`` columns are raw ``array('d')``/``array('q')`` bytes (cast in place
+on open), ``"obj"`` columns are pickled value lists, ``"empty"`` columns
+carry no payload.  Offsets are relative to the aligned payload base; 8-byte
+alignment is what makes ``memoryview.cast`` legal on the typed slices.  The
+**epoch** rides in the header, so a store reopened after a restart reports
+the same mutation epoch it was saved with and the serving layer's
+epoch-keyed caches stay correct across the restart (a reopen is not a
+mutation).
+
+Integrity (``REPRO_CHECKSUM`` / :func:`set_checksum_mode` — ``off``,
+``header`` (default) or ``full``): the header trailer carries
+``zlib.crc32`` of the pickled header, and ``column_crcs`` carries one CRC
+per column payload.  ``header`` verifies the structural metadata on every
+open; ``full`` additionally reads and verifies every payload.  A failed
+check raises :exc:`~repro.errors.CorruptShardError` after *quarantining*
+the damaged file (renamed aside with a ``.quarantined`` suffix) so a
+crash-restart loop cannot spin on the same bad bytes — callers on the
+parallel read path treat it as fatal and fall back to the thread path over
+the in-memory buffers.  Legacy ``RPROMM01`` files (no checksums) still open,
+unverified.  The ``mmap.open.missing`` / ``mmap.open.corrupt`` fault sites
+(:mod:`repro.faults`) fire here; injected corruption never quarantines a
+healthy file.
 
 Store states:
 
@@ -68,9 +84,12 @@ import tempfile
 import threading
 import uuid
 import weakref
+import zlib
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
+from ..errors import CorruptShardError
 from .database import Database
 from .relation import Relation
 from .schema import DatabaseSchema
@@ -86,8 +105,11 @@ from .store import (
     register_backend,
 )
 
-_MAGIC = b"RPROMM01"
+_MAGIC = b"RPROMM02"
+_MAGIC_V1 = b"RPROMM01"
+_MANIFEST_FORMATS = frozenset({"RPROMM01", "RPROMM02"})
 _ALIGN = 8
+_CRC_BYTES = 4
 _PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 FILE_SUFFIX = ".rpro"
@@ -163,6 +185,57 @@ def set_store_dir(path: Optional[str]) -> Optional[str]:
         previous = _store_dir
         _store_dir = path
         _store_dir_is_default = False
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Checksum verification (REPRO_CHECKSUM knob)
+# ---------------------------------------------------------------------------
+
+CHECKSUM_MODES = ("off", "header", "full")
+DEFAULT_CHECKSUM_MODE = "header"
+
+
+def _env_checksum_mode(name: str) -> Optional[str]:
+    """Parse a checksum-mode environment override (unset/invalid means None)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    value = raw.strip().lower()
+    return value if value in CHECKSUM_MODES else None
+
+
+_checksum_mode = _env_checksum_mode("REPRO_CHECKSUM")
+if _checksum_mode is None:
+    _checksum_mode = DEFAULT_CHECKSUM_MODE
+
+
+def get_checksum_mode() -> str:
+    """How much of a dataset file is CRC-verified on open."""
+    return _checksum_mode
+
+
+def set_checksum_mode(mode: Optional[str]) -> str:
+    """Set the open-time verification mode; returns the previous setting.
+
+    ``"off"`` skips verification, ``"header"`` (the default) verifies the
+    structural metadata, ``"full"`` also reads and verifies every column
+    payload.  ``None`` restores :data:`DEFAULT_CHECKSUM_MODE` (the
+    ``REPRO_CHECKSUM`` environment override applies only at import time);
+    anything else raises :exc:`ValueError`.  Write-side behaviour: CRCs are
+    always recorded (they are cheap), so files written under ``off`` still
+    verify later.
+    """
+    global _checksum_mode
+    previous = _checksum_mode
+    if mode is None:
+        _checksum_mode = DEFAULT_CHECKSUM_MODE
+        return previous
+    if not isinstance(mode, str) or mode.lower() not in CHECKSUM_MODES:
+        raise ValueError(
+            f"checksum mode must be one of {CHECKSUM_MODES} or None, got {mode!r}"
+        )
+    _checksum_mode = mode.lower()
     return previous
 
 
@@ -245,13 +318,17 @@ def _encode_file(
     cols: Sequence[Sequence[object]],
     meta: Optional[dict] = None,
 ) -> bytes:
-    """Serialize column buffers into one self-describing ``RPROMM01`` blob.
+    """Serialize column buffers into one self-describing ``RPROMM02`` blob.
 
-    Raises whatever :mod:`pickle` raises for unpicklable object-column
-    values; callers on the anonymous path catch and stay in-memory.
+    CRCs (one per payload in ``column_crcs``, plus the header trailer) are
+    always recorded — verification cost is the open-time knob, not write
+    cost.  Raises whatever :mod:`pickle` raises for unpicklable
+    object-column values; callers on the anonymous path catch and stay
+    in-memory.
     """
     descriptors: List[Tuple[str, Optional[str], int, int]] = []
     chunks: List[bytes] = []
+    crcs: List[int] = []
     offset = 0
     for kind, col in zip(kinds, cols):
         if kind in _KIND_TYPECODES:
@@ -264,6 +341,7 @@ def _encode_file(
             tag, typecode, data = "obj", None, pickle.dumps(list(col), _PICKLE_PROTOCOL)
         descriptors.append((tag, typecode, offset, len(data)))
         chunks.append(data)
+        crcs.append(zlib.crc32(data))
         offset = _aligned(offset + len(data))
     header = pickle.dumps(
         {
@@ -272,14 +350,16 @@ def _encode_file(
             "epoch": epoch,
             "meta": meta,
             "columns": descriptors,
+            "column_crcs": crcs,
         },
         _PICKLE_PROTOCOL,
     )
-    base = _aligned(len(_MAGIC) + 8 + len(header))
+    base = _aligned(len(_MAGIC) + 8 + len(header) + _CRC_BYTES)
     blob = bytearray()
     blob += _MAGIC
     blob += len(header).to_bytes(8, "little")
     blob += header
+    blob += zlib.crc32(header).to_bytes(_CRC_BYTES, "little")
     blob += b"\x00" * (base - len(blob))
     for (_, _, chunk_offset, _), data in zip(descriptors, chunks):
         blob += b"\x00" * (base + chunk_offset - len(blob))
@@ -326,27 +406,86 @@ class _MappedFile:
         self.finalizer = None
 
 
+def _quarantine_file(path: str) -> Optional[str]:
+    """Rename a damaged dataset file aside; returns the new path (or None).
+
+    Quarantining keeps a crash-restart loop from re-opening the same bad
+    bytes forever: the next open of ``path`` raises a clean
+    :exc:`FileNotFoundError` (and a rebuild can write a fresh file there)
+    while the damaged bytes stay on disk for diagnosis.
+    """
+    target = f"{path}.quarantined"
+    if os.path.exists(target):
+        target = f"{path}.{uuid.uuid4().hex}.quarantined"
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    with _ANON_LOCK:
+        _ANON_FILES.discard(path)
+    return target
+
+
 def _map_file(path: str):
     """Map ``path`` and decode its header: ``(mapped, header, kinds, cols)``.
 
     Typed columns come back as read-only memoryviews cast over the mapping
-    (zero-copy); object columns are unpickled lists.
+    (zero-copy); object columns are unpickled lists.  Structural damage and
+    checksum mismatches (per :func:`get_checksum_mode`) quarantine the file
+    and raise :exc:`~repro.errors.CorruptShardError`; a file that is not a
+    dataset file at all (bad magic) raises plain :exc:`ValueError` and is
+    left where it is.
     """
+    if faults.inject("mmap.open.missing"):
+        raise FileNotFoundError(2, "injected missing dataset file", path)
+    if faults.inject("mmap.open.corrupt"):
+        raise CorruptShardError(path, "injected corruption", injected=True)
+
+    def corrupt(reason: str) -> None:
+        raise CorruptShardError(path, reason, quarantined_to=_quarantine_file(path))
+
+    verify = _checksum_mode
     with open(path, "rb") as handle:
         stat = os.fstat(handle.fileno())
         if stat.st_size < len(_MAGIC) + 8:
-            raise ValueError(f"{path!r} is not a repro dataset file (truncated)")
+            corrupt("truncated before header")
         mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
     data = memoryview(mm)
-    if bytes(data[: len(_MAGIC)]) != _MAGIC:
+    magic = bytes(data[: len(_MAGIC)])
+    if magic == _MAGIC:
+        trailer = _CRC_BYTES
+    elif magic == _MAGIC_V1:
+        trailer = 0  # legacy file: no checksums recorded, opens unverified
+    else:
         raise ValueError(f"{path!r} is not a repro dataset file (bad magic)")
     header_length = int.from_bytes(data[len(_MAGIC): len(_MAGIC) + 8], "little")
-    header = pickle.loads(data[len(_MAGIC) + 8: len(_MAGIC) + 8 + header_length])
-    base = _aligned(len(_MAGIC) + 8 + header_length)
+    header_end = len(_MAGIC) + 8 + header_length
+    if header_end + trailer > stat.st_size:
+        corrupt("truncated header")
+    header_bytes = data[len(_MAGIC) + 8: header_end]
+    if trailer and verify != "off":
+        expected = int.from_bytes(data[header_end: header_end + _CRC_BYTES], "little")
+        if zlib.crc32(header_bytes) != expected:
+            corrupt("header checksum mismatch")
+    try:
+        header = pickle.loads(header_bytes)
+        descriptors = list(header["columns"])
+    except Exception as exc:
+        corrupt(f"undecodable header ({type(exc).__name__})")
+    base = _aligned(header_end + trailer)
+    column_crcs = header.get("column_crcs")
     kinds: List[str] = []
     cols: List[Sequence[object]] = []
-    for tag, typecode, offset, nbytes in header["columns"]:
+    for index, (tag, typecode, offset, nbytes) in enumerate(descriptors):
+        if base + offset + nbytes > stat.st_size:
+            corrupt(f"column {index} payload truncated")
         chunk = data[base + offset: base + offset + nbytes]
+        if (
+            verify == "full"
+            and column_crcs is not None
+            and zlib.crc32(chunk) != column_crcs[index]
+        ):
+            corrupt(f"column {index} payload checksum mismatch")
         if tag == "arr":
             view = chunk.cast(typecode)
             if len(view):
@@ -359,7 +498,10 @@ def _map_file(path: str):
             kinds.append(_KIND_EMPTY)
             cols.append([])
         else:
-            values = list(pickle.loads(chunk))
+            try:
+                values = list(pickle.loads(chunk))
+            except Exception as exc:
+                corrupt(f"column {index} payload undecodable ({type(exc).__name__})")
             kinds.append(_KIND_OBJECT if values else _KIND_EMPTY)
             cols.append(values)
     token = f"{path}:{stat.st_ino}:{stat.st_mtime_ns}:{stat.st_size}"
@@ -450,7 +592,16 @@ class MmapStore(ColumnStore):
             return
         path = os.path.join(get_store_dir(), f"anon-{uuid.uuid4().hex}{FILE_SUFFIX}")
         _write_blob(path, blob)
-        self._attach(path, anonymous=True)
+        try:
+            self._attach(path, anonymous=True)
+        except (CorruptShardError, FileNotFoundError, OSError):
+            # The reopen failed (or a fault plan made it fail): stay
+            # detached — the in-memory buffers are still bit-identical —
+            # and drop the orphaned file.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _materialize(self) -> None:
         """Thaw every mapped buffer into a private in-memory one.
@@ -689,7 +840,7 @@ def open_database(
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     with open(manifest_path, "rb") as handle:
         manifest = pickle.loads(handle.read())
-    if manifest.get("format") != _MAGIC.decode("ascii"):
+    if manifest.get("format") not in _MANIFEST_FORMATS:
         raise ValueError(f"{manifest_path!r} is not a repro dataset manifest")
     if schema is None:
         schema = manifest.get("schema")

@@ -99,14 +99,18 @@ import hashlib
 import os
 import pickle
 import threading
+import time
 import uuid
 import weakref
 from array import array
 from collections import OrderedDict
 from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from itertools import compress
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import faults
+from ..errors import CorruptShardError
 from .store import (
     ColumnStore,
     Store,
@@ -189,6 +193,146 @@ def set_probe_timeout(seconds: Optional[float]) -> float:
     if not seconds > 0:
         raise ValueError(f"probe timeout must be > 0 seconds, got {seconds}")
     _probe_timeout = seconds
+    return previous
+
+
+DEFAULT_DISPATCH_RETRIES = 2
+
+
+def _env_retry_count(name: str) -> Optional[int]:
+    """Parse a retry-count environment override (unset/invalid means None)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+_dispatch_retries = _env_retry_count("REPRO_DISPATCH_RETRIES")
+if _dispatch_retries is None:
+    _dispatch_retries = DEFAULT_DISPATCH_RETRIES
+
+
+def get_dispatch_retries() -> int:
+    """Extra submission rounds a failed per-shard dispatch may retry."""
+    return _dispatch_retries
+
+
+def set_dispatch_retries(count: Optional[int]) -> int:
+    """Set the dispatch retry bound; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_DISPATCH_RETRIES` (the
+    ``REPRO_DISPATCH_RETRIES`` environment override applies only at import
+    time); negative or non-integer values raise :exc:`ValueError`.  ``0``
+    disables retries entirely — any shard-task failure falls straight back
+    to the thread path.
+    """
+    global _dispatch_retries
+    previous = _dispatch_retries
+    if count is None:
+        _dispatch_retries = DEFAULT_DISPATCH_RETRIES
+        return previous
+    try:
+        count = int(count)
+    except (TypeError, ValueError):
+        raise ValueError(f"dispatch retries must be an integer >= 0, got {count!r}")
+    if count < 0:
+        raise ValueError(f"dispatch retries must be >= 0, got {count}")
+    _dispatch_retries = count
+    return previous
+
+
+DEFAULT_DISPATCH_DEADLINE = 30.0
+
+_dispatch_deadline = DEFAULT_DISPATCH_DEADLINE
+
+
+def get_dispatch_deadline() -> float:
+    """Seconds one dispatch round may wait for its shard results."""
+    return _dispatch_deadline
+
+
+def set_dispatch_deadline(seconds: Optional[float]) -> float:
+    """Bound each dispatch round's result wait; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_DISPATCH_DEADLINE`; values that are not
+    positive finite numbers raise :exc:`ValueError`.  A worker that wedges
+    mid-task (or a fault-injected sleep) can therefore stall a query for at
+    most ``deadline × (1 + retries)`` before the thread path answers it —
+    never indefinitely.
+    """
+    global _dispatch_deadline
+    previous = _dispatch_deadline
+    if seconds is None:
+        _dispatch_deadline = DEFAULT_DISPATCH_DEADLINE
+        return previous
+    seconds = float(seconds)
+    if not seconds > 0 or seconds == float("inf"):
+        raise ValueError(f"dispatch deadline must be a positive finite number, got {seconds}")
+    _dispatch_deadline = seconds
+    return previous
+
+
+DEFAULT_RETRY_BACKOFF = 0.05
+
+_retry_backoff = DEFAULT_RETRY_BACKOFF
+
+
+def get_retry_backoff() -> float:
+    """Base seconds slept before a retry round (doubles per round)."""
+    return _retry_backoff
+
+
+def set_retry_backoff(seconds: Optional[float]) -> float:
+    """Set the exponential-backoff base; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_RETRY_BACKOFF`; negative or non-finite
+    values raise :exc:`ValueError` (``0`` retries immediately — useful in
+    tests).  Round ``n`` (1-based) sleeps ``base · 2^(n-1)`` seconds, giving
+    a freshly repaired worker slot time to finish spawning before the
+    re-routed tasks land on it.
+    """
+    global _retry_backoff
+    previous = _retry_backoff
+    if seconds is None:
+        _retry_backoff = DEFAULT_RETRY_BACKOFF
+        return previous
+    seconds = float(seconds)
+    if not seconds >= 0 or seconds == float("inf"):
+        raise ValueError(f"retry backoff must be a finite number >= 0, got {seconds}")
+    _retry_backoff = seconds
+    return previous
+
+
+DEFAULT_BREAKER_COOLDOWN = 30.0
+
+_breaker_cooldown = DEFAULT_BREAKER_COOLDOWN
+
+
+def get_breaker_cooldown() -> float:
+    """Seconds the tripped breaker stays open before a half-open probe."""
+    return _breaker_cooldown
+
+
+def set_breaker_cooldown(seconds: Optional[float]) -> float:
+    """Set the open-state cooldown; returns the previous setting.
+
+    ``None`` restores :data:`DEFAULT_BREAKER_COOLDOWN`; values that are not
+    positive finite numbers raise :exc:`ValueError`.  Tests shrink this to
+    milliseconds to exercise the half-open recovery path promptly.
+    """
+    global _breaker_cooldown
+    previous = _breaker_cooldown
+    if seconds is None:
+        _breaker_cooldown = DEFAULT_BREAKER_COOLDOWN
+        return previous
+    seconds = float(seconds)
+    if not seconds > 0 or seconds == float("inf"):
+        raise ValueError(f"breaker cooldown must be a positive finite number, got {seconds}")
+    _breaker_cooldown = seconds
     return previous
 
 
@@ -293,6 +437,8 @@ def _release_segments(names: Sequence[str]) -> None:
         try:
             segment.close()
             segment.unlink()
+        # repro: ignore[EXC001] releases are idempotent by design: a segment
+        # already unlinked by a concurrent cleanup path is the success case.
         except OSError:  # pragma: no cover - already gone
             pass
 
@@ -316,6 +462,9 @@ def _publish_payload(payload: bytes) -> Handle:
             # _publish_lock; fresh segment names never collide.
             _SEGMENT_REGISTRY[segment.name] = segment
             return ("shm", segment.name, len(payload))
+        # repro: ignore[EXC001] platform without shared memory: the latch is
+        # recorded and every publication degrades to inline handles — the
+        # documented fallback, not a swallow.
         except (ImportError, OSError, ValueError):
             # repro: ignore[STATE001] only reached under _publish_lock, and the
             # flag is a monotonic latch (False -> True).
@@ -472,10 +621,19 @@ def publication_for(store: Store):
             _register_cleanup()
             try:
                 publication = ShardPublication(store)
-            except Exception:
+            except Exception:  # repro: ignore[EXC001] unpublishable payload is remembered; callers fall back to threads
                 store._publication = _UNPUBLISHABLE
                 return None
             store._publication = publication
+            if faults.inject("shm.publish.unlink"):
+                # Simulated unlink race: one freshly published segment
+                # vanishes before any worker attaches.  Workers then hit
+                # FileNotFoundError, dispatch strikes the breaker and falls
+                # back; the next query notices the dead handle via
+                # _publication_live and republishes.
+                names = [h[1] for h in publication.handles if h[0] == "shm"]
+                if names:
+                    _release_segments(names[:1])
     return publication
 
 
@@ -487,8 +645,27 @@ _pool = None
 _pool_workers: Optional[int] = None
 _router = None  # the _AffinityRouter when shard affinity is "on"
 _pool_lock = threading.Lock()
+
+# -- circuit breaker state (all guarded by _pool_lock) -----------------------
+# _pool_failures counts *consecutive* dispatch failures; at
+# _MAX_POOL_FAILURES the breaker is OPEN: process dispatch is refused until
+# get_breaker_cooldown() seconds pass, after which exactly one dispatch is
+# admitted HALF-OPEN as a recovery probe — success closes the breaker
+# (counter reset), failure re-opens it and restarts the cooldown.  A healed
+# pool therefore re-enables itself without anyone calling
+# reset_process_pool(), which used to be the only way back.
 _pool_failures = 0
 _MAX_POOL_FAILURES = 3
+_breaker_opened_at: Optional[float] = None
+_breaker_probe_inflight = False
+_breaker_trips = 0
+_breaker_recoveries = 0
+
+# Monotonic pool-incarnation counter: each spawned pool (shared or per-slot)
+# gets the next value as its workers' fault-plan nonce, so a repaired
+# worker's injected-fault draws differ from its dead predecessor's — a
+# kill/heal cycle terminates instead of re-killing every replacement.
+_pool_incarnation = 0
 _cleanup_registered = False
 
 # Set by the worker initializer: worker processes must never publish or
@@ -575,6 +752,20 @@ def _context_method(context) -> str:
         return "fork"
 
 
+def _worker_initargs(context) -> Tuple[str, Optional[str], str]:
+    """Initializer arguments for a fresh pool's workers.
+
+    Ships the start method, the active fault-plan spec (workers must run
+    the same chaos the parent does), and this pool's incarnation number as
+    the plan nonce (see :data:`_pool_incarnation`).
+    """
+    global _pool_incarnation
+    with _pool_lock:
+        _pool_incarnation += 1
+        incarnation = _pool_incarnation
+    return (_context_method(context), faults.active_spec(), str(incarnation))
+
+
 _pool_create_lock = threading.Lock()
 
 
@@ -603,10 +794,11 @@ def _ensure_pool():
                 max_workers=workers,
                 mp_context=context,
                 initializer=_worker_init,
-                initargs=(_context_method(context),),
+                initargs=_worker_initargs(context),
             )
         except (ImportError, OSError, ValueError):  # pragma: no cover - platform
-            _pool_failures = _MAX_POOL_FAILURES
+            with _pool_lock:
+                _pool_failures = _MAX_POOL_FAILURES
             return None
         _register_cleanup()
         with _pool_lock:
@@ -669,6 +861,7 @@ class _AffinityRouter:
         self.hits = 0
         self.steals = 0
         self.rehashes = 0
+        self.reroutes = 0
 
     @property
     def slot_count(self) -> int:
@@ -702,14 +895,44 @@ class _AffinityRouter:
                 self.hits += 1
             else:
                 self.steals += 1
-            slot.inflight += 1
-            pool = slot.pool
-            if pool is None:
-                try:
-                    pool = slot.pool = self._create_pool()
-                except Exception:
-                    slot.inflight -= 1
-                    raise
+            pool = self._reserve_locked(slot)
+        return self._finish_submit(slot, pool, fn, args)
+
+    def submit_avoiding(
+        self, token: str, avoid_index: int, fn: Callable, *args
+    ) -> Tuple[object, _AffinitySlot]:
+        """Submit onto the least-loaded slot that is *not* ``avoid_index``.
+
+        The retry path's re-route: a task whose home slot just failed it
+        (broken worker, deadline timeout) lands on a different, presumably
+        healthy slot instead of queueing behind the repair.  With a single
+        slot there is nothing to avoid and the home submit applies.
+        """
+        if len(self._slots) <= 1:
+            return self.submit(token, fn, *args)
+        with self._lock:
+            candidates = [s for s in self._slots if s.index != avoid_index]
+            slot = min(candidates, key=lambda s: (s.inflight, s.index))
+            self.reroutes += 1
+            pool = self._reserve_locked(slot)
+        return self._finish_submit(slot, pool, fn, args)
+
+    def _reserve_locked(self, slot: _AffinitySlot):
+        """Claim one inflight unit on ``slot``; caller holds ``self._lock``."""
+        slot.inflight += 1
+        pool = slot.pool
+        if pool is None:
+            try:
+                pool = slot.pool = self._create_pool()
+            except Exception:
+                slot.inflight -= 1
+                raise
+        return pool
+
+    def _finish_submit(
+        self, slot: _AffinitySlot, pool, fn: Callable, args: Tuple
+    ) -> Tuple[object, _AffinitySlot]:
+        """Submit outside the router lock (the done callback re-takes it)."""
         try:
             future = pool.submit(fn, *args)
         except Exception:
@@ -728,7 +951,7 @@ class _AffinityRouter:
             max_workers=1,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(_context_method(context),),
+            initargs=_worker_initargs(context),
         )
 
     def _task_done(self, slot: _AffinitySlot) -> None:
@@ -763,6 +986,7 @@ class _AffinityRouter:
                 "hits": self.hits,
                 "steals": self.steals,
                 "rehashes": self.rehashes,
+                "reroutes": self.reroutes,
                 "slots": len(self._slots),
             }
 
@@ -807,15 +1031,29 @@ def affinity_stats() -> Dict[str, int]:
     """
     router = _router
     if router is None:
-        return {"hits": 0, "steals": 0, "rehashes": 0, "slots": 0}
+        return {"hits": 0, "steals": 0, "rehashes": 0, "reroutes": 0, "slots": 0}
     return router.stats()
+
+
+def _strike_locked() -> None:
+    """One consecutive-failure strike; caller holds ``_pool_lock``.
+
+    Reaching the threshold (re)opens the breaker and (re)starts the
+    cooldown — a failed half-open probe therefore waits a full cooldown
+    before the next probe, instead of hammering a still-broken pool.
+    """
+    global _pool_failures, _breaker_opened_at, _breaker_trips
+    _pool_failures += 1  # repro: ignore[STATE001] caller holds _pool_lock
+    if _pool_failures >= _MAX_POOL_FAILURES:
+        if _breaker_opened_at is None:
+            _breaker_trips += 1  # repro: ignore[STATE001] caller holds _pool_lock
+        _breaker_opened_at = time.monotonic()  # repro: ignore[STATE001] caller holds _pool_lock
 
 
 def _breaker_strike() -> None:
     """One consecutive-failure strike that keeps healthy router slots warm."""
-    global _pool_failures
     with _pool_lock:
-        _pool_failures += 1
+        _strike_locked()
 
 
 def _pool_failed() -> None:
@@ -826,20 +1064,125 @@ def _pool_failed() -> None:
     the OS) cost one retired pool each but can never permanently disable
     process mode in a long-lived session.
     """
-    global _pool_failures
-    with _pool_lock:
-        _pool_failures += 1
+    _breaker_strike()
     reset_process_pool()
+
+
+def _breaker_allows() -> bool:
+    """Whether process dispatch may be attempted right now.
+
+    ``True`` while the breaker is closed, and for the half-open recovery
+    window (cooldown elapsed, no probe already in flight).  Also stamps the
+    open timestamp lazily when the failure counter was pushed over the
+    threshold directly (tests do this to disable process mode) so the
+    cooldown starts counting from the first refusal.
+    """
+    global _breaker_opened_at
+    with _pool_lock:
+        if _pool_failures < _MAX_POOL_FAILURES:
+            return True
+        now = time.monotonic()
+        if _breaker_opened_at is None:
+            _breaker_opened_at = now
+            return False
+        if now - _breaker_opened_at < _breaker_cooldown:
+            return False
+        return not _breaker_probe_inflight
+
+
+def _breaker_enter() -> Optional[str]:
+    """Claim permission to dispatch: ``"closed"``, ``"probe"``, or ``None``.
+
+    ``"closed"`` — breaker closed, dispatch normally (any number of
+    concurrent holders).  ``"probe"`` — breaker was open, the cooldown
+    elapsed, and this caller is the *single* half-open recovery probe.
+    ``None`` — refused (open and cooling down, or a probe is already in
+    flight); fall back to the thread path.  Every non-``None`` token must
+    be paired with exactly one :func:`_breaker_exit`.
+    """
+    global _breaker_opened_at, _breaker_probe_inflight
+    with _pool_lock:
+        if _pool_failures < _MAX_POOL_FAILURES:
+            return "closed"
+        now = time.monotonic()
+        if _breaker_opened_at is None:
+            _breaker_opened_at = now
+            return None
+        if now - _breaker_opened_at < _breaker_cooldown:
+            return None
+        if _breaker_probe_inflight:
+            return None
+        _breaker_probe_inflight = True
+        return "probe"
+
+
+def _breaker_exit(token: Optional[str], success: Optional[bool]) -> None:
+    """Release a :func:`_breaker_enter` token with a verdict.
+
+    ``success=True`` closes the breaker (consecutive-failure counter back
+    to zero; counted as a recovery when it was open), ``False`` strikes it,
+    and ``None`` releases without a verdict — used when the dispatch
+    neither proved nor disproved pool health (a concurrent reset cancelled
+    it, or the computation itself raised an application error).
+    """
+    global _pool_failures, _breaker_opened_at, _breaker_probe_inflight
+    global _breaker_recoveries
+    if token is None:
+        return
+    with _pool_lock:
+        if token == "probe":
+            _breaker_probe_inflight = False
+        if success is True:
+            if _pool_failures >= _MAX_POOL_FAILURES:
+                _breaker_recoveries += 1
+            _pool_failures = 0
+            _breaker_opened_at = None
+        elif success is False:
+            _strike_locked()
+
+
+def breaker_state() -> Dict[str, object]:
+    """The circuit breaker's observable state (a snapshot copy).
+
+    ``state`` is ``"closed"`` (process dispatch allowed), ``"open"``
+    (refused, cooling down — ``seconds_until_probe`` says for how much
+    longer), or ``"half-open"`` (the next dispatch is admitted as a
+    recovery probe).  ``trips``/``recoveries`` count open transitions and
+    successful recoveries over the process lifetime.
+    """
+    with _pool_lock:
+        failures = _pool_failures
+        opened_at = _breaker_opened_at
+        probing = _breaker_probe_inflight
+        trips = _breaker_trips
+        recoveries = _breaker_recoveries
+        cooldown = _breaker_cooldown
+    if failures < _MAX_POOL_FAILURES:
+        state = "closed"
+        remaining = 0.0
+    else:
+        elapsed = 0.0 if opened_at is None else time.monotonic() - opened_at
+        remaining = max(0.0, cooldown - elapsed)
+        state = "open" if (remaining > 0 or probing) else "half-open"
+    return {
+        "state": state,
+        "failures": failures,
+        "threshold": _MAX_POOL_FAILURES,
+        "cooldown_seconds": cooldown,
+        "seconds_until_probe": remaining,
+        "trips": trips,
+        "recoveries": recoveries,
+    }
 
 
 def process_eligible(store: Store) -> bool:
     """Whether a whole-store computation on ``store`` should try the pool."""
     return (
         not _IN_PROCESS_WORKER
-        and _pool_failures < _MAX_POOL_FAILURES
         and len(getattr(store, "shards", ())) > 1
         and len(store) >= _process_min_rows
         and get_shard_workers() > 1
+        and _breaker_allows()
     )
 
 
@@ -851,9 +1194,14 @@ def probe_process_executor() -> bool:
     process-mode legs are meaningful.  The wait is bounded by
     :func:`get_probe_timeout` — a pool that wedges during spawn trips the
     failure breaker and the probe reports ``False`` promptly instead of
-    stalling the first query behind a 60-second result wait.
+    stalling the first query behind a 60-second result wait.  When the
+    breaker is open, a successful probe through the half-open window closes
+    it again — the explicit recovery check harnesses can call.
     """
-    if _IN_PROCESS_WORKER or _pool_failures >= _MAX_POOL_FAILURES:
+    if _IN_PROCESS_WORKER:
+        return False
+    token = _breaker_enter()
+    if token is None:
         return False
     try:
         router = _ensure_router()
@@ -862,12 +1210,209 @@ def probe_process_executor() -> bool:
         else:
             pool = _ensure_pool()
             if pool is None:
+                _breaker_exit(token, False)
                 return False
+        if router is None:
             future = pool.submit(_worker_ping)
-        return future.result(timeout=_probe_timeout)
+        alive = bool(future.result(timeout=_probe_timeout))
+        _breaker_exit(token, alive)
+        return alive
     except Exception:
-        _pool_failed()
+        _breaker_exit(token, False)
+        reset_process_pool()
         return False
+
+
+# Cumulative dispatch-resilience accounting (parent side).  ``retries``
+# counts re-submission rounds, ``timeouts`` futures abandoned at the
+# dispatch deadline, ``reroutes`` tasks re-routed away from a failed slot,
+# ``fallbacks`` dispatches that gave up to the thread path, ``fatal``
+# publication-level failures (vanished segment, corrupt shard file).
+_dispatch_lock = threading.Lock()
+_DISPATCH_COUNTS = {
+    "retries": 0,
+    "timeouts": 0,
+    "fallbacks": 0,
+    "fatal": 0,
+}
+
+
+def _note_dispatch(name: str, increment: int = 1) -> None:
+    with _dispatch_lock:
+        _DISPATCH_COUNTS[name] += increment
+
+
+def dispatch_stats() -> Dict[str, object]:
+    """Dispatch-resilience counters plus the live breaker snapshot."""
+    with _dispatch_lock:
+        counts = dict(_DISPATCH_COUNTS)
+    counts["configured_retries"] = _dispatch_retries
+    counts["deadline_seconds"] = _dispatch_deadline
+    counts["breaker"] = breaker_state()
+    return counts
+
+
+class _RoundOutcome:
+    """One dispatch round's verdict: which tasks failed, and how."""
+
+    __slots__ = ("failed", "fatal", "cancelled")
+
+    def __init__(self) -> None:
+        self.failed: List[int] = []
+        self.fatal = False
+        self.cancelled = False
+
+
+def _dispatch_round(
+    router,
+    pool,
+    fn: Callable,
+    tasks: Sequence[Tuple[Handle, Tuple]],
+    pending: Sequence[int],
+    avoid: Dict[int, int],
+    results: List[object],
+) -> _RoundOutcome:
+    """Submit and await one round of per-shard tasks.
+
+    Successful task results land in ``results``; everything else is
+    classified into the outcome: per-task failures (broken worker, deadline
+    timeout — eligible for retry on another slot), a *fatal* publication
+    failure (vanished segment / corrupt or missing shard file — retrying
+    the same handles cannot help), or a no-verdict cancellation by a
+    concurrent pool reset.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    outcome = _RoundOutcome()
+    futures: Dict[int, object] = {}
+    slots: Dict[int, Optional[_AffinitySlot]] = {}
+    try:
+        for index in pending:
+            handle, args = tasks[index]
+            if faults.inject("parallel.dispatch.broken"):
+                raise BrokenProcessPool("injected dispatch fault")
+            if router is not None:
+                previous_slot = avoid.get(index, -1)
+                if previous_slot >= 0:
+                    future, slot = router.submit_avoiding(
+                        handle[1], previous_slot, fn, handle, *args
+                    )
+                else:
+                    future, slot = router.submit(handle[1], fn, handle, *args)
+            else:
+                future, slot = pool.submit(fn, handle, *args), None
+            futures[index] = future
+            slots[index] = slot
+    except (BrokenProcessPool, RuntimeError, OSError, ValueError, ImportError):
+        # The pool broke (or was shut down under us) at submission time —
+        # infrastructure, not the computation.  Reset so the next round
+        # re-creates the executor, and mark everything not yet submitted
+        # (plus whatever was) as failed for retry.
+        for future in futures.values():
+            future.cancel()
+        reset_process_pool()
+        outcome.failed = list(pending)
+        return outcome
+
+    deadline = _dispatch_deadline
+    started = time.monotonic()
+    self_reset = False
+    repaired: set = set()
+    for index, future in sorted(futures.items()):
+        remaining = max(0.0, deadline - (time.monotonic() - started))
+        try:
+            results[index] = future.result(timeout=remaining)
+        except FuturesTimeoutError:
+            # Wedged worker (or fault-injected sleep) past the dispatch
+            # deadline: abandon the future, retire the slot so the stuck
+            # worker cannot poison the next round, and retry elsewhere.
+            _note_dispatch("timeouts")
+            future.cancel()
+            slot = slots[index]
+            if slot is not None:
+                if slot.index not in repaired:
+                    repaired.add(slot.index)
+                    router.repair(slot)
+                avoid[index] = slot.index
+            elif not self_reset:
+                self_reset = True
+                reset_process_pool()
+            outcome.failed.append(index)
+        # repro: ignore[EXC001] self-reset cancellations retry; concurrent-reset
+        # cancellations abort with no breaker verdict (the resetter already
+        # replaced the pool) — neither is a swallow.
+        except CancelledError:
+            if self_reset:
+                # Our own deadline reset cancelled the rest of the shared
+                # pool's queue; those tasks simply retry next round.
+                outcome.failed.append(index)
+            else:
+                # A concurrent reset_process_pool cancelled us; the
+                # resetter already replaced the pool — no verdict.
+                outcome.cancelled = True
+        except BrokenProcessPool:
+            slot = slots[index]
+            if slot is not None:
+                if slot.index not in repaired:
+                    repaired.add(slot.index)
+                    router.repair(slot)
+                avoid[index] = slot.index
+            elif not self_reset:
+                self_reset = True
+                reset_process_pool()
+            outcome.failed.append(index)
+        # repro: ignore[EXC001] fatal publication loss: the caller exits its
+        # breaker token with a strike and falls back to the thread path; the
+        # next query republishes (_publication_live sees the dead handle).
+        except (FileNotFoundError, CorruptShardError):
+            outcome.fatal = True
+            break
+    if outcome.fatal or outcome.cancelled:
+        for index, future in futures.items():
+            if results[index] is None:
+                future.cancel()
+    return outcome
+
+
+def _dispatch_with_retries(
+    publication, fn: Callable, args_per_shard: Sequence[Tuple]
+) -> Tuple[Optional[List[object]], Optional[bool]]:
+    """Run every shard task with bounded retry; ``(results, verdict)``.
+
+    The verdict feeds :func:`_breaker_exit`: ``True`` on success, ``False``
+    when the dispatch gave up (strike), ``None`` when cancelled by a
+    concurrent reset (no verdict).  Failed tasks are re-routed to an
+    alternate affinity slot on the next round, with exponential backoff
+    between rounds so a repairing slot has time to respawn.
+    """
+    tasks = list(zip(publication.handles, args_per_shard))
+    results: List[object] = [None] * len(tasks)
+    pending: List[int] = list(range(len(tasks)))
+    avoid: Dict[int, int] = {}
+    retries = _dispatch_retries
+    for attempt in range(retries + 1):
+        if attempt:
+            _note_dispatch("retries")
+            backoff = _retry_backoff * (2 ** (attempt - 1))
+            if backoff > 0:
+                time.sleep(backoff)
+        router = _ensure_router()
+        pool = None if router is not None else _ensure_pool()
+        if router is None and pool is None:
+            _note_dispatch("fallbacks")
+            return None, False
+        outcome = _dispatch_round(router, pool, fn, tasks, pending, avoid, results)
+        if outcome.cancelled:
+            return None, None
+        if outcome.fatal:
+            _note_dispatch("fatal")
+            _note_dispatch("fallbacks")
+            return None, False
+        pending = outcome.failed
+        if not pending:
+            return results, True
+    _note_dispatch("fallbacks")
+    return None, False
 
 
 def _submit_per_shard(
@@ -878,65 +1423,31 @@ def _submit_per_shard(
     With shard affinity on, every task is routed through the affinity
     router by its handle token — the shard's dedicated warm worker, with
     work-stealing overflow; otherwise tasks go to the shared free-for-all
-    pool.  Infrastructure failures (a broken pool, a segment that vanished
-    under a concurrent mutation) trigger the thread-path fallback; genuine
-    application errors raised by the shipped computation propagate to the
-    caller exactly as they would on the thread path.
+    pool.  Infrastructure failures (a broken pool, a worker past the
+    dispatch deadline, a segment that vanished under a concurrent mutation)
+    are retried up to :func:`get_dispatch_retries` times on alternate
+    slots, then trigger the thread-path fallback; genuine application
+    errors raised by the shipped computation propagate to the caller
+    exactly as they would on the thread path.  Every dispatch holds a
+    circuit-breaker token: success closes the breaker, exhausted retries
+    strike it, and an open breaker refuses dispatch up front (the half-open
+    recovery probe being the one exception).
     """
     publication = publication_for(store)
     if publication is None:  # unpublishable payloads: thread fallback
         return None
-    router = _ensure_router()
-    pool = None if router is not None else _ensure_pool()
-    if router is None and pool is None:
+    token = _breaker_enter()
+    if token is None:
         return None
-    from concurrent.futures.process import BrokenProcessPool
-
-    global _pool_failures
-    futures: List[object] = []
-    slots: List[Optional[_AffinitySlot]] = []
+    verdict: Optional[bool] = None
     try:
-        for handle, args in zip(publication.handles, args_per_shard):
-            if router is not None:
-                future, slot = router.submit(handle[1], fn, handle, *args)
-            else:
-                future, slot = pool.submit(fn, handle, *args), None
-            futures.append(future)
-            slots.append(slot)
-    except (RuntimeError, OSError, ValueError, ImportError):
-        # Pool shut down under us (concurrent reset) or a slot pool could
-        # not be created at all — infrastructure, not the computation.
-        _pool_failed()
-        return None
-    try:
-        results = [future.result() for future in futures]
-    except CancelledError:
-        # A concurrent reset cancelled our pending futures; the resetter
-        # already replaced the pool, so this is neither an application
-        # error nor a strike against the breaker — just fall back.
-        return None
-    except (BrokenProcessPool, FileNotFoundError):
-        # Dead workers or segments unlinked mid-flight are infrastructure
-        # failures; anything else a worker raises is the computation's own
-        # error and propagates exactly as on the thread path.
-        if router is not None:
-            # Repair only the slots whose futures actually broke; healthy
-            # slots keep their warm workers and routed tokens.
-            for future, slot in zip(futures, slots):
-                if (
-                    slot is not None
-                    and future.done()
-                    and not future.cancelled()
-                    and isinstance(future.exception(), BrokenProcessPool)
-                ):
-                    router.repair(slot)
-            _breaker_strike()
-        else:
-            _pool_failed()
-        return None
-    with _pool_lock:
-        _pool_failures = 0  # the breaker counts *consecutive* failures only
-    return results
+        results, verdict = _dispatch_with_retries(publication, fn, args_per_shard)
+        return results
+    finally:
+        # An application error propagating out of the worker leaves
+        # verdict=None: the pool round-tripped fine (infrastructure is
+        # healthy), but the computation failed — neither close nor strike.
+        _breaker_exit(token, verdict)
 
 
 # ---------------------------------------------------------------------------
@@ -1246,13 +1757,20 @@ def worker_cache_stats(timeout: Optional[float] = None) -> Optional[List[Dict[st
 _WORKER_START_METHOD = "fork"
 
 
-def _worker_init(start_method: str = "fork") -> None:
+def _worker_init(
+    start_method: str = "fork",
+    fault_spec: Optional[str] = None,
+    fault_nonce: str = "",
+) -> None:
     """Initializer run in every worker process.
 
     Marks the process as a worker (no nested pools, no publications) and
     neutralizes any executor state inherited across ``fork`` — the parent's
     pools do not exist here, and per-shard work inside a worker is small by
-    construction, so workers always run sequentially.
+    construction, so workers always run sequentially.  The parent's active
+    fault plan ships along as its spec, re-seeded under this pool's
+    incarnation nonce so each worker generation draws its own deterministic
+    fault sequence (see :func:`_worker_initargs`).
     """
     global _IN_PROCESS_WORKER, _WORKER_START_METHOD
     # The initializer runs once per worker process before any task is
@@ -1262,6 +1780,7 @@ def _worker_init(start_method: str = "fork") -> None:
     _STORE_CACHE.clear()  # repro: ignore[STATE001] pre-task worker init
     _INDEX_CACHE.clear()  # repro: ignore[STATE001] pre-task worker init
     _CACHE_STATS.update(store_decodes=0, index_builds=0)  # repro: ignore[STATE001] pre-task worker init
+    faults._install_worker_plan(fault_spec, fault_nonce)
     from . import store as store_module
 
     store_module._shard_pool = None
@@ -1271,6 +1790,21 @@ def _worker_init(start_method: str = "fork") -> None:
 
 def _worker_ping() -> bool:
     return True
+
+
+def _worker_fault_probe() -> None:
+    """Fault-injection probes every shard task runs on entry (worker side).
+
+    ``parallel.worker.kill`` exits the worker hard — exactly what the OOM
+    killer or a segfault does to a real worker; the parent sees
+    ``BrokenProcessPool``.  ``parallel.worker.slow`` sleeps the rule's
+    ``arg`` seconds first — a wedged or overloaded worker; long enough, the
+    parent's dispatch deadline fires.  Both are no-ops without a plan.
+    """
+    if faults.inject("parallel.worker.kill"):
+        os._exit(13)
+    if faults.inject("parallel.worker.slow"):
+        time.sleep(faults.fault_arg("parallel.worker.slow", 0.05))
 
 
 def _untrack_segment(shm: object) -> None:
@@ -1294,6 +1828,9 @@ def _untrack_segment(shm: object) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
+    # repro: ignore[EXC001] best-effort hygiene around a private CPython API;
+    # failure means an extra tracker warning at worker exit, never a wrong
+    # or missing answer.
     except Exception:
         pass
 
@@ -1357,6 +1894,7 @@ def _cached_index(token: str, kind: str, spec: bytes, build: Callable[[], object
 
 
 def _worker_eval_mask(handle: Handle, masker_payload: bytes) -> bytes:
+    _worker_fault_probe()
     store = _resolve_store(handle)
     masker = pickle.loads(masker_payload)
     return bytes(masker(store))
@@ -1365,6 +1903,7 @@ def _worker_eval_mask(handle: Handle, masker_payload: bytes) -> bytes:
 def _worker_gather(
     handle: Handle, position: int, indices: Sequence[int]
 ) -> Tuple[str, Optional[str], object]:
+    _worker_fault_probe()
     store = _resolve_store(handle)
     return _encode_buffer(store.gather_column(position, indices))
 
@@ -1382,6 +1921,7 @@ def _worker_select_gather(
     cheaper than shipping the whole shard back) or when there are no
     columns to gather.
     """
+    _worker_fault_probe()
     store = _resolve_store(handle)
     masker = pickle.loads(masker_payload)
     mask = bytearray(masker(store))
@@ -1399,6 +1939,7 @@ def _worker_select_gather(
 def _worker_radius_matches(
     handle: Handle, spec: bytes, batch: bytes, want_indices: bool
 ) -> List[object]:
+    _worker_fault_probe()
     store = _resolve_store(handle)
 
     def build():
@@ -1422,6 +1963,7 @@ def _worker_radius_matches(
 
 
 def _worker_nn_min(handle: Handle, spec: bytes, batch: bytes) -> List[float]:
+    _worker_fault_probe()
     store = _resolve_store(handle)
 
     def build():
@@ -1437,6 +1979,7 @@ def _worker_nn_min(handle: Handle, spec: bytes, batch: bytes) -> List[float]:
 
 
 def _worker_kd_radius(handle: Handle, spec: bytes, batch: bytes) -> List[List[int]]:
+    _worker_fault_probe()
     store = _resolve_store(handle)
 
     def build():

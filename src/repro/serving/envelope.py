@@ -38,7 +38,13 @@ class ServingEnvelope:
         result_cache_hit / plan_cache_hit: where the answer / plan came
             from.  ``plan_cache_hit`` is always ``False`` on a result hit
             (the plan cache is not consulted).
-        degraded: whether admission stepped α down.
+        degraded: whether the served α is lower than the requested one —
+            stepped down by admission load or by the executor breaker.
+        degraded_reason: why (``None`` when not degraded):
+            ``"admission-load"`` for the degrade-alpha admission ladder,
+            ``"executor-breaker-open"`` / ``"executor-breaker-half-open"``
+            when the process-executor circuit breaker is recovering and the
+            server trades α for the slower fallback path's latency.
         wait_seconds: time spent queued for admission (``queue`` policy).
         serve_seconds: total wall-clock time inside the server for this
             request, including admission wait and cache lookups.
@@ -50,6 +56,11 @@ class ServingEnvelope:
             execution.  Both are 0 on a result-cache hit (nothing was
             computed) and whenever the affinity router is inactive
             (serial/thread executors, or ``set_shard_affinity("off")``).
+        dispatch_retries: process-dispatch retry rounds
+            (:func:`repro.relational.parallel.dispatch_stats` delta) spent
+            computing this answer — 0 on cache hits and on the
+            serial/thread paths; non-zero means a worker failure was
+            absorbed by re-routing rather than surfacing to the client.
     """
 
     result: QueryResult
@@ -65,6 +76,8 @@ class ServingEnvelope:
     serve_seconds: float
     affinity_hits: int = 0
     affinity_misses: int = 0
+    degraded_reason: "str | None" = None
+    dispatch_retries: int = 0
 
     @property
     def rows(self) -> Relation:

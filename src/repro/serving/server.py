@@ -19,6 +19,16 @@ a resource ratio α — but is built for *many* requests over a long lifetime:
 4. everything is **observable** through
    :class:`~repro.serving.stats.ServingStats`.
 
+Resilience: a fault anywhere below the server costs served α or latency,
+never correctness or availability.  Cache backends are consulted through
+guarded wrappers — an erroring backend (or the ``serving.cache.get`` /
+``serving.cache.put`` fault sites) is treated as a miss and counted, and
+the request recomputes.  When the process-executor circuit breaker
+(:func:`repro.relational.parallel.breaker_state`) is open or probing, the
+server steps served α one extra rung down (the *degraded-mode ladder*) so
+requests riding the slower thread fallback cost proportionally less; the
+envelope reports ``degraded_reason`` and any dispatch retries spent.
+
 Thread-safe: one server instance is meant to be shared by many request
 threads (the concurrency harness in ``benchmarks/bench_serving.py`` drives
 it exactly that way).
@@ -29,10 +39,13 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from .. import faults
 from ..algebra import predicates
 from ..algebra.ast import query_fingerprint
 from ..core.framework import Beas, QueryLike
+from ..errors import FaultInjectedError
 from ..relational import parallel
+from ..relational.store import get_shard_executor
 from .admission import AdmissionController
 from .cache import DEFAULT_MAX_ENTRIES, MISSING, CacheBackend, make_cache
 from .envelope import ServingEnvelope
@@ -119,7 +132,53 @@ class QueryServer:
             degraded=envelope.degraded,
             wait_seconds=envelope.wait_seconds,
         )
+        if envelope.dispatch_retries:
+            self.stats.count("dispatch_retries", envelope.dispatch_retries)
+        if envelope.degraded_reason is not None:
+            self.stats.count(f"degraded[{envelope.degraded_reason}]")
         return envelope
+
+    # -- resilience helpers ------------------------------------------------------
+    def _cache_get(self, cache, key, kind: str):
+        """Guarded cache read: an erroring backend is a miss, never a failure."""
+        try:
+            if faults.inject("serving.cache.get"):
+                raise FaultInjectedError(f"injected {kind}-cache get fault")
+            return cache.get(key)
+        except Exception:
+            self.stats.count(f"{kind}_cache_errors")
+            return MISSING
+
+    def _cache_put(self, cache, key, value, kind: str) -> None:
+        """Guarded cache write: a failed put only costs the next request."""
+        try:
+            if faults.inject("serving.cache.put"):
+                raise FaultInjectedError(f"injected {kind}-cache put fault")
+            cache.put(key, value)
+        except Exception:
+            self.stats.count(f"{kind}_cache_errors")
+
+    def _breaker_degrade(self, alpha: float, served_alpha: float):
+        """One extra ladder rung while the process executor is unhealthy.
+
+        Returns ``(served_alpha, reason)``.  Only the process executor
+        routes through the breaker; when it is open (cooling down) or
+        half-open (probing), computation rides the slower thread fallback —
+        so the server halves the served α (floored at the admission
+        ladder's bottom rung) to keep per-request cost bounded, exactly the
+        paper's accuracy-for-resources trade applied to failure instead of
+        load.
+        """
+        if get_shard_executor() != "process":
+            return served_alpha, None
+        state = parallel.breaker_state()["state"]
+        if state == "closed":
+            return served_alpha, None
+        floor = alpha * self.admission.ladder[-1]
+        stepped = max(floor, served_alpha / 2.0)
+        if stepped >= served_alpha:
+            return served_alpha, None
+        return stepped, f"executor-breaker-{state}"
 
     def _serve_admitted(self, query, alpha, ticket, enforce_budget, start):
         """The cache-then-compute path, run while holding an admission slot."""
@@ -127,9 +186,14 @@ class QueryServer:
         fingerprint = query_fingerprint(ast)
         epoch = self.beas.database.publication_epoch
         served_alpha = ticket.served_alpha
+        degraded_reason = "admission-load" if ticket.degraded else None
+        served_alpha, breaker_reason = self._breaker_degrade(alpha, served_alpha)
+        if breaker_reason is not None:
+            degraded_reason = breaker_reason
+        degraded = degraded_reason is not None
 
         result_key = (fingerprint, served_alpha, enforce_budget, epoch)
-        cached = self.result_cache.get(result_key)
+        cached = self._cache_get(self.result_cache, result_key, "result")
         if cached is not MISSING:
             return ServingEnvelope(
                 result=cached,
@@ -140,9 +204,10 @@ class QueryServer:
                 publication_epoch=epoch,
                 result_cache_hit=True,
                 plan_cache_hit=False,
-                degraded=ticket.degraded,
+                degraded=degraded,
                 wait_seconds=ticket.wait_seconds,
                 serve_seconds=time.perf_counter() - start,
+                degraded_reason=degraded_reason,
             )
 
         budget = self.beas.database.budget_for(served_alpha)
@@ -150,7 +215,7 @@ class QueryServer:
         # the access budget alone, so plans survive mutations that leave
         # ⌊α·|D|⌋ unchanged.  Results stay epoch-keyed above.
         plan_key = (fingerprint, budget)
-        plan = self.plan_cache.get(plan_key)
+        plan = self._cache_get(self.plan_cache, plan_key, "plan")
         plan_hit = plan is not MISSING
         if not plan_hit:
             plan = None
@@ -159,11 +224,13 @@ class QueryServer:
         # the delta attributes overlapping submissions to whichever request
         # reads last — good enough for the envelope's observability role.
         before = parallel.affinity_stats()
+        retries_before = parallel.dispatch_stats()["retries"]
         result = self.beas.answer(ast, served_alpha, enforce_budget, plan=plan)
         after = parallel.affinity_stats()
+        retries_after = parallel.dispatch_stats()["retries"]
         if not plan_hit:
-            self.plan_cache.put(plan_key, result.plan)
-        self.result_cache.put(result_key, result)
+            self._cache_put(self.plan_cache, plan_key, result.plan, "plan")
+        self._cache_put(self.result_cache, result_key, result, "result")
         return ServingEnvelope(
             result=result,
             requested_alpha=alpha,
@@ -173,11 +240,13 @@ class QueryServer:
             publication_epoch=epoch,
             result_cache_hit=False,
             plan_cache_hit=plan_hit,
-            degraded=ticket.degraded,
+            degraded=degraded,
             wait_seconds=ticket.wait_seconds,
             serve_seconds=time.perf_counter() - start,
             affinity_hits=after["hits"] - before["hits"],
             affinity_misses=after["steals"] - before["steals"],
+            degraded_reason=degraded_reason,
+            dispatch_retries=retries_after - retries_before,
         )
 
     # -- maintenance --------------------------------------------------------------
@@ -187,7 +256,13 @@ class QueryServer:
         self.plan_cache.clear()
 
     def cache_info(self) -> dict:
-        """Result- and plan-cache internals plus the live admission load."""
+        """Result- and plan-cache internals plus the live admission load.
+
+        The ``dispatch`` section (retry/timeout counters and the breaker
+        snapshot) and the ``faults`` section (active fault-plan fire
+        counts, ``None`` when no plan is installed) make one call enough to
+        diagnose a degraded server.
+        """
         return {
             "result_cache": self.result_cache.info(),
             "plan_cache": self.plan_cache.info(),
@@ -196,4 +271,6 @@ class QueryServer:
             "max_concurrency": self.admission.max_concurrency,
             "program_cache": predicates.program_cache_info(),
             "affinity": parallel.affinity_stats(),
+            "dispatch": parallel.dispatch_stats(),
+            "faults": faults.fault_stats(),
         }

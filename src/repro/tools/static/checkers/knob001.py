@@ -38,6 +38,9 @@ DOCUMENTED_ENV_OVERRIDES = frozenset(
         "REPRO_SERVING_POLICY",
         "REPRO_STORE_DIR",
         "REPRO_DEFAULT_BACKEND",
+        "REPRO_FAULT_PLAN",
+        "REPRO_DISPATCH_RETRIES",
+        "REPRO_CHECKSUM",
     }
 )
 

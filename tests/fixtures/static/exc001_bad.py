@@ -1,0 +1,40 @@
+"""EXC001 bad fixture: dispatch-path handlers that swallow failures silently."""
+
+
+def _submit_per_shard(pool, fn, tasks):
+    try:
+        return [pool.submit(fn, task) for task in tasks]
+    except RuntimeError:
+        return None  # pool broke; nobody ever finds out
+
+
+def dispatch_batch(pool, fn, tasks):
+    results = []
+    for task in tasks:
+        try:
+            results.append(pool.submit(fn, task).result())
+        except Exception:
+            pass  # a lost shard task becomes a silently shorter answer
+    return results
+
+
+def publish_segment(registry, name, segment):
+    try:
+        registry[name] = segment
+    except MemoryError:
+        segment.close()  # closed but never unlinked, and no verdict
+
+
+def _release_segments(names):
+    for name in names:
+        try:
+            name.unlink()
+        except OSError:
+            continue  # an unjustified idempotency claim
+
+
+def probe_process_executor(pool):
+    try:
+        return pool.submit(int, "1").result() == 1
+    except BaseException:
+        return False  # the breaker never hears about the failed probe

@@ -33,3 +33,13 @@ def set_store_dir(path):
 def set_affinity(mode):
     global _affinity
     _affinity = mode  # accepts "sticky-ish", 42, ... without complaint
+
+
+# A resilience-flavoured knob that is *not* in the documented allowlist
+# (REPRO_FAULT_PLAN is; this injection sibling is not).
+_UNDOCUMENTED_FAULT_KNOB = os.environ.get("REPRO_FAULT_KILL_RATE")
+
+
+def set_fault_plan(spec):
+    global _fault_plan
+    _fault_plan = spec  # accepts 17, b"", object() ... without complaint

@@ -91,3 +91,34 @@ def set_store_dir(path):
     if path is not None and not isinstance(path, str):
         raise TypeError(f"store directory must be a path or None, got {path!r}")
     _store_dir = path
+
+
+# Resilience knob vocabulary (PR 10): the fault plan, the dispatch retry
+# bound and the storage checksum mode — all in the documented allowlist,
+# all behind validating setters.
+_fault_plan = _parse_path("REPRO_FAULT_PLAN")
+_dispatch_retries = _parse_worker_count("REPRO_DISPATCH_RETRIES")
+_checksum_mode = _parse_choice("REPRO_CHECKSUM", ("off", "header", "full"), "header")
+
+
+def set_fault_plan(spec):
+    global _fault_plan
+    if spec is not None and not isinstance(spec, str):
+        raise ValueError(f"fault plan must be a spec string or None, got {spec!r}")
+    _fault_plan = spec
+
+
+def set_dispatch_retries(count):
+    global _dispatch_retries
+    if count is not None:
+        count = int(count)
+        if count < 0:
+            raise ValueError(f"dispatch retries must be >= 0, got {count}")
+    _dispatch_retries = count
+
+
+def set_checksum_mode(mode):
+    global _checksum_mode
+    if mode not in ("off", "header", "full"):
+        raise ValueError(f"checksum mode must be off/header/full, got {mode!r}")
+    _checksum_mode = mode

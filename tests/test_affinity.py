@@ -256,7 +256,13 @@ class TestRouter:
         for _ in range(4):
             _future, slot = router.submit("only", parallel._worker_ping)
             assert slot.index == 0
-        assert router.stats() == {"hits": 4, "steals": 0, "rehashes": 0, "slots": 1}
+        assert router.stats() == {
+            "hits": 4,
+            "steals": 0,
+            "rehashes": 0,
+            "reroutes": 0,
+            "slots": 1,
+        }
 
     def test_ensure_router_lifecycle(self, affinity_guard):
         set_shard_affinity("on")
@@ -274,6 +280,7 @@ class TestRouter:
             "hits": 0,
             "steals": 0,
             "rehashes": 0,
+            "reroutes": 0,
             "slots": 0,
         }
         assert parallel.worker_cache_stats() is None

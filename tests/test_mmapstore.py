@@ -32,17 +32,21 @@ import pickle
 import pytest
 
 from conftest import SHARD_EXECUTORS, assert_identical, identity_key, to_backend
-from repro import Beas, ConstraintSpec, QueryServer, Relation
+from repro import Beas, ConstraintSpec, QueryServer, Relation, faults
+from repro.errors import CorruptShardError
 from repro.relational import parallel
 from repro.relational.mmapstore import (
+    DEFAULT_CHECKSUM_MODE,
     FILE_SUFFIX,
     MANIFEST_NAME,
     MmapShardedStore,
     MmapStore,
     cleanup_store_dir,
+    get_checksum_mode,
     get_store_dir,
     open_database,
     save_database,
+    set_checksum_mode,
     set_store_dir,
 )
 from repro.relational.parallel import FilePublication, publication_for
@@ -462,3 +466,228 @@ def test_nan_and_negative_zero_survive_the_file(store_dir, tmp_path):
     assert math.isnan(values[0])
     assert math.copysign(1.0, values[1]) == -1.0
     assert values[2] == 1.5
+
+# ---------------------------------------------------------------------------
+# Corruption: checksums, quarantine, crash-restart over damage
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def checksum_guard():
+    previous = get_checksum_mode()
+    try:
+        yield
+    finally:
+        set_checksum_mode(previous)
+
+
+def _flip_byte(path, offset):
+    """Flip one byte of ``path`` in place (negative offsets from the end)."""
+    with open(path, "r+b") as handle:
+        handle.seek(offset, os.SEEK_END if offset < 0 else os.SEEK_SET)
+        position = handle.tell()
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+
+
+class TestCorruptFiles:
+    def _saved(self, tmp_path):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        path = str(tmp_path / f"victim{FILE_SUFFIX}")
+        store.save(path)
+        del store
+        gc.collect()
+        return path
+
+    def test_truncated_before_header_quarantines(
+        self, store_dir, tmp_path, checksum_guard
+    ):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(5)
+        with pytest.raises(CorruptShardError) as excinfo:
+            MmapStore.open(path)
+        assert "truncated" in excinfo.value.reason
+        assert excinfo.value.quarantined_to is not None
+        assert not os.path.exists(path)
+        assert os.path.exists(excinfo.value.quarantined_to)
+
+    def test_truncated_header_quarantines(self, store_dir, tmp_path, checksum_guard):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(20)  # magic + length survive, header does not
+        with pytest.raises(CorruptShardError) as excinfo:
+            MmapStore.open(path)
+        assert excinfo.value.quarantined_to is not None
+
+    def test_header_bit_flip_caught_by_default_mode(
+        self, store_dir, tmp_path, checksum_guard
+    ):
+        path = self._saved(tmp_path)
+        set_checksum_mode(None)  # the default mode verifies the header
+        _flip_byte(path, len(b"RPROMM02") + 8 + 3)
+        with pytest.raises(CorruptShardError) as excinfo:
+            MmapStore.open(path)
+        assert "header" in excinfo.value.reason
+        assert excinfo.value.quarantined_to is not None
+
+    def test_payload_bit_flip_caught_by_full_mode(
+        self, store_dir, tmp_path, checksum_guard
+    ):
+        path = self._saved(tmp_path)
+        set_checksum_mode("full")
+        _flip_byte(path, -1)  # last payload byte
+        with pytest.raises(CorruptShardError) as excinfo:
+            MmapStore.open(path)
+        assert "checksum mismatch" in excinfo.value.reason
+
+    def test_corrupt_error_is_a_value_error(self, store_dir, tmp_path, checksum_guard):
+        # Pre-checksum callers caught ValueError for any malformed file;
+        # the typed error must keep satisfying them.
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(5)
+        with pytest.raises(ValueError):
+            MmapStore.open(path)
+
+    def test_quarantined_file_not_reopened(self, store_dir, tmp_path, checksum_guard):
+        path = self._saved(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.truncate(20)
+        with pytest.raises(CorruptShardError):
+            MmapStore.open(path)
+        # Crash-restart over the quarantined file: a clean typed error,
+        # never the same bad bytes again.
+        with pytest.raises(FileNotFoundError):
+            MmapStore.open(path)
+
+    def test_bad_magic_is_plain_value_error_no_quarantine(
+        self, store_dir, tmp_path, checksum_guard
+    ):
+        # A file that was never ours is not "corrupt" — leave it alone.
+        path = str(tmp_path / f"alien{FILE_SUFFIX}")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTADATA" + b"\x00" * 64)
+        with pytest.raises(ValueError) as excinfo:
+            MmapStore.open(path)
+        assert not isinstance(excinfo.value, CorruptShardError)
+        assert os.path.exists(path)
+
+    def test_off_mode_skips_verification(self, store_dir, tmp_path, checksum_guard):
+        store = MmapStore.from_rows(1, [(1.5,), (2.5,), (3.5,)])
+        path = str(tmp_path / f"floats{FILE_SUFFIX}")
+        store.save(path)
+        set_checksum_mode("off")
+        _flip_byte(path, -1)  # arr payload damage: structurally still parseable
+        reopened = MmapStore.open(path)
+        assert reopened.is_mapped  # opened unverified, by explicit request
+        set_checksum_mode("full")  # the same damage is caught once asked for
+        with pytest.raises(CorruptShardError):
+            MmapStore.open(path)
+
+    def test_set_checksum_mode_validates(self, checksum_guard):
+        previous = set_checksum_mode("full")
+        assert get_checksum_mode() == "full"
+        assert set_checksum_mode(previous) == "full"
+        with pytest.raises(ValueError):
+            set_checksum_mode("paranoid")
+        with pytest.raises(ValueError):
+            set_checksum_mode(2)
+        set_checksum_mode(None)
+        assert get_checksum_mode() == DEFAULT_CHECKSUM_MODE
+
+    def test_legacy_v1_files_still_open(self, store_dir, tmp_path, checksum_guard):
+        # RPROMM01 predates checksums; those files open unverified.
+        from array import array
+
+        payload = array("d", [1.5, 2.5, 3.5]).tobytes()
+        header = pickle.dumps(
+            {
+                "width": 1,
+                "length": 3,
+                "epoch": 7,
+                "meta": None,
+                "columns": [("arr", "d", 0, len(payload))],
+            }
+        )
+        base = -(-(8 + 8 + len(header)) // 8) * 8
+        blob = b"RPROMM01" + len(header).to_bytes(8, "little") + header
+        blob += b"\x00" * (base - len(blob)) + payload
+        path = str(tmp_path / f"legacy{FILE_SUFFIX}")
+        with open(path, "wb") as handle:
+            handle.write(blob)
+        set_checksum_mode("full")
+        reopened = MmapStore.open(path)
+        assert [row[0] for row in reopened.row_list()] == [1.5, 2.5, 3.5]
+        assert reopened.epoch == 7
+
+    def test_crash_restart_over_quarantined_shard(
+        self, tiny_db, store_dir, tmp_path, checksum_guard
+    ):
+        dataset = tmp_path / "dataset"
+        save_database(tiny_db, dataset)
+        shard_file = os.path.join(dataset, f"emp{FILE_SUFFIX}")
+        assert os.path.exists(shard_file)
+        with open(shard_file, "r+b") as handle:
+            handle.truncate(20)
+        with pytest.raises(CorruptShardError):
+            open_database(dataset)
+        # The damaged shard was quarantined; the next restart sees a clean
+        # missing-file error instead of re-reading the bad bytes...
+        with pytest.raises(FileNotFoundError):
+            open_database(dataset)
+        # ...and re-publishing the dataset heals it in place.
+        save_database(tiny_db, dataset)
+        reopened = open_database(dataset)
+        assert_identical(
+            reopened.relation("emp"),
+            tiny_db.relation("emp"),
+        )
+
+
+class TestInjectedOpenFaults:
+    def test_injected_corrupt_never_quarantines(self, store_dir, tmp_path):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        path = str(tmp_path / f"healthy{FILE_SUFFIX}")
+        store.save(path)
+        faults.set_fault_plan("seed=7;mmap.open.corrupt:at=1")
+        try:
+            with pytest.raises(CorruptShardError) as excinfo:
+                MmapStore.open(path)
+            assert excinfo.value.injected
+            assert excinfo.value.quarantined_to is None
+            assert os.path.exists(path)
+            reopened = MmapStore.open(path)  # second open: fault spent
+        finally:
+            faults.set_fault_plan(None)
+        assert [identity_key(r) for r in reopened.row_list()] == [
+            identity_key(r) for r in store.row_list()
+        ]
+
+    def test_injected_missing_leaves_file_alone(self, store_dir, tmp_path):
+        store = MmapStore.from_rows(4, MIXED_ROWS)
+        path = str(tmp_path / f"present{FILE_SUFFIX}")
+        store.save(path)
+        faults.set_fault_plan("seed=7;mmap.open.missing:at=1")
+        try:
+            with pytest.raises(FileNotFoundError):
+                MmapStore.open(path)
+        finally:
+            faults.set_fault_plan(None)
+        assert os.path.exists(path)
+
+    def test_anonymous_persist_survives_injected_faults(self, store_dir):
+        # Construction-time persist hits an injected fault: the store stays
+        # detached (bit-identical in memory) instead of failing the build.
+        faults.set_fault_plan("seed=7;mmap.open.corrupt:at=1")
+        try:
+            store = MmapStore.from_rows(4, MIXED_ROWS)
+        finally:
+            faults.set_fault_plan(None)
+        assert not store.is_mapped
+        reference = MmapStore.from_rows(4, MIXED_ROWS)
+        assert [identity_key(r) for r in store.row_list()] == [
+            identity_key(r) for r in reference.row_list()
+        ]
+        assert rpro_files(store_dir) != []  # the healthy reference persisted

@@ -516,8 +516,11 @@ class TestWorkerInternals:
         from concurrent.futures import CancelledError
 
         class CancelledFuture:
-            def result(self):
+            def result(self, timeout=None):
                 raise CancelledError()
+
+            def cancel(self):
+                return True
 
         class CancellingPool:
             def submit(self, *args, **kwargs):

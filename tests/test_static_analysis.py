@@ -31,7 +31,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = Path(__file__).resolve().parent / "fixtures" / "static"
 SRC_TREE = REPO_ROOT / "src" / "repro"
 
-ALL_RULES = ("SHIP001", "SHM001", "REG001", "KNOB001", "STATE001", "DET001")
+ALL_RULES = ("SHIP001", "SHM001", "REG001", "KNOB001", "STATE001", "DET001", "EXC001")
 
 
 # ---------------------------------------------------------------------------
@@ -83,6 +83,25 @@ def test_det001_specific_sites():
     assert "random" in messages
     assert "id()" in messages
     assert "set" in messages
+
+
+def test_exc001_specific_sites():
+    report = analyze_paths([FIXTURES / "exc001_bad.py"], rules=["EXC001"])
+    messages = " | ".join(finding.message for finding in report.findings)
+    # One finding per silent swallow, each naming its enclosing function.
+    assert len(report.findings) == 5
+    for name in (
+        "_submit_per_shard",
+        "dispatch_batch",
+        "publish_segment",
+        "_release_segments",
+        "probe_process_executor",
+    ):
+        assert f"{name}()" in messages
+    # Findings anchor at the except line, where the suppression would go.
+    lines = {finding.line for finding in report.findings}
+    source = (FIXTURES / "exc001_bad.py").read_text().splitlines()
+    assert all(source[line - 1].lstrip().startswith("except") for line in lines)
 
 
 # ---------------------------------------------------------------------------
